@@ -1,0 +1,84 @@
+// Command replay replays one recorded trace against a freshly loaded
+// dataset, once under normal processing and once under speculative
+// processing, and prints the per-query comparison — the paper's
+// methodology (Section 4.1) for a single trace.
+//
+// Usage:
+//
+//	replay -trace traces/user01.json [-scale 100MB] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specdb/internal/core"
+	"specdb/internal/harness"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace JSON file (required)")
+	scale := flag.String("scale", "100MB", "dataset scale: 100MB, 500MB, or 1GB")
+	seed := flag.Uint64("seed", 42, "data generation seed")
+	flag.Parse()
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := tpch.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loading %s dataset...\n", sc.Name)
+	env, err := harness.NewEnv(harness.EnvConfig{Scale: sc, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	normal, err := harness.RunTraceNormal(env.Eng, 0, tr)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := harness.RunTraceSpeculative(env.Eng, 0, tr, core.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%-5s %10s %10s %9s\n", "query", "normal(s)", "spec(s)", "improve%")
+	var nTotal, sTotal float64
+	for i := range normal {
+		n, s := normal[i].Seconds, spec.Timings[i].Seconds
+		nTotal += n
+		sTotal += s
+		imp := 0.0
+		if n > 0 {
+			imp = (1 - s/n) * 100
+		}
+		fmt.Printf("q%-4d %10.2f %10.2f %8.1f%%\n", i, n, s, imp)
+	}
+	fmt.Printf("\ntotal: normal %.1fs, speculative %.1fs, improvement %.1f%%\n",
+		nTotal, sTotal, (1-sTotal/nTotal)*100)
+	st := spec.Stats
+	fmt.Printf("manipulations: issued %d, completed %d, canceled (invalidated %d, at GO %d), GC'd %d\n",
+		st.Issued, st.Completed, st.CanceledInvalidated, st.CanceledAtGo, st.GarbageCollected)
+	if st.MaterializationsIssued > 0 {
+		fmt.Printf("avg materialization: %.1fs\n",
+			st.MaterializationTime.Seconds()/float64(st.MaterializationsIssued))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "replay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command specdb is an interactive SQL shell on the engine: load a dataset,
+// run conjunctive queries, EXPLAIN plans, materialize results, and build
+// indexes/histograms — the substrate the speculation experiments run on.
+//
+// Usage:
+//
+//	specdb [-scale 100MB] [-seed 42]
+//
+// Then type SQL (one statement per line), or one of the shell commands:
+//
+//	\tables      list tables
+//	\cold        cold-start the buffer pool
+//	\quit        exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specdb/internal/engine"
+	"specdb/internal/plan"
+	"specdb/internal/tpch"
+)
+
+func main() {
+	scale := flag.String("scale", "100MB", "dataset scale: 100MB, 500MB, or 1GB")
+	seed := flag.Uint64("seed", 42, "data generation seed")
+	pool := flag.Int("pool", 46, "buffer pool pages")
+	flag.Parse()
+
+	sc, err := tpch.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	eng := engine.New(engine.Config{BufferPoolPages: *pool})
+	fmt.Fprintf(os.Stderr, "loading %s dataset (seed %d)...\n", sc.Name, *seed)
+	if err := tpch.Load(eng, sc, *seed); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ready: %d tables, %d data pages, %d-page pool\n",
+		len(eng.Catalog.TableNames()), eng.TotalDataPages(), *pool)
+
+	sc2 := bufio.NewScanner(os.Stdin)
+	sc2.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("specdb> ")
+	for sc2.Scan() {
+		line := strings.TrimSpace(sc2.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, t := range eng.Catalog.TableNames() {
+				tb, _ := eng.Catalog.Table(t)
+				fmt.Printf("  %-24s %8d rows %6d pages\n", t, tb.RowCount(), tb.NumPages())
+			}
+		case line == `\cold`:
+			if err := eng.ColdStart(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("buffer pool emptied")
+			}
+		default:
+			runStatement(eng, line)
+		}
+		fmt.Print("specdb> ")
+	}
+}
+
+func runStatement(eng *engine.Engine, src string) {
+	res, err := eng.Exec(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Plan != nil && res.Rows == nil && res.RowCount == 0 {
+		fmt.Print(plan.Explain(res.Plan))
+		return
+	}
+	const maxShown = 20
+	for i, row := range res.Rows {
+		if i == maxShown {
+			fmt.Printf("  ... %d more rows\n", len(res.Rows)-maxShown)
+			break
+		}
+		fmt.Println(" ", row)
+	}
+	fmt.Printf("%d row(s) in %v (simulated; %d page reads, %d tuples)\n",
+		res.RowCount, res.Duration, res.Work.PageReads, res.Work.Tuples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specdb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Quickstart: the paper's Section 1 scenario end to end.
+//
+// A user starts typing a query with a selective predicate. During their
+// think-time the Speculator materializes the predicate's result; when the
+// user hits GO, the final query is rewritten against the materialization and
+// runs several times faster.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"specdb"
+)
+
+func main() {
+	db := specdb.Open(specdb.Options{})
+	fmt.Println("loading the 100MB TPC-H subset...")
+	if err := db.LoadTPCH("100MB", 42); err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: normal processing on a cold buffer pool.
+	baseline, err := db.Exec("SELECT * FROM lineitem WHERE lineitem.l_quantity = 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normal processing:       %8v  (%d rows)\n", baseline.Duration, baseline.RowCount)
+
+	if err := db.ColdStart(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Speculative processing: the user places the predicate on the canvas,
+	// thinks for a while, then clicks GO.
+	s := db.NewSession(specdb.SessionConfig{})
+	defer s.Close()
+
+	if err := s.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nuser is thinking... (the Speculator materializes σ(l_quantity=1) asynchronously)")
+	s.Think(30 * time.Second)
+
+	res, err := s.Go()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speculative processing:  %8v  (%d rows)\n", res.Duration, res.RowCount)
+	fmt.Printf("improvement:             %8.1f%%\n",
+		(1-float64(res.Duration)/float64(baseline.Duration))*100)
+	fmt.Println("\nrewritten plan:")
+	fmt.Print(res.Plan)
+
+	st := s.Stats()
+	fmt.Printf("\nspeculation: %d manipulation(s) issued, %d completed in time\n",
+		st.Issued, st.Completed)
+}

@@ -1,0 +1,91 @@
+// Viewadvisor: the Section 6.2 comparison in miniature — materialized views
+// versus speculation versus their combination.
+//
+// Pre-materialized views are a *static* bet on the workload: built once and
+// great for broad queries that match them. Speculation is a *dynamic* bet:
+// small materializations that chase the user's current, selective intent.
+// The paper's finding, reproduced here: views win the long broad queries,
+// speculation wins the short selective ones, and the combination wins both.
+//
+//	go run ./examples/viewadvisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"specdb"
+)
+
+const (
+	broadQuery = "SELECT * FROM customer, orders, lineitem " +
+		"WHERE customer.c_custkey = orders.o_custkey AND orders.o_orderkey = lineitem.l_orderkey " +
+		"AND lineitem.l_quantity >= 1" // keeps everything: a long, join-bound query
+	selectiveQuery = "SELECT * FROM customer, orders, lineitem " +
+		"WHERE customer.c_custkey = orders.o_custkey AND orders.o_orderkey = lineitem.l_orderkey " +
+		"AND lineitem.l_quantity = 1" // a short, selective exploration step
+)
+
+func main() {
+	fmt.Println("loading two copies of the 100MB TPC-H subset (with and without views)...")
+	plain := specdb.Open(specdb.Options{})
+	must(plain.LoadTPCH("100MB", 42))
+
+	withViews := specdb.Open(specdb.Options{UseOptionalViews: true})
+	must(withViews.LoadTPCH("100MB", 42))
+	// The advisor's static bet: materialize the orders ⋈ lineitem join.
+	if _, err := withViews.Exec("SELECT * FROM orders, lineitem " +
+		"WHERE orders.o_orderkey = lineitem.l_orderkey INTO mv_ord_li"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %14s %14s\n", "mode", "broad query", "selective query")
+	report := func(mode string, broad, selective time.Duration) {
+		fmt.Printf("%-22s %14v %14v\n", mode, broad, selective)
+	}
+
+	report("normal", run(plain, broadQuery), run(plain, selectiveQuery))
+	report("materialized views", run(withViews, broadQuery), run(withViews, selectiveQuery))
+	report("speculation", speculative(plain, false), speculative(plain, true))
+	report("speculation + views", speculative(withViews, false), speculative(withViews, true))
+
+	fmt.Println("\nreading: views absorb the join of the broad query; speculation compresses the")
+	fmt.Println("selective one; together they cover the whole exploration (paper, Section 6.2).")
+}
+
+// run executes one query on a cold pool and returns its simulated duration.
+func run(db *specdb.DB, q string) time.Duration {
+	must(db.ColdStart())
+	res, err := db.Exec(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Duration
+}
+
+// speculative formulates the query through a session with think-time.
+func speculative(db *specdb.DB, selective bool) time.Duration {
+	must(db.ColdStart())
+	s := db.NewSession(specdb.SessionConfig{})
+	defer s.Close()
+	must(s.AddJoin("customer", "c_custkey", "orders", "o_custkey"))
+	must(s.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey"))
+	if selective {
+		must(s.AddSelection("lineitem", "l_quantity", "=", 1))
+	} else {
+		must(s.AddSelection("lineitem", "l_quantity", ">=", 1))
+	}
+	s.Think(45 * time.Second)
+	res, err := s.Go()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Duration
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package btree implements a page-backed B+-tree used for secondary indexes:
+// order-preserving byte keys (tuple.EncodeKey output) mapping to record IDs.
+// Nodes live in buffer-pool pages, so index traversals and builds are charged
+// real simulated I/O like every other access path.
+//
+// Duplicates are supported by treating (key, RID) as the sort key within
+// leaves. The tree is insert-only, matching the engine's read-only-database-
+// plus-materializations workload.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"specdb/internal/storage"
+)
+
+// BTree is a B+-tree rooted at a buffer-pool page.
+type BTree struct {
+	pool storage.PagePool
+	root storage.PageID
+	// capacity is the serialized-size budget per node before it splits.
+	capacity int
+	height   int
+	entries  int64
+	pages    []storage.PageID // every page owned by the tree, for Drop/PageIDs
+}
+
+// node is the in-memory form of one page. Pages are parsed on read and
+// re-serialized on write; at this repository's scale the simplicity is worth
+// far more than zero-copy node access.
+type node struct {
+	leaf bool
+	next storage.PageID // leaf chain
+	keys [][]byte
+	// leaf payloads
+	rids []storage.RID
+	// internal children: len(children) == len(keys)+1; keys[i] is the lowest
+	// key reachable under children[i+1].
+	children []storage.PageID
+}
+
+// New creates an empty tree whose nodes are stored through pool. pageSize
+// bounds the serialized node size.
+func New(pool storage.PagePool, pageSize int) (*BTree, error) {
+	t := &BTree{pool: pool, capacity: pageSize, height: 1}
+	rootID, buf, err := pool.New()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	t.pages = append(t.pages, rootID)
+	writeNode(buf, &node{leaf: true})
+	pool.Unpin(rootID, true)
+	return t, nil
+}
+
+// Height reports the number of levels (1 for a lone leaf).
+func (t *BTree) Height() int { return t.height }
+
+// Len reports the number of (key, RID) entries.
+func (t *BTree) Len() int64 { return t.entries }
+
+// NumPages reports the number of pages the tree owns.
+func (t *BTree) NumPages() int { return len(t.pages) }
+
+// PageIDs returns the tree's pages (used by data staging).
+func (t *BTree) PageIDs() []storage.PageID {
+	out := make([]storage.PageID, len(t.pages))
+	copy(out, t.pages)
+	return out
+}
+
+// Drop frees every page of the tree.
+func (t *BTree) Drop() error {
+	for _, id := range t.pages {
+		if err := t.pool.Free(id); err != nil {
+			return err
+		}
+	}
+	t.pages = nil
+	t.root = 0
+	t.entries = 0
+	return nil
+}
+
+// Insert adds one (key, rid) entry.
+func (t *BTree) Insert(key []byte, rid storage.RID) error {
+	if t.root == 0 {
+		return fmt.Errorf("btree: insert into dropped tree")
+	}
+	sep, right, err := t.insertInto(t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if right != 0 { // root split: grow a level
+		newRootID, buf, err := t.pool.New()
+		if err != nil {
+			return err
+		}
+		t.pages = append(t.pages, newRootID)
+		writeNode(buf, &node{
+			leaf:     false,
+			keys:     [][]byte{sep},
+			children: []storage.PageID{t.root, right},
+		})
+		t.pool.Unpin(newRootID, true)
+		t.root = newRootID
+		t.height++
+	}
+	t.entries++
+	return nil
+}
+
+// insertInto descends into page id. If the child splits, it returns the
+// separator key and new right sibling for the caller to absorb.
+func (t *BTree) insertInto(id storage.PageID, key []byte, rid storage.RID) (sep []byte, right storage.PageID, err error) {
+	buf, err := t.pool.Get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := readNode(buf)
+	if n.leaf {
+		pos := leafPos(n, key, rid)
+		n.keys = insertAt(n.keys, pos, append([]byte(nil), key...))
+		n.rids = insertRID(n.rids, pos, rid)
+		return t.finish(id, buf, n)
+	}
+	ci := childIndex(n, key)
+	child := n.children[ci]
+	t.pool.Unpin(id, false) // release before descending; single-threaded sim
+	csep, cright, err := t.insertInto(child, key, rid)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cright == 0 {
+		return nil, 0, nil
+	}
+	buf, err = t.pool.Get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	n = readNode(buf)
+	ci = childIndex(n, csep)
+	n.keys = insertAt(n.keys, ci, csep)
+	n.children = insertPID(n.children, ci+1, cright)
+	return t.finish(id, buf, n)
+}
+
+// finish writes node n back to its page, splitting first if it no longer
+// fits. It returns split information for the parent.
+func (t *BTree) finish(id storage.PageID, buf []byte, n *node) ([]byte, storage.PageID, error) {
+	if nodeSize(n) <= t.capacity {
+		writeNode(buf, n)
+		t.pool.Unpin(id, true)
+		return nil, 0, nil
+	}
+	mid := len(n.keys) / 2
+	rightID, rbuf, err := t.pool.New()
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, 0, err
+	}
+	t.pages = append(t.pages, rightID)
+
+	var sep []byte
+	r := &node{leaf: n.leaf}
+	if n.leaf {
+		sep = n.keys[mid]
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.rids = append(r.rids, n.rids[mid:]...)
+		r.next = n.next
+		n.keys = n.keys[:mid]
+		n.rids = n.rids[:mid]
+		n.next = rightID
+	} else {
+		sep = n.keys[mid]
+		r.keys = append(r.keys, n.keys[mid+1:]...)
+		r.children = append(r.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	writeNode(rbuf, r)
+	t.pool.Unpin(rightID, true)
+	writeNode(buf, n)
+	t.pool.Unpin(id, true)
+	return sep, rightID, nil
+}
+
+// Range bounds for Scan. A nil Key means unbounded on that side.
+type Bound struct {
+	Key       []byte
+	Inclusive bool
+}
+
+// Scan visits entries with lo ≤ key ≤ hi (subject to inclusivity) in key
+// order. fn returning a non-nil error stops the scan and propagates it.
+func (t *BTree) Scan(lo, hi Bound, fn func(key []byte, rid storage.RID) error) error {
+	if t.root == 0 {
+		return fmt.Errorf("btree: scan of dropped tree")
+	}
+	id := t.root
+	// Descend to the leftmost leaf that can contain lo.
+	for {
+		buf, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(buf)
+		if n.leaf {
+			t.pool.Unpin(id, false)
+			break
+		}
+		next := n.children[0]
+		if lo.Key != nil {
+			next = n.children[scanChildIndex(n, lo.Key)]
+		}
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	for id != 0 {
+		buf, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(buf)
+		for i := range n.keys {
+			k := n.keys[i]
+			if lo.Key != nil {
+				c := bytes.Compare(k, lo.Key)
+				if c < 0 || (c == 0 && !lo.Inclusive) {
+					continue
+				}
+			}
+			if hi.Key != nil {
+				c := bytes.Compare(k, hi.Key)
+				if c > 0 || (c == 0 && !hi.Inclusive) {
+					t.pool.Unpin(id, false)
+					return nil
+				}
+			}
+			if err := fn(k, n.rids[i]); err != nil {
+				t.pool.Unpin(id, false)
+				return err
+			}
+		}
+		next := n.next
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// Unbounded is the open bound for Scan.
+var Unbounded = Bound{}
+
+// Exact returns the inclusive bound at key, for point lookups:
+// t.Scan(Exact(k), Exact(k), fn).
+func Exact(key []byte) Bound { return Bound{Key: key, Inclusive: true} }
+
+// leafPos finds the insertion position for (key, rid) in leaf n, keeping
+// entries sorted by (key, RID).
+func leafPos(n *node, key []byte, rid storage.RID) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := bytes.Compare(n.keys[mid], key)
+		if c == 0 {
+			c = compareRID(n.rids[mid], rid)
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child of internal node n to descend into for key.
+func childIndex(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// scanChildIndex is childIndex with strict comparison: keys equal to the
+// search key descend LEFT, so a range scan starting at a duplicated key finds
+// the leftmost occurrence (duplicates may straddle a split separator).
+func scanChildIndex(n *node, key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func compareRID(a, b storage.RID) int {
+	if a.Page != b.Page {
+		if a.Page < b.Page {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Slot < b.Slot:
+		return -1
+	case a.Slot > b.Slot:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func insertAt(xs [][]byte, i int, v []byte) [][]byte {
+	xs = append(xs, nil)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func insertRID(xs []storage.RID, i int, v storage.RID) []storage.RID {
+	xs = append(xs, storage.RID{})
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+func insertPID(xs []storage.PageID, i int, v storage.PageID) []storage.PageID {
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// Node (de)serialization. Layout:
+//
+//	[0]    1 if leaf
+//	[1:3]  uint16 entry count
+//	[3:11] leaf: next-leaf PageID; internal: children[0]
+//	then per entry i:
+//	  uvarint key length, key bytes,
+//	  leaf: varint page, varint slot
+//	  internal: children[i+1] as varint
+func writeNode(buf []byte, n *node) {
+	if n.leaf {
+		buf[0] = 1
+	} else {
+		buf[0] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	if n.leaf {
+		binary.LittleEndian.PutUint64(buf[3:11], uint64(n.next))
+	} else {
+		binary.LittleEndian.PutUint64(buf[3:11], uint64(n.children[0]))
+	}
+	off := 11
+	var scratch []byte
+	for i, k := range n.keys {
+		scratch = binary.AppendUvarint(scratch[:0], uint64(len(k)))
+		off += copy(buf[off:], scratch)
+		off += copy(buf[off:], k)
+		if n.leaf {
+			scratch = binary.AppendVarint(scratch[:0], int64(n.rids[i].Page))
+			scratch = binary.AppendVarint(scratch, int64(n.rids[i].Slot))
+		} else {
+			scratch = binary.AppendVarint(scratch[:0], int64(n.children[i+1]))
+		}
+		off += copy(buf[off:], scratch)
+	}
+	if off > len(buf) {
+		panic("btree: node overflowed its page") // capacity check failed upstream
+	}
+}
+
+func readNode(buf []byte) *node {
+	n := &node{leaf: buf[0] == 1}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	first := storage.PageID(binary.LittleEndian.Uint64(buf[3:11]))
+	if n.leaf {
+		n.next = first
+	} else {
+		n.children = append(n.children, first)
+	}
+	off := 11
+	for i := 0; i < count; i++ {
+		kl, m := binary.Uvarint(buf[off:])
+		off += m
+		key := append([]byte(nil), buf[off:off+int(kl)]...)
+		off += int(kl)
+		n.keys = append(n.keys, key)
+		if n.leaf {
+			p, m := binary.Varint(buf[off:])
+			off += m
+			s, m := binary.Varint(buf[off:])
+			off += m
+			n.rids = append(n.rids, storage.RID{Page: int32(p), Slot: int32(s)})
+		} else {
+			c, m := binary.Varint(buf[off:])
+			off += m
+			n.children = append(n.children, storage.PageID(c))
+		}
+	}
+	return n
+}
+
+// nodeSize is a conservative serialized-size estimate used for split checks.
+func nodeSize(n *node) int {
+	size := 11
+	for i, k := range n.keys {
+		size += binary.MaxVarintLen16 + len(k)
+		if n.leaf {
+			_ = i
+			size += 2 * binary.MaxVarintLen32
+		} else {
+			size += binary.MaxVarintLen64
+		}
+	}
+	return size
+}

@@ -1,0 +1,295 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"specdb/internal/buffer"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+func newTestTree(t *testing.T, pageSize int) *BTree {
+	t.Helper()
+	disk := storage.NewDiskManager(pageSize)
+	pool := buffer.NewPool(disk, 64, sim.NewMeter())
+	tree, err := New(pool, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func intKey(v int64) []byte { return tuple.EncodeKey(nil, tuple.NewInt(v)) }
+
+func collect(t *testing.T, tree *BTree, lo, hi Bound) []int64 {
+	t.Helper()
+	var out []int64
+	err := tree.Scan(lo, hi, func(key []byte, rid storage.RID) error {
+		out = append(out, decodeIntKey(key))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func decodeIntKey(k []byte) int64 {
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return int64(v ^ (1 << 63))
+}
+
+func TestInsertAndFullScan(t *testing.T) {
+	tree := newTestTree(t, 256) // tiny pages to force deep splits
+	n := int64(500)
+	// Insert in a scrambled deterministic order.
+	r := sim.NewRand(1)
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for _, v := range order {
+		if err := tree.Insert(intKey(v), storage.RID{Page: int32(v), Slot: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != n {
+		t.Fatalf("Len = %d, want %d", tree.Len(), n)
+	}
+	if tree.Height() < 3 {
+		t.Fatalf("Height = %d; want a real multi-level tree", tree.Height())
+	}
+	got := collect(t, tree, Unbounded, Unbounded)
+	if int64(len(got)) != n {
+		t.Fatalf("scan saw %d entries, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d has %d", i, v)
+		}
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tree := newTestTree(t, 256)
+	for v := int64(0); v < 100; v++ {
+		if err := tree.Insert(intKey(v), storage.RID{Page: int32(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		lo, hi Bound
+		want   []int64
+	}{
+		{Bound{intKey(10), true}, Bound{intKey(13), true}, []int64{10, 11, 12, 13}},
+		{Bound{intKey(10), false}, Bound{intKey(13), false}, []int64{11, 12}},
+		{Unbounded, Bound{intKey(2), true}, []int64{0, 1, 2}},
+		{Bound{intKey(97), true}, Unbounded, []int64{97, 98, 99}},
+		{Bound{intKey(50), true}, Bound{intKey(50), true}, []int64{50}},
+		{Bound{intKey(200), true}, Unbounded, nil},
+		{Bound{intKey(30), true}, Bound{intKey(20), true}, nil},
+	}
+	for i, c := range cases {
+		got := collect(t, tree, c.lo, c.hi)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tree := newTestTree(t, 256)
+	// 40 copies each of 30 keys, enough to straddle many leaf splits.
+	for copyNo := int32(0); copyNo < 40; copyNo++ {
+		for v := int64(0); v < 30; v++ {
+			if err := tree.Insert(intKey(v), storage.RID{Page: copyNo, Slot: int32(v)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for v := int64(0); v < 30; v++ {
+		var rids []storage.RID
+		err := tree.Scan(Exact(intKey(v)), Exact(intKey(v)), func(k []byte, rid storage.RID) error {
+			rids = append(rids, rid)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rids) != 40 {
+			t.Fatalf("key %d: found %d duplicates, want 40", v, len(rids))
+		}
+		seen := map[storage.RID]bool{}
+		for _, r := range rids {
+			if r.Slot != int32(v) || seen[r] {
+				t.Fatalf("key %d: bad or duplicate RID %v", v, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tree := newTestTree(t, 512)
+	words := []string{"pear", "apple", "fig", "banana", "cherry", "date", "elderberry", "grape"}
+	for i, w := range words {
+		key := tuple.EncodeKey(nil, tuple.NewString(w))
+		if err := tree.Insert(key, storage.RID{Page: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tree.Scan(Unbounded, Unbounded, func(k []byte, rid storage.RID) error {
+		got = append(got, string(k))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tree := newTestTree(t, 256)
+	for v := int64(0); v < 100; v++ {
+		if err := tree.Insert(intKey(v), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	sentinel := fmt.Errorf("enough")
+	err := tree.Scan(Unbounded, Unbounded, func(k []byte, rid storage.RID) error {
+		count++
+		if count == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || count != 5 {
+		t.Fatalf("early stop: err=%v count=%d", err, count)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	disk := storage.NewDiskManager(256)
+	pool := buffer.NewPool(disk, 64, sim.NewMeter())
+	tree, err := New(pool, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 200; v++ {
+		if err := tree.Insert(intKey(v), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.NumPages() < 5 {
+		t.Fatalf("NumPages = %d, expected a multi-page tree", tree.NumPages())
+	}
+	if err := tree.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Allocated() != 0 {
+		t.Fatalf("disk pages leaked: %d", disk.Allocated())
+	}
+	if err := tree.Insert(intKey(1), storage.RID{}); err == nil {
+		t.Fatal("insert into dropped tree should fail")
+	}
+	if err := tree.Scan(Unbounded, Unbounded, func([]byte, storage.RID) error { return nil }); err == nil {
+		t.Fatal("scan of dropped tree should fail")
+	}
+}
+
+func TestScanChargesIO(t *testing.T) {
+	disk := storage.NewDiskManager(512)
+	meter := sim.NewMeter()
+	pool := buffer.NewPool(disk, 4, meter) // tiny pool: traversals must miss
+	tree, err := New(pool, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 2000; v++ {
+		if err := tree.Insert(intKey(v), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := meter.Snapshot()
+	if got := collect(t, tree, Unbounded, Unbounded); len(got) != 2000 {
+		t.Fatalf("scan saw %d", len(got))
+	}
+	if d := meter.Since(before); d.PageReads == 0 {
+		t.Fatal("full scan through a 4-frame pool charged no I/O")
+	}
+}
+
+// Property: the tree agrees with a sorted reference for arbitrary int
+// multisets: same multiset of keys in sorted order, on every range query.
+func TestTreeMatchesReferenceProperty(t *testing.T) {
+	f := func(vals []int16, loRaw, hiRaw int16) bool {
+		tree := newTestTree(t, 256)
+		ref := make([]int64, 0, len(vals))
+		for i, v := range vals {
+			if err := tree.Insert(intKey(int64(v)), storage.RID{Page: int32(i)}); err != nil {
+				return false
+			}
+			ref = append(ref, int64(v))
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []int64
+		for _, v := range ref {
+			if v >= lo && v <= hi {
+				want = append(want, v)
+			}
+		}
+		got := collect(t, tree, Bound{intKey(lo), true}, Bound{intKey(hi), true})
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: key encoding order matches scan order for float keys too.
+func TestFloatKeyOrder(t *testing.T) {
+	tree := newTestTree(t, 512)
+	vals := []float64{3.5, -2.25, 0, 100.75, -0.5, 1e9, -1e9, 0.125}
+	for i, v := range vals {
+		key := tuple.EncodeKey(nil, tuple.NewFloat(v))
+		if err := tree.Insert(key, storage.RID{Page: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys [][]byte
+	err := tree.Scan(Unbounded, Unbounded, func(k []byte, rid storage.RID) error {
+		keys = append(keys, append([]byte(nil), k...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) > 0 {
+			t.Fatalf("scan order broken at %d", i)
+		}
+	}
+	if len(keys) != len(vals) {
+		t.Fatalf("lost entries: %d of %d", len(keys), len(vals))
+	}
+}

@@ -1,0 +1,150 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"specdb/internal/storage"
+)
+
+// Entry is one (key, RID) pair for bulk loading.
+type Entry struct {
+	Key []byte
+	RID storage.RID
+}
+
+// SortEntries orders entries by (key, RID), the tree's internal order.
+func SortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		c := bytes.Compare(entries[i].Key, entries[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return compareRID(entries[i].RID, entries[j].RID) < 0
+	})
+}
+
+// BulkLoad builds the tree bottom-up from sorted entries (see SortEntries).
+// The tree must be empty. Bulk loading writes each page exactly once, unlike
+// repeated Insert which rewrites node pages, so index builds cost O(pages)
+// I/O — this is what a real engine's CREATE INDEX does.
+func (t *BTree) BulkLoad(entries []Entry) error {
+	if t.root == 0 {
+		return fmt.Errorf("btree: bulk load into dropped tree")
+	}
+	if t.entries != 0 {
+		return fmt.Errorf("btree: bulk load into non-empty tree")
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	for i := 1; i < len(entries); i++ {
+		c := bytes.Compare(entries[i-1].Key, entries[i].Key)
+		if c > 0 || (c == 0 && compareRID(entries[i-1].RID, entries[i].RID) > 0) {
+			return fmt.Errorf("btree: bulk load entries not sorted at %d", i)
+		}
+	}
+	// Replace the empty root; fresh pages are allocated level by level.
+	if err := t.pool.Free(t.root); err != nil {
+		return err
+	}
+	t.pages = t.pages[:0]
+
+	type levelNode struct {
+		id       storage.PageID
+		firstKey []byte
+	}
+
+	// Build the leaf level.
+	var level []levelNode
+	var leaf node
+	leaf.leaf = true
+	flushLeaf := func() error {
+		id, buf, err := t.pool.New()
+		if err != nil {
+			return err
+		}
+		t.pages = append(t.pages, id)
+		writeNode(buf, &leaf)
+		t.pool.Unpin(id, true)
+		level = append(level, levelNode{id: id, firstKey: leaf.keys[0]})
+		return nil
+	}
+	for _, e := range entries {
+		leaf.keys = append(leaf.keys, e.Key)
+		leaf.rids = append(leaf.rids, e.RID)
+		if nodeSize(&leaf) > t.capacity {
+			// Overflowed: flush without the last entry, restart with it.
+			last := len(leaf.keys) - 1
+			k, r := leaf.keys[last], leaf.rids[last]
+			leaf.keys = leaf.keys[:last]
+			leaf.rids = leaf.rids[:last]
+			if err := flushLeaf(); err != nil {
+				return err
+			}
+			leaf = node{leaf: true, keys: [][]byte{k}, rids: []storage.RID{r}}
+		}
+	}
+	if err := flushLeaf(); err != nil {
+		return err
+	}
+	// Chain the leaves.
+	for i := 0; i < len(level)-1; i++ {
+		buf, err := t.pool.Get(level[i].id)
+		if err != nil {
+			return err
+		}
+		n := readNode(buf)
+		n.next = level[i+1].id
+		writeNode(buf, n)
+		t.pool.Unpin(level[i].id, true)
+	}
+
+	// Build internal levels until one node remains.
+	t.height = 1
+	for len(level) > 1 {
+		t.height++
+		var parent node
+		var next []levelNode
+		var firstChildKey []byte
+		flushInternal := func() error {
+			id, buf, err := t.pool.New()
+			if err != nil {
+				return err
+			}
+			t.pages = append(t.pages, id)
+			writeNode(buf, &parent)
+			t.pool.Unpin(id, true)
+			next = append(next, levelNode{id: id, firstKey: firstChildKey})
+			return nil
+		}
+		for _, child := range level {
+			if len(parent.children) == 0 {
+				parent.children = append(parent.children, child.id)
+				firstChildKey = child.firstKey
+				continue
+			}
+			parent.keys = append(parent.keys, child.firstKey)
+			parent.children = append(parent.children, child.id)
+			if nodeSize(&parent) > t.capacity {
+				last := len(parent.keys) - 1
+				k, c := parent.keys[last], parent.children[last+1]
+				parent.keys = parent.keys[:last]
+				parent.children = parent.children[:last+1]
+				if err := flushInternal(); err != nil {
+					return err
+				}
+				parent = node{children: []storage.PageID{c}}
+				firstChildKey = k
+			}
+		}
+		if err := flushInternal(); err != nil {
+			return err
+		}
+		level = next
+	}
+	t.root = level[0].id
+	t.entries = int64(len(entries))
+	return nil
+}

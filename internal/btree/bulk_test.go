@@ -1,0 +1,118 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"specdb/internal/buffer"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 200, 3000} {
+		bulk := newTestTree(t, 256)
+		inc := newTestTree(t, 256)
+		var entries []Entry
+		r := sim.NewRand(uint64(n) + 1)
+		for i := 0; i < n; i++ {
+			v := r.Int63n(500) // duplicates guaranteed for large n
+			entries = append(entries, Entry{Key: intKey(v), RID: storage.RID{Page: int32(i)}})
+			if err := inc.Insert(intKey(v), storage.RID{Page: int32(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		SortEntries(entries)
+		if err := bulk.BulkLoad(entries); err != nil {
+			t.Fatal(err)
+		}
+		if bulk.Len() != int64(n) {
+			t.Fatalf("n=%d: Len=%d", n, bulk.Len())
+		}
+		got := collect(t, bulk, Unbounded, Unbounded)
+		want := collect(t, inc, Unbounded, Unbounded)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("n=%d: bulk scan differs from insert scan", n)
+		}
+		// Range scans agree too.
+		g2 := collect(t, bulk, Bound{intKey(100), true}, Bound{intKey(200), false})
+		w2 := collect(t, inc, Bound{intKey(100), true}, Bound{intKey(200), false})
+		if fmt.Sprint(g2) != fmt.Sprint(w2) {
+			t.Fatalf("n=%d: bulk range scan differs", n)
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	tree := newTestTree(t, 256)
+	entries := []Entry{
+		{Key: intKey(5), RID: storage.RID{}},
+		{Key: intKey(3), RID: storage.RID{}},
+	}
+	if err := tree.BulkLoad(entries); err == nil {
+		t.Fatal("unsorted bulk load should fail")
+	}
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	tree := newTestTree(t, 256)
+	if err := tree.Insert(intKey(1), storage.RID{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad([]Entry{{Key: intKey(2)}}); err == nil {
+		t.Fatal("bulk load into non-empty tree should fail")
+	}
+}
+
+func TestBulkLoadThenInsert(t *testing.T) {
+	tree := newTestTree(t, 256)
+	var entries []Entry
+	for v := int64(0); v < 1000; v += 2 {
+		entries = append(entries, Entry{Key: intKey(v), RID: storage.RID{Page: int32(v)}})
+	}
+	SortEntries(entries)
+	if err := tree.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental inserts of the odd keys must interleave correctly.
+	for v := int64(1); v < 1000; v += 2 {
+		if err := tree.Insert(intKey(v), storage.RID{Page: int32(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tree, Unbounded, Unbounded)
+	if len(got) != 1000 {
+		t.Fatalf("scan saw %d, want 1000", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d has %d", i, v)
+		}
+	}
+}
+
+func TestBulkLoadDropFreesPages(t *testing.T) {
+	disk := storage.NewDiskManager(256)
+	pool := buffer.NewPool(disk, 64, sim.NewMeter())
+	tree, err := New(pool, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	for v := int64(0); v < 2000; v++ {
+		entries = append(entries, Entry{Key: intKey(v), RID: storage.RID{}})
+	}
+	SortEntries(entries)
+	if err := tree.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() < 2 {
+		t.Fatalf("height %d, want multi-level", tree.Height())
+	}
+	if err := tree.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Allocated() != 0 {
+		t.Fatalf("%d pages leaked", disk.Allocated())
+	}
+}

@@ -1,0 +1,245 @@
+// Package buffer implements the engine's buffer pool: a fixed set of frames
+// over the simulated disk with LRU replacement, pin counts, dirty write-back,
+// and hit/miss statistics. Misses and write-backs are charged to a sim.Meter,
+// which is how simulated I/O time arises. Sticky pins implement the paper's
+// *data staging* manipulation (Section 3.2), which the authors could not
+// build on top of Oracle but which we can, owning the pool.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// Pool is a buffer pool over one disk manager. It is not safe for concurrent
+// use; the simulation executes one statement at a time by construction.
+type Pool struct {
+	disk   *storage.DiskManager
+	meter  *sim.Meter
+	frames map[storage.PageID]*frame
+	lru    *list.List // front = most recently used; holds unpinned candidates too
+	cap    int
+
+	hits   int64
+	misses int64
+	writes int64
+}
+
+type frame struct {
+	id     storage.PageID
+	buf    []byte
+	pins   int
+	sticky bool // staged: excluded from eviction until released
+	dirty  bool
+	elem   *list.Element
+}
+
+// NewPool returns a pool of capacity frames over disk, charging I/O to meter.
+func NewPool(disk *storage.DiskManager, capacity int, meter *sim.Meter) *Pool {
+	if capacity < 2 {
+		panic("buffer: pool needs at least 2 frames")
+	}
+	return &Pool{
+		disk:   disk,
+		meter:  meter,
+		frames: make(map[storage.PageID]*frame, capacity),
+		lru:    list.New(),
+		cap:    capacity,
+	}
+}
+
+// SetMeter redirects I/O charging to m. The harness points this at the meter
+// of whichever simulated job is currently executing.
+func (p *Pool) SetMeter(m *sim.Meter) { p.meter = m }
+
+// Capacity reports the number of frames.
+func (p *Pool) Capacity() int { return p.cap }
+
+// Resident reports how many pages are currently cached.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Stats reports cumulative hits, misses, and write-backs.
+func (p *Pool) Stats() (hits, misses, writes int64) { return p.hits, p.misses, p.writes }
+
+// Get pins page id and returns its buffer. The caller must Unpin it.
+func (p *Pool) Get(id storage.PageID) ([]byte, error) {
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		f.pins++
+		p.touch(f)
+		return f.buf, nil
+	}
+	f, err := p.admit(id, true)
+	if err != nil {
+		return nil, err
+	}
+	f.pins = 1
+	return f.buf, nil
+}
+
+// New allocates a fresh page on disk, pins it, and returns its ID and buffer.
+// The frame starts dirty (it must reach disk eventually).
+func (p *Pool) New() (storage.PageID, []byte, error) {
+	id := p.disk.Allocate()
+	f, err := p.admit(id, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	f.pins = 1
+	f.dirty = true
+	return id, f.buf, nil
+}
+
+// Unpin releases one pin on page id, marking it dirty if the caller wrote to
+// the buffer. Unpinning a page that is not resident or not pinned panics —
+// both indicate pin-discipline bugs that would silently corrupt accounting.
+func (p *Pool) Unpin(id storage.PageID, dirty bool) {
+	f, ok := p.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("buffer: unpin of non-resident page %d", id))
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// Free drops page id from the pool (discarding its contents) and releases the
+// disk page. The page must be unpinned.
+func (p *Pool) Free(id storage.PageID) error {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: freeing pinned page %d", id)
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, id)
+	}
+	return p.disk.Free(id)
+}
+
+// Stage pre-fetches page id into the pool and marks it sticky so it survives
+// eviction: the data-staging manipulation. It does not hold a pin.
+func (p *Pool) Stage(id storage.PageID) error {
+	f, ok := p.frames[id]
+	if !ok {
+		var err error
+		f, err = p.admit(id, true)
+		if err != nil {
+			return err
+		}
+	} else {
+		p.hits++
+	}
+	f.sticky = true
+	return nil
+}
+
+// Unstage removes the sticky mark from page id if it is resident.
+func (p *Pool) Unstage(id storage.PageID) {
+	if f, ok := p.frames[id]; ok {
+		f.sticky = false
+	}
+}
+
+// StagedCount reports how many resident pages are sticky.
+func (p *Pool) StagedCount() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.sticky {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether page id is resident (used by tests and by the
+// cost model's warmth estimate).
+func (p *Pool) Contains(id storage.PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// FlushAll writes every dirty resident page back to disk.
+func (p *Pool) FlushAll() error {
+	for _, f := range p.frames {
+		if err := p.writeBack(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvictAll empties the pool (after flushing), simulating a cold restart. Any
+// pinned page makes this fail.
+func (p *Pool) EvictAll() error {
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: EvictAll with pinned page %d", id)
+		}
+		if err := p.writeBack(f); err != nil {
+			return err
+		}
+		p.lru.Remove(f.elem)
+		delete(p.frames, id)
+	}
+	return nil
+}
+
+// admit loads page id into a frame, evicting if necessary. If read is false
+// the frame is left zeroed (freshly allocated page).
+func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
+	if len(p.frames) >= p.cap {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, buf: make([]byte, p.disk.PageSize())}
+	if read {
+		if err := p.disk.Read(id, f.buf); err != nil {
+			return nil, err
+		}
+		p.misses++
+		p.meter.ChargePageRead(1)
+	}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned, non-sticky page.
+func (p *Pool) evictOne() error {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 || f.sticky {
+			continue
+		}
+		if err := p.writeBack(f); err != nil {
+			return err
+		}
+		p.lru.Remove(e)
+		delete(p.frames, f.id)
+		return nil
+	}
+	return fmt.Errorf("buffer: all %d frames pinned or staged", p.cap)
+}
+
+func (p *Pool) writeBack(f *frame) error {
+	if !f.dirty {
+		return nil
+	}
+	if err := p.disk.Write(f.id, f.buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.writes++
+	p.meter.ChargePageWrite(1)
+	return nil
+}
+
+func (p *Pool) touch(f *frame) { p.lru.MoveToFront(f.elem) }

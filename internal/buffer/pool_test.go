@@ -1,0 +1,306 @@
+package buffer
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+func newTestPool(capacity int) (*Pool, *storage.DiskManager, *sim.Meter) {
+	disk := storage.NewDiskManager(128)
+	meter := sim.NewMeter()
+	return NewPool(disk, capacity, meter), disk, meter
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	p, disk, meter := newTestPool(4)
+	id := disk.Allocate()
+
+	buf, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "abc")
+	p.Unpin(id, true)
+
+	buf2, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf2[:3]) != "abc" {
+		t.Fatal("cached content lost")
+	}
+	p.Unpin(id, false)
+
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if w := meter.Snapshot(); w.PageReads != 1 {
+		t.Fatalf("meter charged %d reads, want 1", w.PageReads)
+	}
+}
+
+func TestPoolEvictionLRU(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+
+	get := func(id storage.PageID) {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	get(a)
+	get(b)
+	get(a) // a is now MRU; b is LRU
+	get(c) // evicts b
+	if !p.Contains(a) || p.Contains(b) || !p.Contains(c) {
+		t.Fatalf("LRU eviction wrong: a=%v b=%v c=%v",
+			p.Contains(a), p.Contains(b), p.Contains(c))
+	}
+}
+
+func TestPoolDirtyWriteBackOnEviction(t *testing.T) {
+	p, disk, meter := newTestPool(2)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+
+	buf, err := p.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "dirty")
+	p.Unpin(a, true)
+
+	for _, id := range []storage.PageID{b, c} { // force eviction of a
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	if p.Contains(a) {
+		t.Fatal("a should be evicted")
+	}
+	raw := make([]byte, 128)
+	if err := disk.Read(a, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:5]) != "dirty" {
+		t.Fatal("dirty page not written back on eviction")
+	}
+	if w := meter.Snapshot(); w.PageWrites != 1 {
+		t.Fatalf("meter charged %d writes, want 1", w.PageWrites)
+	}
+}
+
+func TestPoolPinnedPagesNotEvicted(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err) // a stays pinned
+	}
+	if _, err := p.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, false)
+	if _, err := p.Get(c); err != nil { // must evict b, not pinned a
+		t.Fatal(err)
+	}
+	p.Unpin(c, false)
+	if !p.Contains(a) || p.Contains(b) {
+		t.Fatal("pinned page evicted or unpinned page kept")
+	}
+	p.Unpin(a, false)
+}
+
+func TestPoolAllPinnedFails(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(c); err == nil {
+		t.Fatal("fetch with all frames pinned should fail")
+	}
+}
+
+func TestPoolUnpinPanics(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	id := disk.Allocate()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unpin of non-resident page did not panic")
+			}
+		}()
+		p.Unpin(id, false)
+	}()
+	if _, err := p.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id, false)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double unpin did not panic")
+			}
+		}()
+		p.Unpin(id, false)
+	}()
+}
+
+func TestPoolNew(t *testing.T) {
+	p, _, meter := newTestPool(4)
+	id, buf, err := p.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "fresh")
+	p.Unpin(id, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// New pages charge no read.
+	if w := meter.Snapshot(); w.PageReads != 0 || w.PageWrites != 1 {
+		t.Fatalf("meter %+v, want 0 reads / 1 write", w)
+	}
+}
+
+func TestPoolStageSurvivesEviction(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+	if err := p.Stage(a); err != nil {
+		t.Fatal(err)
+	}
+	if p.StagedCount() != 1 {
+		t.Fatalf("StagedCount = %d", p.StagedCount())
+	}
+	for _, id := range []storage.PageID{b, c} {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	if !p.Contains(a) {
+		t.Fatal("staged page was evicted")
+	}
+	p.Unstage(a)
+	// After unstaging, a is evictable again.
+	if _, err := p.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, false)
+	if _, err := p.Get(c); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(c, false)
+	if p.Contains(a) {
+		t.Fatal("unstaged page survived eviction pressure")
+	}
+}
+
+func TestPoolStageResidentCountsHit(t *testing.T) {
+	p, disk, _ := newTestPool(4)
+	a := disk.Allocate()
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(a, false)
+	if err := p.Stage(a); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestPoolEvictAll(t *testing.T) {
+	p, disk, _ := newTestPool(4)
+	a := disk.Allocate()
+	buf, err := p.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "keep")
+	p.Unpin(a, true)
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Fatalf("Resident = %d after EvictAll", p.Resident())
+	}
+	raw := make([]byte, 128)
+	if err := disk.Read(a, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:4]) != "keep" {
+		t.Fatal("EvictAll lost dirty data")
+	}
+}
+
+func TestPoolEvictAllFailsWhenPinned(t *testing.T) {
+	p, disk, _ := newTestPool(4)
+	a := disk.Allocate()
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EvictAll(); err == nil {
+		t.Fatal("EvictAll with a pinned page should fail")
+	}
+}
+
+func TestPoolFree(t *testing.T) {
+	p, disk, _ := newTestPool(4)
+	id, _, err := p.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err == nil {
+		t.Fatal("free of pinned page should fail")
+	}
+	p.Unpin(id, false)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if disk.Allocated() != 0 {
+		t.Fatal("disk page leaked after Free")
+	}
+	if p.Contains(id) {
+		t.Fatal("freed page still resident")
+	}
+}
+
+func TestPoolSetMeter(t *testing.T) {
+	p, disk, m1 := newTestPool(4)
+	m2 := sim.NewMeter()
+	a, b := disk.Allocate(), disk.Allocate()
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(a, false)
+	p.SetMeter(m2)
+	if _, err := p.Get(b); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, false)
+	if m1.Snapshot().PageReads != 1 || m2.Snapshot().PageReads != 1 {
+		t.Fatalf("meter routing wrong: m1=%d m2=%d",
+			m1.Snapshot().PageReads, m2.Snapshot().PageReads)
+	}
+}
+
+func TestPoolCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 1 did not panic")
+		}
+	}()
+	disk := storage.NewDiskManager(128)
+	NewPool(disk, 1, sim.NewMeter())
+}

@@ -1,0 +1,153 @@
+package buffer
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// TestPoolModelProperty drives the pool with random operation sequences and
+// checks it against a trivial reference model: page contents always match
+// what was last written, the resident set never exceeds capacity, and pinned
+// pages are never evicted.
+func TestPoolModelProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		r := sim.NewRand(seed)
+		disk := storage.NewDiskManager(64)
+		capacity := 2 + r.Intn(6)
+		pool := NewPool(disk, capacity, sim.NewMeter())
+
+		// Reference model.
+		content := map[storage.PageID]byte{} // expected first byte
+		pins := map[storage.PageID]int{}
+		var pages []storage.PageID
+
+		alloc := func() {
+			id, buf, err := pool.New()
+			if err != nil {
+				// Possible only when everything is pinned.
+				if countPinned(pins) < capacity {
+					t.Fatalf("seed %d: New failed with free frames: %v", seed, err)
+				}
+				return
+			}
+			b := byte(r.Intn(250) + 1)
+			buf[0] = b
+			pool.Unpin(id, true)
+			content[id] = b
+			pages = append(pages, id)
+		}
+		alloc() // ensure at least one page exists
+
+		for step := 0; step < 300; step++ {
+			switch r.Intn(10) {
+			case 0, 1:
+				alloc()
+			case 2, 3, 4, 5, 6: // read and verify
+				id := pages[r.Intn(len(pages))]
+				buf, err := pool.Get(id)
+				if err != nil {
+					if countPinned(pins) < capacity {
+						t.Fatalf("seed %d step %d: Get failed: %v", seed, step, err)
+					}
+					continue
+				}
+				if buf[0] != content[id] {
+					t.Fatalf("seed %d step %d: page %d has %d, want %d",
+						seed, step, id, buf[0], content[id])
+				}
+				if r.Intn(2) == 0 { // hold the pin for a while
+					pins[id]++
+				} else {
+					pool.Unpin(id, false)
+				}
+			case 7: // write under pin
+				id := pages[r.Intn(len(pages))]
+				buf, err := pool.Get(id)
+				if err != nil {
+					continue
+				}
+				b := byte(r.Intn(250) + 1)
+				buf[0] = b
+				content[id] = b
+				pool.Unpin(id, true)
+			case 8: // release one held pin
+				for id, n := range pins {
+					if n > 0 {
+						pool.Unpin(id, false)
+						pins[id]--
+						break
+					}
+				}
+			case 9: // cold restart when nothing is pinned
+				if countPinned(pins) == 0 {
+					if err := pool.EvictAll(); err != nil {
+						t.Fatalf("seed %d step %d: EvictAll: %v", seed, step, err)
+					}
+				}
+			}
+			if pool.Resident() > capacity {
+				t.Fatalf("seed %d step %d: resident %d > capacity %d",
+					seed, step, pool.Resident(), capacity)
+			}
+		}
+		// Drain pins, flush, and verify every page against the model via
+		// raw disk reads.
+		for id, n := range pins {
+			for ; n > 0; n-- {
+				pool.Unpin(id, false)
+			}
+		}
+		if err := pool.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		raw := make([]byte, 64)
+		for _, id := range pages {
+			if err := disk.Read(id, raw); err != nil {
+				t.Fatalf("seed %d: disk read %d: %v", seed, id, err)
+			}
+			if raw[0] != content[id] {
+				t.Fatalf("seed %d: page %d on disk has %d, want %d", seed, id, raw[0], content[id])
+			}
+		}
+	}
+}
+
+func countPinned(pins map[storage.PageID]int) int {
+	n := 0
+	for _, c := range pins {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPoolStatsConsistency checks hits+misses equals Get calls across a
+// random workload.
+func TestPoolStatsConsistency(t *testing.T) {
+	r := sim.NewRand(77)
+	disk := storage.NewDiskManager(64)
+	pool := NewPool(disk, 4, sim.NewMeter())
+	var ids []storage.PageID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, disk.Allocate())
+	}
+	gets := int64(0)
+	for step := 0; step < 500; step++ {
+		id := ids[r.Intn(len(ids))]
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id, false)
+		gets++
+	}
+	hits, misses, _ := pool.Stats()
+	if hits+misses != gets {
+		t.Fatalf("hits %d + misses %d != gets %d", hits, misses, gets)
+	}
+	if misses < 4 { // at least the first touches must miss
+		t.Fatalf("misses %d implausibly low", misses)
+	}
+}

@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"specdb/internal/stats"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+// Analyze scans a table and recomputes count/distinct/min/max statistics for
+// every column. Existing histograms are preserved (they are created by a
+// separate, costed manipulation). The scan goes through the buffer pool, so
+// analyzing charges real simulated I/O like any other statement.
+func Analyze(t *Table) error {
+	cols := make([][]tuple.Value, t.Schema.Len())
+	err := t.Heap.Scan(func(_ storage.RID, rec []byte) error {
+		row, _, err := tuple.DecodeRow(rec, t.Schema)
+		if err != nil {
+			return err
+		}
+		for i, v := range row {
+			cols[i] = append(cols[i], v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range t.Schema.Columns {
+		cs := stats.CollectColumnStats(cols[i])
+		if old := t.Stats[c.Name]; old != nil {
+			cs.Hist = old.Hist
+		}
+		t.Stats[c.Name] = cs
+	}
+	return nil
+}
+
+// ColumnValues returns every value of one column, in heap order. It is the
+// input to histogram creation and index builds.
+func ColumnValues(t *Table, col string) ([]tuple.Value, error) {
+	ord := t.Schema.MustOrdinal(col)
+	var out []tuple.Value
+	err := t.Heap.Scan(func(_ storage.RID, rec []byte) error {
+		row, _, err := tuple.DecodeRow(rec, t.Schema)
+		if err != nil {
+			return err
+		}
+		out = append(out, row[ord])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

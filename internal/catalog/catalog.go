@@ -1,0 +1,229 @@
+// Package catalog is the engine's metadata layer: tables with their heap
+// files, secondary indexes, column statistics, and materialized views tagged
+// with the query graph they materialize. The speculation subsystem's whole
+// output — materializations, indexes, histograms — lands here.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/btree"
+	"specdb/internal/qgraph"
+	"specdb/internal/stats"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+// Index is a secondary index over one column of one table.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	Tree   *btree.BTree
+}
+
+// Table is a base or materialized relation.
+type Table struct {
+	Name   string
+	Schema *tuple.Schema
+	Heap   *storage.HeapFile
+	// Stats maps column name → statistics. Populated by Analyze; histogram
+	// pointers are added by histogram-creation manipulations.
+	Stats map[string]*stats.ColumnStats
+	// Indexes maps column name → index.
+	Indexes map[string]*Index
+}
+
+// RowCount reports the table cardinality.
+func (t *Table) RowCount() int64 { return t.Heap.NumRows() }
+
+// NumPages reports the heap size in pages.
+func (t *Table) NumPages() int { return t.Heap.NumPages() }
+
+// ColumnStats returns statistics for col, or nil if not analyzed.
+func (t *Table) ColumnStats(col string) *stats.ColumnStats {
+	if t.Stats == nil {
+		return nil
+	}
+	return t.Stats[col]
+}
+
+// Index returns the index on col, or nil.
+func (t *Table) Index(col string) *Index {
+	if t.Indexes == nil {
+		return nil
+	}
+	return t.Indexes[col]
+}
+
+// MatView records that table Name holds the materialized result of Graph.
+// View columns are named "rel.col" for every column of every relation in the
+// graph (the engine materializes SELECT * over the sub-query).
+type MatView struct {
+	Name  string
+	Graph *qgraph.Graph
+	// Forced marks query-rewriting semantics (Section 3.2): the optimizer
+	// MUST use the view for any query containing Graph, rather than merely
+	// considering it.
+	Forced bool
+}
+
+// Catalog holds all metadata. It is not safe for concurrent use; the
+// simulation is single-threaded by construction.
+type Catalog struct {
+	pool   storage.PagePool
+	tables map[string]*Table
+	views  map[string]*MatView // by view (backing table) name
+}
+
+// New returns an empty catalog creating storage through pool.
+func New(pool storage.PagePool) *Catalog {
+	return &Catalog{
+		pool:   pool,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*MatView),
+	}
+}
+
+// CreateTable registers a new empty table.
+func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Heap:    storage.NewHeapFile(c.pool),
+		Stats:   make(map[string]*stats.ColumnStats),
+		Indexes: make(map[string]*Index),
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Table resolves a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether name exists.
+func (c *Catalog) HasTable(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// TableNames returns all table names sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropTable removes a table, freeing its heap pages and index pages, and
+// unregistering any materialized view backed by it.
+func (c *Catalog) DropTable(name string) error {
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: drop of unknown table %q", name)
+	}
+	for _, idx := range t.Indexes {
+		if err := idx.Tree.Drop(); err != nil {
+			return err
+		}
+	}
+	if err := t.Heap.Drop(); err != nil {
+		return err
+	}
+	delete(c.tables, name)
+	delete(c.views, name)
+	return nil
+}
+
+// AddIndex registers a built index on table.column. One index per column.
+func (c *Catalog) AddIndex(table, column string, tree *btree.BTree) (*Index, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if t.Schema.Ordinal(column) < 0 {
+		return nil, fmt.Errorf("catalog: table %q has no column %q", table, column)
+	}
+	if _, exists := t.Indexes[column]; exists {
+		return nil, fmt.Errorf("catalog: index on %s.%s already exists", table, column)
+	}
+	idx := &Index{
+		Name:   fmt.Sprintf("idx_%s_%s", table, column),
+		Table:  table,
+		Column: column,
+		Tree:   tree,
+	}
+	t.Indexes[column] = idx
+	return idx, nil
+}
+
+// RegisterView records that table name materializes graph.
+func (c *Catalog) RegisterView(name string, graph *qgraph.Graph, forced bool) error {
+	if !c.HasTable(name) {
+		return fmt.Errorf("catalog: view %q has no backing table", name)
+	}
+	c.views[name] = &MatView{Name: name, Graph: graph, Forced: forced}
+	return nil
+}
+
+// DropView unregisters a view without touching the backing table (callers
+// usually DropTable right after, which also unregisters).
+func (c *Catalog) DropView(name string) { delete(c.views, name) }
+
+// View returns the view backed by table name, or nil.
+func (c *Catalog) View(name string) *MatView { return c.views[name] }
+
+// Views returns all registered views sorted by name.
+func (c *Catalog) Views() []*MatView {
+	names := make([]string, 0, len(c.views))
+	for n := range c.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*MatView, len(names))
+	for i, n := range names {
+		out[i] = c.views[n]
+	}
+	return out
+}
+
+// MatchingViews returns the views whose graph is contained in query — the
+// candidates for rewriting (paper Section 3.2: "the optimizer is able to use
+// it in any final query whose graph contains the materialized query as a
+// sub-graph"). Sorted by view name for determinism.
+func (c *Catalog) MatchingViews(query *qgraph.Graph) []*MatView {
+	var out []*MatView
+	for _, v := range c.Views() {
+		if query.Contains(v.Graph) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ViewByGraph returns a view materializing exactly graph, or nil.
+func (c *Catalog) ViewByGraph(graph *qgraph.Graph) *MatView {
+	key := graph.Key()
+	for _, v := range c.Views() {
+		if v.Graph.Key() == key {
+			return v
+		}
+	}
+	return nil
+}
+
+// ViewColumn is the naming convention mapping a base column to its name in a
+// materialized view's schema.
+func ViewColumn(rel, col string) string { return rel + "." + col }

@@ -1,0 +1,825 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"specdb/internal/engine"
+	"specdb/internal/plan"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/trace"
+	"specdb/internal/tuple"
+)
+
+// newTestEngine loads the Figure 2 relations R(a,c), S(a,b), W(b,d).
+func newTestEngine(t *testing.T, n int) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Config{BufferPoolPages: 256})
+	mk := func(name string, cols [2]string, gen func(i int) (int64, int64)) {
+		schema := tuple.NewSchema(
+			tuple.Column{Name: cols[0], Kind: tuple.KindInt},
+			tuple.Column{Name: cols[1], Kind: tuple.KindInt},
+		)
+		if _, err := e.CreateTable(name, schema); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]tuple.Row, n)
+		for i := 0; i < n; i++ {
+			a, b := gen(i)
+			rows[i] = tuple.Row{tuple.NewInt(a), tuple.NewInt(b)}
+		}
+		if err := e.InsertRows(name, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Analyze(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R", [2]string{"a", "c"}, func(i int) (int64, int64) { return int64(i % 50), int64(i % 23) })
+	mk("S", [2]string{"a", "b"}, func(i int) (int64, int64) { return int64(i % 50), int64(i % 31) })
+	mk("W", [2]string{"b", "d"}, func(i int) (int64, int64) { return int64(i % 31), int64(i * 37 % 3000) })
+	return e
+}
+
+func selRC(c int64) qgraph.Selection {
+	return qgraph.Selection{Rel: "R", Col: "c", Op: tuple.CmpGT, Const: tuple.NewInt(c)}
+}
+
+func evAddSel(s qgraph.Selection) trace.Event {
+	sj := trace.FromSelection(s)
+	return trace.Event{Kind: trace.EvAddSelection, Sel: &sj}
+}
+
+func evRemoveSel(s qgraph.Selection) trace.Event {
+	sj := trace.FromSelection(s)
+	return trace.Event{Kind: trace.EvRemoveSelection, Sel: &sj}
+}
+
+func evAddJoin(j qgraph.Join) trace.Event {
+	jj := trace.FromJoin(j)
+	return trace.Event{Kind: trace.EvAddJoin, Join: &jj}
+}
+
+func newSpec(e *engine.Engine, cfg Config) *Speculator {
+	return NewSpeculator(e, NewLearner(DefaultLearnerConfig()), cfg)
+}
+
+func TestSpeculatorIssuesAndCompletes(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	sp := newSpec(e, DefaultConfig())
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), sim.FromSeconds(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil {
+		t.Fatal("selective predicate should trigger a materialization")
+	}
+	job := out.Issued
+	if job.Manip.Kind != ManipMaterialize {
+		t.Fatalf("issued %v", job.Manip)
+	}
+	if !job.Manip.Graph.Equal(qgraph.SelectionSubgraph(selRC(18))) {
+		t.Fatalf("materialized graph %v", job.Manip.Graph)
+	}
+	if job.CompletesAt <= job.IssuedAt {
+		t.Fatalf("completion %v not after issue %v", job.CompletesAt, job.IssuedAt)
+	}
+	// Hidden until completion: the table exists but no view is registered.
+	if !e.Catalog.HasTable(job.tableName) {
+		t.Fatal("materialized table missing")
+	}
+	if e.Catalog.View(job.tableName) != nil {
+		t.Fatal("view visible before completion")
+	}
+
+	next, err := sp.Complete(job, job.CompletesAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Catalog.View(job.tableName); v == nil || !v.Forced {
+		t.Fatal("view not registered as forced on completion")
+	}
+	// Slot freed: the speculator may chain another manipulation, but for a
+	// single-selection partial query nothing new should clear the filter.
+	if next != nil {
+		t.Fatalf("unexpected chained job %v", next.Manip)
+	}
+
+	// GO: final query must be rewritten to the speculative table.
+	res, goOut, err := sp.OnGo(job.CompletesAt.Add(sim.DurationFromSeconds(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goOut.Canceled != nil {
+		t.Fatal("nothing should be in flight at GO")
+	}
+	if !strings.Contains(plan.Explain(res.Plan), job.tableName) {
+		t.Fatalf("final query not rewritten:\n%s", plan.Explain(res.Plan))
+	}
+	want := 0
+	for i := 0; i < 20000; i++ {
+		if i%23 > 18 {
+			want++
+		}
+	}
+	if int(res.RowCount) != want {
+		t.Fatalf("rewritten result %d rows, want %d", res.RowCount, want)
+	}
+	st := sp.Stats()
+	if st.Issued != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSpeculatorCancelsOnInvalidation(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	sp := newSpec(e, DefaultConfig())
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil {
+		t.Fatal("no job issued")
+	}
+	job := out.Issued
+	table := job.tableName
+
+	// Removing the predicate invalidates the running materialization.
+	out2, err := sp.OnEvent(evRemoveSel(selRC(18)), sim.FromSeconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Canceled != job {
+		t.Fatal("job not canceled on invalidation")
+	}
+	if e.Catalog.HasTable(table) {
+		t.Fatal("canceled materialization left its table behind")
+	}
+	if sp.Stats().CanceledInvalidated != 1 {
+		t.Fatalf("stats %+v", sp.Stats())
+	}
+}
+
+func TestSpeculatorCancelsAtGo(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	sp := newSpec(e, DefaultConfig())
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := out.Issued
+	if job == nil {
+		t.Fatal("no job issued")
+	}
+	// GO arrives before CompletesAt: the manipulation is canceled and the
+	// final query runs WITHOUT the materialization.
+	res, goOut, err := sp.OnGo(sim.FromSeconds(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goOut.Canceled != job {
+		t.Fatal("in-flight job not canceled at GO")
+	}
+	if strings.Contains(plan.Explain(res.Plan), job.tableName) {
+		t.Fatal("final query used an incomplete materialization")
+	}
+	if e.Catalog.HasTable(job.tableName) {
+		t.Fatal("canceled table leaked")
+	}
+	if sp.Stats().CanceledAtGo != 1 {
+		t.Fatalf("stats %+v", sp.Stats())
+	}
+}
+
+func TestSpeculatorGarbageCollection(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	sp := newSpec(e, DefaultConfig())
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := out.Issued
+	if _, err := sp.Complete(job, job.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.OnGo(job.CompletesAt.Add(sim.DurationFromSeconds(1))); err != nil {
+		t.Fatal(err)
+	}
+	// The predicate persists → the result must persist (inter-query reuse).
+	if !e.Catalog.HasTable(job.tableName) {
+		t.Fatal("materialization dropped while still useful")
+	}
+	// Removing the predicate on the next formulation triggers GC.
+	if _, err := sp.OnEvent(evRemoveSel(selRC(18)), job.CompletesAt.Add(sim.DurationFromSeconds(10))); err != nil {
+		t.Fatal(err)
+	}
+	if e.Catalog.HasTable(job.tableName) {
+		t.Fatal("stale materialization not garbage-collected")
+	}
+	if sp.Stats().GarbageCollected != 1 {
+		t.Fatalf("stats %+v", sp.Stats())
+	}
+}
+
+func TestSpeculatorOneOutstanding(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	sp := newSpec(e, DefaultConfig())
+
+	out1, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Issued == nil {
+		t.Fatal("first event should issue")
+	}
+	// A second attractive predicate arrives while the first job runs: the
+	// speculator must NOT issue a second concurrent manipulation.
+	out2, err := sp.OnEvent(evAddSel(qgraph.Selection{
+		Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(100),
+	}), sim.FromSeconds(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Issued != nil {
+		t.Fatal("second manipulation issued while one outstanding")
+	}
+	// After completion the slot frees and the W predicate gets its turn.
+	next, err := sp.Complete(out1.Issued, out1.Issued.CompletesAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil || next.Manip.Kind != ManipMaterialize || !next.Manip.Graph.HasRelation("W") {
+		t.Fatalf("chained job wrong: %+v", next)
+	}
+}
+
+func TestSpeculatorJoinSubgraphEnumeration(t *testing.T) {
+	e := newTestEngine(t, 15000)
+	cfg := DefaultConfig()
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+
+	// Selection then join: once both are present, the join manipulation
+	// (with attached selection) should eventually be issued.
+	out, err := sp.OnEvent(evAddSel(selRC(15)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sp.OnEvent(evAddJoin(qgraph.NewJoin("R", "a", "S", "a")), sim.FromSeconds(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Issued == nil {
+		t.Fatal("join edge should trigger a manipulation")
+	}
+	g := out2.Issued.Manip.Graph
+	if g.NumJoins() != 1 || !g.HasSelection(selRC(15)) {
+		t.Fatalf("join subgraph must include attached selections: %v", g)
+	}
+}
+
+func TestSpeculatorSelectionsOnlyMode(t *testing.T) {
+	e := newTestEngine(t, 15000)
+	cfg := DefaultConfig()
+	cfg.SelectionsOnly = true
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+
+	if _, err := sp.OnEvent(evAddJoin(qgraph.NewJoin("R", "a", "S", "a")), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Only a join on canvas: selections-only mode must not materialize it.
+	if sp.outstanding != nil {
+		t.Fatalf("selections-only mode issued %v", sp.outstanding.Manip)
+	}
+	out, err := sp.OnEvent(evAddSel(selRC(15)), sim.FromSeconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil || out.Issued.Manip.Graph.NumJoins() != 0 {
+		t.Fatal("selection manipulation expected")
+	}
+}
+
+func TestSpeculatorShutdown(t *testing.T) {
+	e := newTestEngine(t, 15000)
+	sp := newSpec(e, DefaultConfig())
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	table := out.Issued.tableName
+	if err := sp.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Catalog.HasTable(table) {
+		t.Fatal("shutdown leaked speculative table")
+	}
+}
+
+// TestTheorem31 validates the paper's central reduction on the engine: for
+// the toy universe Q = {q1=σθ(R), q2=R⋈S, q3=σθ(R)⋈S}, minimizing the
+// explicit expectation (1) agrees with minimizing the local Cost⊆ formula
+// (2), because the engine's cost function approximately satisfies
+// containment dependence (P1) and linearity (P2).
+func TestTheorem31(t *testing.T) {
+	e := newTestEngine(t, 30000)
+	theta := selRC(20) // selective: i%23 > 20 → ≈2/23 of R
+
+	q1 := qgraph.SelectionSubgraph(theta)
+	q2 := qgraph.New()
+	q2.AddJoin(qgraph.NewJoin("R", "a", "S", "a"))
+	q3 := q1.Union(q2)
+
+	costOf := func(g *qgraph.Graph) float64 {
+		node, err := e.PlanGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node.Cost().Seconds()
+	}
+	// cost(q, m∅): no views.
+	c1, c2, c3 := costOf(q1), costOf(q2), costOf(q3)
+
+	// Apply m1 = materialization of q1 (forced rewriting).
+	if _, err := e.Materialize("m1", q1, true); err != nil {
+		t.Fatal(err)
+	}
+	c1m, c2m, c3m := costOf(q1), costOf(q2), costOf(q3)
+
+	// P1 check: q2 does not contain q1, so its cost is unchanged.
+	if c2m != c2 {
+		t.Fatalf("P1 violated: cost(q2) changed %v -> %v", c2, c2m)
+	}
+
+	// Explicit expectation over Q with f(q1)=0.2, f(q2)=0.3, f(q3)=0.5.
+	f1, f2, f3 := 0.2, 0.3, 0.5
+	costM1 := f1*c1m + f2*c2m + f3*c3m
+	costMNull := f1*c1 + f2*c2 + f3*c3
+
+	// Local formula: f⊆(q1) = f1 + f3.
+	fSub := f1 + f3
+	costSub := fSub * (c1m - c1)
+
+	// Both must agree that m1 is advantageous (negative difference).
+	if (costM1-costMNull >= 0) != (costSub >= 0) {
+		t.Fatalf("Theorem 3.1 sign mismatch: explicit %v, local %v", costM1-costMNull, costSub)
+	}
+	if costSub >= 0 {
+		t.Fatalf("materializing a selective predicate should be beneficial (Cost⊆ = %v)", costSub)
+	}
+	// And the magnitudes should be close (P2 is approximate, not exact).
+	diffExplicit := costM1 - costMNull
+	if relErr := abs(diffExplicit-costSub) / abs(diffExplicit); relErr > 0.75 {
+		t.Fatalf("Theorem 3.1 approximation poor: explicit %v vs local %v (rel err %.2f)",
+			diffExplicit, costSub, relErr)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestLearnerSurvivalUpdates(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	s := selRC(10)
+	before := l.SelectionSurvival(s)
+
+	// The user repeatedly removes this predicate before GO.
+	final := qgraph.New()
+	final.AddRelation("R")
+	for i := 0; i < 20; i++ {
+		l.ObserveFormulation([]qgraph.Selection{s}, nil, final)
+	}
+	after := l.SelectionSurvival(s)
+	if after >= before {
+		t.Fatalf("survival should drop after churn: %v -> %v", before, after)
+	}
+	if after > 0.3 {
+		t.Fatalf("survival %v still high after 20 negative observations", after)
+	}
+
+	// A different column keeps the (higher) global estimate.
+	other := qgraph.Selection{Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(5)}
+	if l.SelectionSurvival(other) <= after {
+		t.Fatal("per-column estimate leaked to other columns")
+	}
+}
+
+func TestLearnerSubgraphProbabilities(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	g := qgraph.New()
+	g.AddJoin(qgraph.NewJoin("R", "a", "S", "a"))
+	g.AddSelection(selRC(10))
+	p := l.SubgraphSurvival(g)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("f⊆ = %v out of (0,1)", p)
+	}
+	// More parts → lower probability.
+	g2 := g.Clone()
+	g2.AddSelection(qgraph.Selection{Rel: "S", Col: "b", Op: tuple.CmpLT, Const: tuple.NewInt(9)})
+	if l.SubgraphSurvival(g2) >= p {
+		t.Fatal("adding parts should lower f⊆")
+	}
+	r := l.SubgraphRetention(g)
+	if r <= 0 || r >= 1 {
+		t.Fatalf("retention %v out of (0,1)", r)
+	}
+}
+
+func TestLearnerRetention(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	g := qgraph.SelectionSubgraph(selRC(10))
+	empty := qgraph.New()
+	empty.AddRelation("R")
+	base := l.SubgraphRetention(g)
+	for i := 0; i < 20; i++ {
+		l.ObserveTransition(g, empty) // selection never retained
+	}
+	if l.SubgraphRetention(g) >= base {
+		t.Fatal("retention should drop")
+	}
+}
+
+func TestLearnerCompletionProbability(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	// Longer manipulations are less likely to finish.
+	pShort := l.CompletionProbability(2, 1)
+	pLong := l.CompletionProbability(2, 60)
+	if pShort <= pLong {
+		t.Fatalf("completion probability not monotone: short=%v long=%v", pShort, pLong)
+	}
+	if pShort <= 0 || pShort > 1 || pLong < 0 || pLong > 1 {
+		t.Fatalf("probabilities out of range: %v, %v", pShort, pLong)
+	}
+	if got := l.CompletionProbability(5, 0); got != 1 {
+		t.Fatalf("zero-duration completion probability %v", got)
+	}
+	// Training on long observed formulations raises completion chances.
+	for i := 0; i < 30; i++ {
+		l.ObserveFormulationDuration(300)
+	}
+	if l.CompletionProbability(2, 60) <= pLong {
+		t.Fatal("training on long think-times should raise completion probability")
+	}
+}
+
+func TestEnumerateManipulations(t *testing.T) {
+	partial := qgraph.New()
+	partial.AddJoin(qgraph.NewJoin("R", "a", "S", "a"))
+	partial.AddSelection(selRC(10))
+	none := func(string) bool { return false }
+
+	ms := EnumerateManipulations(partial, OpsMaterializeOnly(), false, none)
+	if len(ms) != 2 { // one selection + one join subgraph
+		t.Fatalf("enumerated %d manipulations, want 2", len(ms))
+	}
+	ms = EnumerateManipulations(partial, OpsMaterializeOnly(), true, none)
+	if len(ms) != 1 {
+		t.Fatalf("selections-only enumerated %d, want 1", len(ms))
+	}
+	ms = EnumerateManipulations(partial, OpsAll(), false, none)
+	// 2 materializations + 1 index + 1 histogram + 2 stagings.
+	if len(ms) != 6 {
+		t.Fatalf("full ops enumerated %d, want 6", len(ms))
+	}
+	// isKnown filters.
+	ms = EnumerateManipulations(partial, OpsMaterializeOnly(), false, func(k string) bool {
+		return strings.HasPrefix(k, "mat|")
+	})
+	if len(ms) != 0 {
+		t.Fatalf("known filter failed: %d", len(ms))
+	}
+}
+
+func TestCostModelAblationOrdering(t *testing.T) {
+	// Materialization should promise more benefit than histogram creation
+	// for the same selective predicate — the Section 3.2 trade-off.
+	e := newTestEngine(t, 30000)
+	l := NewLearner(DefaultLearnerConfig())
+	cm := &CostModel{Eng: e, Learner: l}
+
+	sel := selRC(20)
+	mat := Manipulation{Kind: ManipMaterialize, Graph: qgraph.SelectionSubgraph(sel)}
+	hist := Manipulation{Kind: ManipHistogram, Graph: qgraph.SelectionSubgraph(sel), Rel: "R", Col: "c"}
+	if err := cm.Score(&mat, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Score(&hist, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mat.Benefit <= hist.Benefit {
+		t.Fatalf("materialize benefit %v not above histogram benefit %v", mat.Benefit, hist.Benefit)
+	}
+	if mat.EstDuration <= 0 {
+		t.Fatalf("estimated duration %v", mat.EstDuration)
+	}
+}
+
+func TestCostModelLookaheadIncreasesBenefit(t *testing.T) {
+	e := newTestEngine(t, 30000)
+	l := NewLearner(DefaultLearnerConfig())
+	sel := selRC(20)
+
+	score := func(lookahead int) sim.Duration {
+		cm := &CostModel{Eng: e, Learner: l, Lookahead: lookahead}
+		m := Manipulation{Kind: ManipMaterialize, Graph: qgraph.SelectionSubgraph(sel)}
+		if err := cm.Score(&m, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m.Benefit
+	}
+	if score(3) <= score(0) {
+		t.Fatal("lookahead should increase expected benefit via reuse")
+	}
+}
+
+func TestCompletionRiskLowersBenefit(t *testing.T) {
+	e := newTestEngine(t, 30000)
+	l := NewLearner(DefaultLearnerConfig())
+	sel := selRC(20)
+	with := &CostModel{Eng: e, Learner: l, UseCompletionRisk: true}
+	without := &CostModel{Eng: e, Learner: l}
+	mw := Manipulation{Kind: ManipMaterialize, Graph: qgraph.SelectionSubgraph(sel)}
+	mo := Manipulation{Kind: ManipMaterialize, Graph: qgraph.SelectionSubgraph(sel)}
+	if err := with.Score(&mw, 30); err != nil { // 30 s into formulation already
+		t.Fatal(err)
+	}
+	if err := without.Score(&mo, 30); err != nil {
+		t.Fatal(err)
+	}
+	if mw.Benefit >= mo.Benefit {
+		t.Fatalf("completion risk should lower benefit: %v vs %v", mw.Benefit, mo.Benefit)
+	}
+}
+
+func TestManipulationKeysAndStrings(t *testing.T) {
+	g := qgraph.SelectionSubgraph(selRC(1))
+	ms := []Manipulation{
+		{Kind: ManipMaterialize, Graph: g},
+		{Kind: ManipIndex, Graph: g, Rel: "R", Col: "c"},
+		{Kind: ManipHistogram, Graph: g, Rel: "R", Col: "c"},
+		{Kind: ManipStage, Graph: g, Rel: "R"},
+		{Kind: ManipNull},
+	}
+	keys := map[string]bool{}
+	for _, m := range ms {
+		if m.String() == "" || m.Key() == "" {
+			t.Fatalf("empty key/string for %v", m.Kind)
+		}
+		if keys[m.Key()] {
+			t.Fatalf("duplicate key %q", m.Key())
+		}
+		keys[m.Key()] = true
+	}
+}
+
+func TestWaitForCompletionAtGo(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	cfg := DefaultConfig()
+	cfg.WaitForCompletion = true
+	sp := newSpec(e, cfg)
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := out.Issued
+	if job == nil {
+		t.Fatal("no job issued")
+	}
+	// GO arrives just before completion: the job is worth more than the
+	// remaining wait, so the speculator waits and uses it.
+	goAt := job.CompletesAt - sim.Time(sim.DurationFromSeconds(0.01))
+	res, goOut, err := sp.OnGo(goAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goOut.Canceled != job {
+		t.Fatal("harness must be told to unschedule the original completion")
+	}
+	if sp.Stats().WaitedAtGo != 1 || sp.Stats().CanceledAtGo != 0 {
+		t.Fatalf("stats %+v", sp.Stats())
+	}
+	if !strings.Contains(plan.Explain(res.Plan), job.tableName) {
+		t.Fatalf("final query did not use the awaited materialization:\n%s", plan.Explain(res.Plan))
+	}
+	// The reported duration includes the wait.
+	bare, err := e.RunGraph(qgraph.SelectionSubgraph(selRC(18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < bare.Duration {
+		t.Fatalf("duration %v should include the wait (bare rewritten run %v)", res.Duration, bare.Duration)
+	}
+}
+
+func TestWaitForCompletionSkipsLongWaits(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	if err := e.ColdStart(); err != nil {
+		t.Fatal(err) // cold pool: the manipulation pays full I/O
+	}
+	cfg := DefaultConfig()
+	cfg.WaitForCompletion = true
+	sp := newSpec(e, cfg)
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil {
+		t.Fatal("no job issued")
+	}
+	// GO immediately: almost the whole manipulation remains; waiting would
+	// cost more than the benefit, so the conservative cancel applies.
+	_, goOut, err := sp.OnGo(sim.FromSeconds(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goOut.Canceled == nil || sp.Stats().CanceledAtGo != 1 || sp.Stats().WaitedAtGo != 0 {
+		t.Fatalf("expected cancel, stats %+v", sp.Stats())
+	}
+}
+
+func TestSuspendWhenBusy(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	cfg := DefaultConfig()
+	cfg.SuspendWhenBusy = 2
+	sp := newSpec(e, cfg)
+
+	e.ActiveJobs = 2 // server busy: speculation suspends
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued != nil {
+		t.Fatal("issued while server busy")
+	}
+	if sp.Stats().Suspended == 0 {
+		t.Fatal("suspension not counted")
+	}
+
+	e.ActiveJobs = 0 // load fell below the threshold: speculation resumes
+	out, err = sp.OnEvent(evAddSel(qgraph.Selection{
+		Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(100),
+	}), sim.FromSeconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil {
+		t.Fatal("did not resume after load dropped")
+	}
+}
+
+func TestSpeculatorIndexFamily(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	if err := e.ColdStart(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Ops = OpSet{Index: true}
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+
+	// W.d is nearly unique: indexing it benefits an equality predicate.
+	sel := qgraph.Selection{Rel: "W", Col: "d", Op: tuple.CmpEQ, Const: tuple.NewInt(777)}
+	out, err := sp.OnEvent(evAddSel(sel), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil || out.Issued.Manip.Kind != ManipIndex {
+		t.Fatalf("expected index creation, got %+v", out.Issued)
+	}
+	wt, _ := e.Catalog.Table("W")
+	if wt.Index("d") != nil {
+		t.Fatal("index visible before completion")
+	}
+	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	if wt.Index("d") == nil {
+		t.Fatal("index not installed on completion")
+	}
+	res, _, err := sp.OnGo(out.Issued.CompletesAt.Add(sim.DurationFromSeconds(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(res.Plan), "IndexScan") {
+		t.Fatalf("final query ignored the speculative index:\n%s", plan.Explain(res.Plan))
+	}
+}
+
+func TestSpeculatorIndexCancelDropsPages(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	if err := e.ColdStart(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Ops = OpSet{Index: true}
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+	sel := qgraph.Selection{Rel: "W", Col: "d", Op: tuple.CmpEQ, Const: tuple.NewInt(777)}
+	out, err := sp.OnEvent(evAddSel(sel), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil {
+		t.Fatal("no index job issued")
+	}
+	pagesBefore := e.Disk.Allocated()
+	out2, err := sp.OnEvent(evRemoveSel(sel), sim.FromSeconds(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Canceled == nil {
+		t.Fatal("index job not canceled on invalidation")
+	}
+	if e.Disk.Allocated() >= pagesBefore {
+		t.Fatalf("canceled index did not free pages: %d -> %d", pagesBefore, e.Disk.Allocated())
+	}
+}
+
+func TestSpeculatorHistogramFamily(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	cfg := DefaultConfig()
+	cfg.Ops = OpSet{Histogram: true}
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+
+	sel := qgraph.Selection{Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(500)}
+	out, err := sp.OnEvent(evAddSel(sel), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil || out.Issued.Manip.Kind != ManipHistogram {
+		t.Fatalf("expected histogram creation, got %+v", out.Issued)
+	}
+	wt, _ := e.Catalog.Table("W")
+	if wt.ColumnStats("d").Hist != nil {
+		t.Fatal("histogram visible before completion")
+	}
+	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	if wt.ColumnStats("d").Hist == nil {
+		t.Fatal("histogram not installed on completion")
+	}
+	// Re-enumeration must not propose the same histogram again.
+	out2, err := sp.OnEvent(evAddSel(qgraph.Selection{
+		Rel: "W", Col: "d", Op: tuple.CmpGT, Const: tuple.NewInt(100),
+	}), sim.FromSeconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Issued != nil && out2.Issued.Manip.Kind == ManipHistogram && out2.Issued.Manip.Col == "d" {
+		t.Fatal("duplicate histogram issued")
+	}
+}
+
+func TestSpeculatorStageFamily(t *testing.T) {
+	e := newTestEngine(t, 20000)
+	if err := e.ColdStart(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Ops = OpSet{Stage: true}
+	cfg.MinBenefit = 0
+	sp := newSpec(e, cfg)
+
+	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == nil || out.Issued.Manip.Kind != ManipStage {
+		t.Fatalf("expected staging, got %+v", out.Issued)
+	}
+	if e.Pool.StagedCount() == 0 {
+		t.Fatal("no pages staged")
+	}
+	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+		t.Fatal(err)
+	}
+	// GC on relation removal unstages.
+	if _, err := sp.OnEvent(evRemoveSel(selRC(18)), sim.FromSeconds(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.OnEvent(trace.Event{Kind: trace.EvRemoveRelation, Rel: "R"}, sim.FromSeconds(2)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pool.StagedCount() != 0 {
+		t.Fatalf("%d pages still staged after relation left the canvas", e.Pool.StagedCount())
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+
+	"specdb/internal/engine"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// CostModel evaluates manipulations with the local formula of Theorem 3.1:
+//
+//	Cost⊆(m) = f⊆(qm) × (cost(qm, m) − cost(qm, m∅))
+//
+// which is negative (beneficial) when answering qm from the materialized
+// result is cheaper than computing it from scratch. We report the negated
+// quantity as Benefit, extended with the Section 3.3 multi-query lookahead
+// (expected reuse across the next n queries) and a completion-risk factor
+// from the Learner's think-time model.
+type CostModel struct {
+	Eng     *engine.Engine
+	Learner *Learner
+	// Lookahead is the number of future queries n whose expected reuse adds
+	// to the benefit (0 reproduces the single-query formula (2)).
+	Lookahead int
+	// UseCompletionRisk multiplies benefits by the probability that the
+	// manipulation completes before GO.
+	UseCompletionRisk bool
+	// MinCompletionProb, with UseCompletionRisk, skips manipulations that
+	// are too unlikely to finish before GO: issuing them would occupy the
+	// single manipulation slot (Section 3.1's third convention) that a
+	// cheaper, completable manipulation could use.
+	MinCompletionProb float64
+	// RiskAversion discounts the benefit by a fraction of the post-
+	// materialization access cost. Properties P1/P2 are approximations
+	// (Section 3.3): a forced rewrite can lose in the final query's context
+	// even when the local formula says it wins — most often for wide,
+	// unselective join materializations that displace indexed base
+	// relations (the paper's own penalty mechanism, Section 6.1). The risk
+	// term makes the Speculator conservative about exactly those.
+	RiskAversion float64
+	// CompressionThreshold gates materializations on actually shrinking
+	// their inputs: the estimated result pages must be at most this
+	// fraction of the source relations' pages. The paper's Section 1
+	// example is explicit that the win is the 1/f I/O reduction of reading
+	// a selective result instead of its inputs; a materialization that is
+	// as large as its inputs (a raw FK join, an unselective predicate)
+	// cannot deliver it and only displaces indexed access paths. 0 disables
+	// the gate; DefaultConfig uses 0.65.
+	CompressionThreshold float64
+}
+
+// Score fills m.EstDuration and m.Benefit. elapsedFormulation is how long
+// the current formulation has been running (seconds), for completion risk.
+func (cm *CostModel) Score(m *Manipulation, elapsedFormulation float64) error {
+	var base, after, duration sim.Duration
+	switch m.Kind {
+	case ManipMaterialize:
+		node, err := cm.Eng.PlanGraph(m.Graph)
+		if err != nil {
+			return err
+		}
+		if cm.CompressionThreshold > 0 {
+			sourcePages := 0.0
+			for _, rel := range m.Graph.Relations() {
+				if t, err := cm.Eng.Catalog.Table(rel); err == nil {
+					sourcePages += float64(t.NumPages())
+				}
+			}
+			if cm.estimatePages(m.Graph, node.Rows()) > cm.CompressionThreshold*sourcePages {
+				m.EstDuration, m.Benefit = 0, 0
+				return nil
+			}
+		}
+		base = node.Cost()
+		after = cm.scanCostAfterMaterialize(m.Graph, node.Rows())
+		duration = cm.materializeDuration(m.Graph, node.Cost(), node.Rows())
+	case ManipIndex:
+		base, after, duration = cm.indexDeltas(m)
+	case ManipHistogram:
+		base, after, duration = cm.histogramDeltas(m)
+	case ManipStage:
+		base, after, duration = cm.stageDeltas(m)
+	default:
+		m.EstDuration, m.Benefit = 0, 0
+		return nil
+	}
+	m.EstDuration = duration
+
+	saving := base - after
+	if saving <= 0 {
+		m.Benefit = 0
+		return nil
+	}
+	f := cm.Learner.SubgraphSurvival(m.Graph)
+	m.SingleBenefit = sim.Duration(f * float64(saving))
+	benefit := f*float64(saving) - cm.RiskAversion*float64(after)
+	if benefit <= 0 {
+		m.Benefit = 0
+		return nil
+	}
+
+	if cm.Lookahead > 0 {
+		r := cm.Learner.SubgraphRetention(m.Graph)
+		reuse := 0.0
+		for i := 1; i <= cm.Lookahead; i++ {
+			reuse += math.Pow(r, float64(i))
+		}
+		benefit *= 1 + reuse
+	}
+	if cm.UseCompletionRisk {
+		p := cm.Learner.CompletionProbability(elapsedFormulation, duration.Seconds())
+		if p < cm.MinCompletionProb {
+			m.Benefit = 0
+			return nil
+		}
+		benefit *= p
+	}
+	m.Benefit = sim.Duration(benefit)
+	return nil
+}
+
+// scanCostAfterMaterialize estimates cost(qm, m): scanning the materialized
+// result instead of computing qm. Row width is estimated from the source
+// relations' storage footprints.
+func (cm *CostModel) scanCostAfterMaterialize(g *qgraph.Graph, rows float64) sim.Duration {
+	pages := cm.estimatePages(g, rows)
+	rates := cm.Eng.Rates()
+	return sim.Duration(pages)*rates.PageRead + sim.Duration(rows)*rates.Tuple
+}
+
+// materializeDuration estimates how long the manipulation runs: executing
+// qm plus writing and analyzing the result.
+func (cm *CostModel) materializeDuration(g *qgraph.Graph, execCost sim.Duration, rows float64) sim.Duration {
+	pages := cm.estimatePages(g, rows)
+	rates := cm.Eng.Rates()
+	writeCost := sim.Duration(pages) * rates.PageWrite
+	analyzeCost := sim.Duration(pages)*rates.PageRead + sim.Duration(rows)*rates.Tuple
+	return execCost + writeCost + analyzeCost
+}
+
+// estimatePages converts an estimated row count for sub-query g into pages,
+// using the combined row width of g's relations.
+func (cm *CostModel) estimatePages(g *qgraph.Graph, rows float64) float64 {
+	bytesPerRow := 0.0
+	for _, rel := range g.Relations() {
+		t, err := cm.Eng.Catalog.Table(rel)
+		if err != nil || t.RowCount() == 0 {
+			bytesPerRow += 64
+			continue
+		}
+		bytesPerRow += float64(t.NumPages()) * float64(cm.Eng.Disk.PageSize()) / float64(t.RowCount())
+	}
+	if bytesPerRow <= 0 {
+		bytesPerRow = 64
+	}
+	pages := rows * bytesPerRow / float64(cm.Eng.Disk.PageSize())
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// indexDeltas prices index creation: the benefit is the selection sub-query
+// running through an index scan instead of its current plan.
+func (cm *CostModel) indexDeltas(m *Manipulation) (base, after, duration sim.Duration) {
+	t, err := cm.Eng.Catalog.Table(m.Rel)
+	if err != nil {
+		return 0, 0, 0
+	}
+	node, err := cm.Eng.PlanGraph(m.Graph)
+	if err != nil {
+		return 0, 0, 0
+	}
+	base = node.Cost()
+	rates := cm.Eng.Rates()
+	match := node.Rows()
+	// Index scan estimate: descent + unclustered fetches (capped).
+	fetch := match
+	if cap := 2 * float64(t.NumPages()); fetch > cap {
+		fetch = cap
+	}
+	after = sim.Duration(3+fetch)*rates.PageRead + sim.Duration(match)*rates.Tuple
+	// Build: scan + sort + write ≈ one read pass plus one write pass of
+	// key-sized pages (≈ 1/4 of the heap).
+	n := float64(t.RowCount())
+	duration = sim.Duration(t.NumPages())*rates.PageRead +
+		sim.Duration(n*2)*rates.Tuple +
+		sim.Duration(float64(t.NumPages())/4+1)*rates.PageWrite
+	return base, after, duration
+}
+
+// histogramDeltas prices histogram creation. Its benefit — better optimizer
+// estimates — cannot be measured against a specific plan, so it is priced
+// with a small generic improvement factor; the paper reaches the same
+// conclusion experimentally (Section 3.2): low cost, low and diffuse payoff.
+func (cm *CostModel) histogramDeltas(m *Manipulation) (base, after, duration sim.Duration) {
+	t, err := cm.Eng.Catalog.Table(m.Rel)
+	if err != nil {
+		return 0, 0, 0
+	}
+	if cs := t.ColumnStats(m.Col); cs != nil && cs.Hist != nil {
+		return 0, 0, 0 // already present: no benefit
+	}
+	node, err := cm.Eng.PlanGraph(m.Graph)
+	if err != nil {
+		return 0, 0, 0
+	}
+	const improvementFactor = 0.05
+	base = node.Cost()
+	after = sim.Duration(float64(base) * (1 - improvementFactor))
+	rates := cm.Eng.Rates()
+	duration = sim.Duration(t.NumPages())*rates.PageRead + sim.Duration(t.RowCount())*rates.Tuple
+	return base, after, duration
+}
+
+// stageDeltas prices data staging: pre-reading a relation's pages saves
+// exactly those reads for the final query, bounded by the staging budget.
+func (cm *CostModel) stageDeltas(m *Manipulation) (base, after, duration sim.Duration) {
+	t, err := cm.Eng.Catalog.Table(m.Rel)
+	if err != nil {
+		return 0, 0, 0
+	}
+	pages := t.NumPages()
+	budget := cm.Eng.Pool.Capacity() / 2
+	if pages > budget {
+		pages = budget
+	}
+	// Count only pages not already resident.
+	missing := 0
+	for i, id := range t.Heap.PageIDs() {
+		if i >= pages {
+			break
+		}
+		if !cm.Eng.Pool.Contains(storage.PageID(id)) {
+			missing++
+		}
+	}
+	rates := cm.Eng.Rates()
+	saved := sim.Duration(missing) * rates.PageRead
+	base = saved
+	after = 0
+	duration = saved
+	return base, after, duration
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+// Property: every learner estimate is a probability, regardless of the
+// observation sequence.
+func TestLearnerEstimatesAreProbabilities(t *testing.T) {
+	f := func(seed uint64, observations uint16) bool {
+		r := sim.NewRand(seed)
+		l := NewLearner(DefaultLearnerConfig())
+		sel := qgraph.Selection{Rel: "R", Col: "c", Op: tuple.CmpGT, Const: tuple.NewInt(1)}
+		join := qgraph.NewJoin("R", "a", "S", "a")
+		final := qgraph.New()
+		final.AddRelation("R")
+
+		n := int(observations%200) + 1
+		for i := 0; i < n; i++ {
+			kept := qgraph.New()
+			if r.Float64() < 0.5 {
+				kept.AddSelection(sel)
+			}
+			if r.Float64() < 0.5 {
+				kept.AddJoin(join)
+			}
+			l.ObserveFormulation([]qgraph.Selection{sel}, []qgraph.Join{join}, kept)
+			l.ObserveTransition(kept, final)
+			l.ObserveFormulationDuration(r.Float64()*100 + 0.1)
+		}
+		g := qgraph.New()
+		g.AddSelection(sel)
+		g.AddJoin(join)
+		checks := []float64{
+			l.SelectionSurvival(sel),
+			l.JoinSurvival(join),
+			l.SubgraphSurvival(g),
+			l.SubgraphRetention(g),
+			l.CompletionProbability(r.Float64()*60, r.Float64()*60),
+		}
+		for _, p := range checks {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: survival estimates converge toward observed frequencies.
+func TestLearnerConvergence(t *testing.T) {
+	for _, target := range []float64{0.1, 0.5, 0.9} {
+		l := NewLearner(DefaultLearnerConfig())
+		r := sim.NewRand(uint64(target * 1000))
+		sel := qgraph.Selection{Rel: "R", Col: "c", Op: tuple.CmpGT, Const: tuple.NewInt(1)}
+		for i := 0; i < 400; i++ {
+			final := qgraph.New()
+			final.AddRelation("R")
+			if r.Float64() < target {
+				final.AddSelection(sel)
+			}
+			l.ObserveFormulation([]qgraph.Selection{sel}, nil, final)
+		}
+		got := l.SelectionSurvival(sel)
+		if got < target-0.17 || got > target+0.17 {
+			t.Fatalf("target %.1f: estimate %.3f did not converge", target, got)
+		}
+	}
+}
+
+// Property: the exponential decay weights recent behaviour more: after a
+// regime change, the estimate tracks the new regime.
+func TestLearnerAdaptsToRegimeChange(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	sel := qgraph.Selection{Rel: "R", Col: "c", Op: tuple.CmpGT, Const: tuple.NewInt(1)}
+	keep := qgraph.New()
+	keep.AddSelection(sel)
+	drop := qgraph.New()
+	drop.AddRelation("R")
+
+	for i := 0; i < 200; i++ { // old regime: always survives
+		l.ObserveFormulation([]qgraph.Selection{sel}, nil, keep)
+	}
+	high := l.SelectionSurvival(sel)
+	for i := 0; i < 100; i++ { // new regime: never survives
+		l.ObserveFormulation([]qgraph.Selection{sel}, nil, drop)
+	}
+	low := l.SelectionSurvival(sel)
+	if high < 0.9 || low > 0.25 {
+		t.Fatalf("regime change not tracked: %.3f -> %.3f", high, low)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+)
+
+// ManipKind enumerates the operation families of Section 3.2.
+type ManipKind uint8
+
+// Manipulation kinds, in the paper's order of increasing cost, potential
+// impact, and specificity: data staging, histogram creation, index creation,
+// query materialization / query rewriting (the last two differ only in
+// whether the optimizer is forced to use the result).
+const (
+	ManipNull ManipKind = iota
+	ManipStage
+	ManipHistogram
+	ManipIndex
+	ManipMaterialize
+)
+
+// String names the kind.
+func (k ManipKind) String() string {
+	switch k {
+	case ManipNull:
+		return "null"
+	case ManipStage:
+		return "stage"
+	case ManipHistogram:
+		return "histogram"
+	case ManipIndex:
+		return "index"
+	case ManipMaterialize:
+		return "materialize"
+	default:
+		return "?"
+	}
+}
+
+// OpSet selects which manipulation families the Speculator may issue.
+type OpSet struct {
+	Materialize bool
+	Index       bool
+	Histogram   bool
+	Stage       bool
+}
+
+// OpsMaterializeOnly is the paper's main configuration: Section 3.2 verifies
+// experimentally that materialization/rewriting dominate, and the evaluation
+// uses them exclusively.
+func OpsMaterializeOnly() OpSet { return OpSet{Materialize: true} }
+
+// OpsAll enables every family (the A1 ablation).
+func OpsAll() OpSet { return OpSet{Materialize: true, Index: true, Histogram: true, Stage: true} }
+
+// Manipulation is one alternative the Speculator can issue.
+type Manipulation struct {
+	Kind ManipKind
+	// Graph is the materialized sub-query (ManipMaterialize), or the
+	// sub-query whose survival probability gates the benefit (index,
+	// histogram, staging use the selection edge / relation sub-graph).
+	Graph *qgraph.Graph
+	// Rel/Col locate index, histogram, and staging targets.
+	Rel, Col string
+
+	// Scoring outputs, filled by the cost model:
+	// EstDuration is the predicted execution time of the manipulation.
+	EstDuration sim.Duration
+	// Benefit is Cost⊆(m∅) − Cost⊆(m) ≥ 0: the expected saving on future
+	// query execution (already weighted by f⊆, reuse, and completion risk).
+	Benefit sim.Duration
+	// SingleBenefit is the expected saving on the imminent final query
+	// alone: f⊆ × (cost(qm,m∅) − cost(qm,m)), with no reuse or completion
+	// weighting. The wait-for-completion rule compares the remaining
+	// execution time against this.
+	SingleBenefit sim.Duration
+}
+
+// Key identifies the manipulation for dedup against running/completed work.
+func (m Manipulation) Key() string {
+	switch m.Kind {
+	case ManipMaterialize:
+		return "mat|" + m.Graph.Key()
+	case ManipIndex:
+		return "idx|" + m.Rel + "." + m.Col
+	case ManipHistogram:
+		return "hist|" + m.Rel + "." + m.Col
+	case ManipStage:
+		return "stage|" + m.Rel
+	default:
+		return "null"
+	}
+}
+
+// String renders the manipulation for logs.
+func (m Manipulation) String() string {
+	switch m.Kind {
+	case ManipMaterialize:
+		return fmt.Sprintf("materialize %v", m.Graph)
+	case ManipIndex:
+		return fmt.Sprintf("create index on %s.%s", m.Rel, m.Col)
+	case ManipHistogram:
+		return fmt.Sprintf("create histogram on %s.%s", m.Rel, m.Col)
+	case ManipStage:
+		return fmt.Sprintf("stage %s", m.Rel)
+	default:
+		return "null manipulation"
+	}
+}
+
+// EnumerateManipulations generates the manipulation space M for the current
+// partial query, per Section 3.5: materializations of individual selection
+// edges and of individual join edges enhanced with all attached selections —
+// never arbitrary sub-queries. isKnown filters out work that is already
+// running or completed (by Key). selectionsOnly restricts to selection
+// materializations (the Section 6.3 multi-user strategy). Other families are
+// gated by ops.
+func EnumerateManipulations(partial *qgraph.Graph, ops OpSet, selectionsOnly bool, isKnown func(string) bool) []Manipulation {
+	var out []Manipulation
+	add := func(m Manipulation) {
+		if !isKnown(m.Key()) {
+			out = append(out, m)
+		}
+	}
+	if ops.Materialize {
+		for _, s := range partial.Selections() {
+			add(Manipulation{Kind: ManipMaterialize, Graph: qgraph.SelectionSubgraph(s)})
+		}
+		if !selectionsOnly {
+			for _, j := range partial.Joins() {
+				add(Manipulation{Kind: ManipMaterialize, Graph: qgraph.JoinSubgraph(partial, j)})
+			}
+		}
+	}
+	if ops.Index {
+		for _, s := range partial.Selections() {
+			add(Manipulation{
+				Kind:  ManipIndex,
+				Graph: qgraph.SelectionSubgraph(s),
+				Rel:   s.Rel, Col: s.Col,
+			})
+		}
+	}
+	if ops.Histogram {
+		for _, s := range partial.Selections() {
+			add(Manipulation{
+				Kind:  ManipHistogram,
+				Graph: qgraph.SelectionSubgraph(s),
+				Rel:   s.Rel, Col: s.Col,
+			})
+		}
+	}
+	if ops.Stage {
+		for _, rel := range partial.Relations() {
+			g := qgraph.New()
+			g.AddRelation(rel)
+			add(Manipulation{Kind: ManipStage, Graph: g, Rel: rel})
+		}
+	}
+	return out
+}

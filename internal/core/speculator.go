@@ -1,0 +1,600 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"specdb/internal/catalog"
+	"specdb/internal/engine"
+	"specdb/internal/plan"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/stats"
+	"specdb/internal/trace"
+)
+
+// Config tunes one Speculator instance.
+type Config struct {
+	// Forced selects query-rewriting semantics (completed materializations
+	// MUST be used by the final query) versus query-materialization (they
+	// are an option for the optimizer). The paper's evaluation uses
+	// rewriting (Section 4.2).
+	Forced bool
+	// Ops selects the manipulation families (default: materialize only,
+	// matching the paper's evaluation).
+	Ops OpSet
+	// SelectionsOnly restricts enumeration to selection materializations —
+	// the modified multi-user strategy of Section 6.3.
+	SelectionsOnly bool
+	// Lookahead is the cost model's future-query depth n (Section 3.3).
+	Lookahead int
+	// UseCompletionRisk weighs benefits by the probability of completing
+	// before GO.
+	UseCompletionRisk bool
+	// MinCompletionProb skips manipulations too unlikely to finish in time
+	// (see CostModel.MinCompletionProb).
+	MinCompletionProb float64
+	// MinBenefit is the issuing threshold: manipulations whose expected
+	// saving is below it are not worth the risk.
+	MinBenefit sim.Duration
+	// RiskAversion is the cost model's conservatism against P1/P2
+	// approximation error (see CostModel.RiskAversion).
+	RiskAversion float64
+	// CompressionThreshold gates materializations on shrinking their
+	// inputs (see CostModel.CompressionThreshold).
+	CompressionThreshold float64
+	// NamePrefix prefixes speculative table names (unique per user in
+	// multi-user runs).
+	NamePrefix string
+	// WaitForCompletion implements the paper's Section 7 proposal: when GO
+	// arrives while a manipulation is still running, compare the remaining
+	// time to the manipulation's expected benefit and, if waiting is
+	// cheaper, delay the final query until the manipulation completes and
+	// use its result — instead of the conservative always-cancel default.
+	WaitForCompletion bool
+	// SuspendWhenBusy, when positive, suspends speculation while at least
+	// that many other jobs are active on the server — the paper's Section 7
+	// load-aware proposal for multi-user settings. 0 disables suspension.
+	SuspendWhenBusy int
+}
+
+// DefaultConfig is the paper's main experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		Forced:               true,
+		Ops:                  OpsMaterializeOnly(),
+		Lookahead:            3,
+		UseCompletionRisk:    true,
+		MinCompletionProb:    0.15,
+		MinBenefit:           200 * time.Millisecond,
+		RiskAversion:         0.35,
+		CompressionThreshold: 0.65,
+		NamePrefix:           "spec",
+	}
+}
+
+// Stats counts the Speculator's activity across a session.
+type Stats struct {
+	Issued    int
+	Completed int
+	// CanceledInvalidated were canceled because the partial query changed;
+	// CanceledAtGo were still running when the final query arrived.
+	CanceledInvalidated int
+	CanceledAtGo        int
+	// WaitedAtGo counts final queries delayed until an almost-finished
+	// manipulation completed (the WaitForCompletion extension).
+	WaitedAtGo int
+	// Suspended counts issue opportunities skipped because the server was
+	// busy (the SuspendWhenBusy extension).
+	Suspended int
+	// MaterializationsIssued and MaterializationTime give the average
+	// materialization duration the paper reports per dataset size.
+	MaterializationsIssued int
+	MaterializationTime    sim.Duration
+	// GarbageCollected counts completed materializations dropped because
+	// the partial query stopped containing them.
+	GarbageCollected int
+}
+
+// Job is one asynchronous manipulation in flight. The engine executed it
+// eagerly (side effects hidden); the harness schedules Complete at
+// CompletesAt, or Cancel beforehand.
+type Job struct {
+	Manip       Manipulation
+	IssuedAt    sim.Time
+	CompletesAt sim.Time
+
+	// Hidden side effects, finalized by Complete or undone by Cancel.
+	tableName string
+	index     *catalog.Index
+	histogram *stats.Histogram
+}
+
+// EventOutcome reports what an interface event made the Speculator do.
+type EventOutcome struct {
+	// Canceled is the job invalidated by this event, if any; the harness
+	// must drop its scheduled completion.
+	Canceled *Job
+	// Issued is the newly issued job, if any; the harness must schedule its
+	// completion at Issued.CompletesAt.
+	Issued *Job
+}
+
+// Speculator is the central component of the speculation subsystem
+// (Figure 3): it tracks the partial query, asks the Cost Model to price the
+// Manipulation Space, issues the best manipulation asynchronously, enforces
+// the paper's three conventions (cancel on invalidation and at GO; garbage-
+// collect results the partial query no longer indicates useful; at most one
+// outstanding manipulation), and answers final queries on the prepared
+// database.
+type Speculator struct {
+	eng     *engine.Engine
+	learner *Learner
+	cm      *CostModel
+	cfg     Config
+
+	partial *qgraph.Graph
+	projs   []string
+
+	formStart   sim.Time
+	formStarted bool
+	seenSels    map[string]qgraph.Selection
+	seenJoins   map[string]qgraph.Join
+	prevFinal   *qgraph.Graph
+
+	outstanding *Job
+	// completed materializations by graph key → speculative table name.
+	completed map[string]string
+	// stagedRels tracks data-staging results for garbage collection.
+	stagedRels map[string]bool
+
+	stats Stats
+}
+
+// NewSpeculator attaches a speculation subsystem to an engine.
+func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator {
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "spec"
+	}
+	return &Speculator{
+		eng:     eng,
+		learner: learner,
+		cm: &CostModel{
+			Eng:                  eng,
+			Learner:              learner,
+			Lookahead:            cfg.Lookahead,
+			UseCompletionRisk:    cfg.UseCompletionRisk,
+			MinCompletionProb:    cfg.MinCompletionProb,
+			RiskAversion:         cfg.RiskAversion,
+			CompressionThreshold: cfg.CompressionThreshold,
+		},
+		cfg:        cfg,
+		partial:    qgraph.New(),
+		seenSels:   make(map[string]qgraph.Selection),
+		seenJoins:  make(map[string]qgraph.Join),
+		completed:  make(map[string]string),
+		stagedRels: make(map[string]bool),
+	}
+}
+
+// Stats reports session counters.
+func (sp *Speculator) Stats() Stats { return sp.stats }
+
+// Partial exposes the tracked partial query (for tests and diagnostics).
+func (sp *Speculator) Partial() *qgraph.Graph { return sp.partial }
+
+// Learner exposes the user profile.
+func (sp *Speculator) Learner() *Learner { return sp.learner }
+
+// OnEvent processes one non-GO interface event at simulated time now. It
+// updates the partial query, cancels an invalidated outstanding job, garbage-
+// collects stale materializations, and — if the slot is free — issues the
+// best-scoring manipulation.
+func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error) {
+	var out EventOutcome
+	if ev.Kind == trace.EvGo {
+		return out, fmt.Errorf("core: GO events go to OnGo")
+	}
+	if !sp.formStarted {
+		sp.formStarted = true
+		sp.formStart = now
+	}
+	if err := sp.apply(ev); err != nil {
+		return out, err
+	}
+
+	// Convention 1: cancel a manipulation whose benefit disappeared.
+	if sp.outstanding != nil && !sp.stillUseful(sp.outstanding.Manip) {
+		sp.cancel(sp.outstanding)
+		sp.stats.CanceledInvalidated++
+		out.Canceled = sp.outstanding
+		sp.outstanding = nil
+	}
+	// Convention 2: garbage-collect completed results the partial query no
+	// longer indicates useful.
+	if err := sp.collectGarbage(); err != nil {
+		return out, err
+	}
+	// Convention 3: at most one outstanding manipulation.
+	if sp.outstanding == nil {
+		job, err := sp.maybeIssue(now)
+		if err != nil {
+			return out, err
+		}
+		out.Issued = job
+	}
+	return out, nil
+}
+
+// Complete finalizes a job at its completion time, making its results
+// visible to the optimizer, and — the slot now being free — may issue the
+// next manipulation for the current partial query.
+func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
+	if sp.outstanding != job {
+		return nil, fmt.Errorf("core: completing a job that is not outstanding")
+	}
+	sp.outstanding = nil
+	switch job.Manip.Kind {
+	case ManipMaterialize:
+		if err := sp.eng.Catalog.RegisterView(job.tableName, job.Manip.Graph, sp.cfg.Forced); err != nil {
+			return nil, err
+		}
+		sp.completed[job.Manip.Graph.Key()] = job.tableName
+	case ManipIndex:
+		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
+		if err != nil {
+			return nil, err
+		}
+		t.Indexes[job.Manip.Col] = job.index
+	case ManipHistogram:
+		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if cs := t.ColumnStats(job.Manip.Col); cs != nil {
+			cs.Hist = job.histogram
+		}
+	case ManipStage:
+		sp.stagedRels[job.Manip.Rel] = true
+	}
+	sp.stats.Completed++
+	// Keep preparing: the slot is free and the user is still thinking (or
+	// viewing results — either way the canvas indicates what comes next).
+	return sp.maybeIssue(now)
+}
+
+// OnGo handles the final query: any in-flight manipulation is canceled
+// (convention: the paper's conservative approach), the final query runs on
+// the prepared database (completed materializations rewrite it), and the
+// Learner trains on the observed formulation. The canvas still shows the
+// query while the user views results, so the Speculator keeps preparing:
+// the returned outcome may carry a freshly issued manipulation for the next
+// query ("…or even queries further into the future", paper abstract).
+func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
+	var out EventOutcome
+	var waited sim.Duration
+	if sp.outstanding != nil {
+		job := sp.outstanding
+		remaining := job.CompletesAt.Sub(now)
+		if sp.cfg.WaitForCompletion && remaining > 0 && remaining < job.Manip.SingleBenefit {
+			// Section 7 extension: the manipulation is worth more than the
+			// wait costs; let it finish and use it for this very query.
+			out.Canceled = job // the harness must unschedule its completion
+			next, err := sp.Complete(job, job.CompletesAt)
+			if err != nil {
+				return nil, out, err
+			}
+			if next != nil {
+				out.Issued = next
+			}
+			waited = remaining
+			sp.stats.WaitedAtGo++
+		} else {
+			sp.cancel(job)
+			sp.stats.CanceledAtGo++
+			out.Canceled = job
+			sp.outstanding = nil
+		}
+	}
+	if sp.partial.IsEmpty() {
+		return nil, out, fmt.Errorf("core: GO with empty partial query")
+	}
+	final := sp.partial.Clone()
+
+	q, err := plan.BindGraphProjections(sp.eng.Catalog, final, sp.projs)
+	if err != nil {
+		return nil, out, err
+	}
+	res, err := sp.eng.RunQuery(q)
+	if err != nil {
+		return nil, out, err
+	}
+	res.Duration += waited // the user waited for the manipulation first
+
+	// Train the Learner.
+	seenSels := make([]qgraph.Selection, 0, len(sp.seenSels))
+	for _, s := range sp.seenSels {
+		seenSels = append(seenSels, s)
+	}
+	seenJoins := make([]qgraph.Join, 0, len(sp.seenJoins))
+	for _, j := range sp.seenJoins {
+		seenJoins = append(seenJoins, j)
+	}
+	sp.learner.ObserveFormulation(seenSels, seenJoins, final)
+	if sp.prevFinal != nil {
+		sp.learner.ObserveTransition(sp.prevFinal, final)
+	}
+	if sp.formStarted {
+		sp.learner.ObserveFormulationDuration(now.Sub(sp.formStart).Seconds())
+	}
+	sp.prevFinal = final
+	sp.seenSels = make(map[string]qgraph.Selection)
+	sp.seenJoins = make(map[string]qgraph.Join)
+	sp.formStarted = false
+	// Use the result-viewing pause: prepare for the next query, which will
+	// very likely retain most of this one's parts (Section 5 persistence).
+	if sp.outstanding == nil {
+		job, err := sp.maybeIssue(now)
+		if err != nil {
+			return nil, out, err
+		}
+		out.Issued = job
+	}
+	return res, out, nil
+}
+
+// apply mutates the partial query by one event, recording seen parts.
+func (sp *Speculator) apply(ev trace.Event) error {
+	switch ev.Kind {
+	case trace.EvAddSelection:
+		s, err := ev.Sel.ToSelection()
+		if err != nil {
+			return err
+		}
+		sp.partial.AddSelection(s)
+		sp.seenSels[s.Key()] = s
+	case trace.EvRemoveSelection:
+		s, err := ev.Sel.ToSelection()
+		if err != nil {
+			return err
+		}
+		sp.partial.RemoveSelection(s)
+	case trace.EvAddJoin:
+		j := ev.Join.ToJoin()
+		sp.partial.AddJoin(j)
+		sp.seenJoins[j.Key()] = j
+	case trace.EvRemoveJoin:
+		sp.partial.RemoveJoin(ev.Join.ToJoin())
+	case trace.EvAddRelation:
+		sp.partial.AddRelation(ev.Rel)
+	case trace.EvRemoveRelation:
+		sp.partial.RemoveRelation(ev.Rel)
+	case trace.EvSetProjections:
+		sp.projs = append([]string(nil), ev.Projs...)
+	case trace.EvClear:
+		sp.partial = qgraph.New()
+		sp.projs = nil
+	default:
+		return fmt.Errorf("core: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// stillUseful reports whether a manipulation's target is still indicated by
+// the partial query.
+func (sp *Speculator) stillUseful(m Manipulation) bool {
+	switch m.Kind {
+	case ManipStage:
+		return sp.partial.HasRelation(m.Rel)
+	default:
+		return sp.partial.Contains(m.Graph)
+	}
+}
+
+// collectGarbage drops completed materializations and staged relations the
+// partial query no longer contains.
+func (sp *Speculator) collectGarbage() error {
+	for key, table := range sp.completed {
+		v := sp.eng.Catalog.View(table)
+		if v != nil && sp.partial.Contains(v.Graph) {
+			continue
+		}
+		if err := sp.eng.DropTable(table); err != nil {
+			return err
+		}
+		delete(sp.completed, key)
+		sp.stats.GarbageCollected++
+	}
+	for rel := range sp.stagedRels {
+		if !sp.partial.HasRelation(rel) {
+			if err := sp.eng.Unstage(rel); err != nil {
+				return err
+			}
+			delete(sp.stagedRels, rel)
+		}
+	}
+	return nil
+}
+
+// maybeIssue enumerates and scores the manipulation space and issues the
+// best alternative if it clears the benefit threshold.
+func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
+	if sp.cfg.SuspendWhenBusy > 0 && sp.eng.ActiveJobs >= sp.cfg.SuspendWhenBusy {
+		sp.stats.Suspended++
+		return nil, nil
+	}
+	elapsed := 0.0
+	if sp.formStarted {
+		elapsed = now.Sub(sp.formStart).Seconds()
+	}
+	candidates := EnumerateManipulations(sp.partial, sp.cfg.Ops, sp.cfg.SelectionsOnly, sp.isKnown)
+	var best *Manipulation
+	for i := range candidates {
+		m := &candidates[i]
+		if err := sp.cm.Score(m, elapsed); err != nil {
+			return nil, err
+		}
+		if m.Benefit < sp.cfg.MinBenefit {
+			continue
+		}
+		if best == nil || m.Benefit > best.Benefit {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	job, err := sp.issue(*best, now)
+	if err != nil {
+		return nil, err
+	}
+	sp.outstanding = job
+	sp.stats.Issued++
+	return job, nil
+}
+
+// isKnown filters the enumeration against running and completed work and
+// against database state (existing views, indexes, histograms, staging).
+func (sp *Speculator) isKnown(key string) bool {
+	if sp.outstanding != nil && sp.outstanding.Manip.Key() == key {
+		return true
+	}
+	switch {
+	case len(key) > 4 && key[:4] == "mat|":
+		if _, ok := sp.completed[key[4:]]; ok {
+			return true
+		}
+		// An identical view may pre-exist (Figure 6's Spec+Views mode).
+		for _, v := range sp.eng.Catalog.Views() {
+			if "mat|"+v.Graph.Key() == key {
+				return true
+			}
+		}
+	case len(key) > 4 && key[:4] == "idx|":
+		rel, col, ok := splitRelCol(key[4:])
+		if !ok {
+			return true
+		}
+		t, err := sp.eng.Catalog.Table(rel)
+		if err != nil {
+			return true
+		}
+		return t.Index(col) != nil
+	case len(key) > 5 && key[:5] == "hist|":
+		rel, col, ok := splitRelCol(key[5:])
+		if !ok {
+			return true
+		}
+		t, err := sp.eng.Catalog.Table(rel)
+		if err != nil {
+			return true
+		}
+		cs := t.ColumnStats(col)
+		return cs != nil && cs.Hist != nil
+	case len(key) > 6 && key[:6] == "stage|":
+		return sp.stagedRels[key[6:]]
+	}
+	return false
+}
+
+func splitRelCol(s string) (rel, col string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// issue executes the manipulation eagerly, hides its side effects until
+// completion, and returns the job.
+func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
+	job := &Job{Manip: m, IssuedAt: now}
+	switch m.Kind {
+	case ManipMaterialize:
+		name := sp.eng.FreshName(sp.cfg.NamePrefix)
+		res, err := sp.eng.Materialize(name, m.Graph, sp.cfg.Forced)
+		if err != nil {
+			return nil, err
+		}
+		sp.eng.Catalog.DropView(name) // hidden until completion
+		job.tableName = name
+		job.CompletesAt = now.Add(res.Duration)
+		sp.stats.MaterializationsIssued++
+		sp.stats.MaterializationTime += res.Duration
+	case ManipIndex:
+		res, err := sp.eng.CreateIndex(m.Rel, m.Col)
+		if err != nil {
+			return nil, err
+		}
+		t, err := sp.eng.Catalog.Table(m.Rel)
+		if err != nil {
+			return nil, err
+		}
+		job.index = t.Index(m.Col)
+		delete(t.Indexes, m.Col) // hidden until completion
+		job.CompletesAt = now.Add(res.Duration)
+	case ManipHistogram:
+		res, err := sp.eng.CreateHistogram(m.Rel, m.Col)
+		if err != nil {
+			return nil, err
+		}
+		t, err := sp.eng.Catalog.Table(m.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if cs := t.ColumnStats(m.Col); cs != nil {
+			job.histogram = cs.Hist
+			cs.Hist = nil // hidden until completion
+		}
+		job.CompletesAt = now.Add(res.Duration)
+	case ManipStage:
+		res, err := sp.eng.Stage(m.Rel)
+		if err != nil {
+			return nil, err
+		}
+		job.CompletesAt = now.Add(res.Duration)
+	default:
+		return nil, fmt.Errorf("core: cannot issue %v", m)
+	}
+	return job, nil
+}
+
+// cancel undoes a job's hidden side effects.
+func (sp *Speculator) cancel(job *Job) {
+	switch job.Manip.Kind {
+	case ManipMaterialize:
+		// The table was never registered as a view; drop it. Its buffer-pool
+		// footprint remains, as a really-canceled job's would.
+		_ = sp.eng.DropTable(job.tableName)
+	case ManipIndex:
+		if job.index != nil {
+			_ = job.index.Tree.Drop()
+		}
+	case ManipHistogram:
+		// The histogram object simply becomes garbage.
+	case ManipStage:
+		_ = sp.eng.Unstage(job.Manip.Rel)
+	}
+}
+
+// Shutdown drops everything the Speculator still owns (end of session).
+func (sp *Speculator) Shutdown() error {
+	if sp.outstanding != nil {
+		sp.cancel(sp.outstanding)
+		sp.outstanding = nil
+	}
+	for key, table := range sp.completed {
+		if err := sp.eng.DropTable(table); err != nil {
+			return err
+		}
+		delete(sp.completed, key)
+	}
+	for rel := range sp.stagedRels {
+		if err := sp.eng.Unstage(rel); err != nil {
+			return err
+		}
+		delete(sp.stagedRels, rel)
+	}
+	return nil
+}

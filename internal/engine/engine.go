@@ -1,0 +1,529 @@
+// Package engine is the DBMS facade: it owns the disk, buffer pool, and
+// catalog, executes SQL statements and bound query graphs through the
+// optimizer and executor, and exposes every operation the speculation
+// subsystem issues as a manipulation — materialization, index creation,
+// histogram creation, and data staging.
+//
+// Every operation returns its simulated duration, derived from the work it
+// actually performed (buffer-pool misses, write-backs, tuples processed).
+// A configurable contention model scales durations by concurrent load for
+// the multi-user experiments (Section 6.3 of the paper).
+package engine
+
+import (
+	"fmt"
+
+	"specdb/internal/btree"
+	"specdb/internal/buffer"
+	"specdb/internal/catalog"
+	"specdb/internal/exec"
+	"specdb/internal/plan"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/sql"
+	"specdb/internal/stats"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+// Config sizes a fresh engine.
+type Config struct {
+	// PageSize in bytes; 0 means storage.DefaultPageSize.
+	PageSize int
+	// BufferPoolPages is the frame count of the buffer pool.
+	BufferPoolPages int
+	// Rates converts work counters to simulated time; zero value means
+	// sim.DefaultRates().
+	Rates sim.CostRates
+	// UseViews lets the optimizer consider non-forced materialized views
+	// (query-materialization semantics). Forced views always apply.
+	UseViews bool
+	// ContentionFactor scales statement durations by
+	// (1 + ContentionFactor × ActiveJobs); 0 disables the load model.
+	ContentionFactor float64
+	// HistogramBuckets used by CreateHistogram; 0 means 20.
+	HistogramBuckets int
+	// WorkMemBytes is the per-join memory budget before hash joins spill
+	// to disk (charged as page I/O). 0 defaults to a quarter of the buffer
+	// pool, the classic rule of thumb for the era's work-area sizing.
+	WorkMemBytes int64
+}
+
+// Result reports one executed statement.
+type Result struct {
+	// Rows holds query output (nil for DDL and materializations).
+	Rows []tuple.Row
+	// Schema describes Rows.
+	Schema *tuple.Schema
+	// RowCount is len(Rows) for queries, or rows materialized/indexed.
+	RowCount int64
+	// Work is the raw work performed.
+	Work sim.Work
+	// Duration is the simulated elapsed time, after the contention model.
+	Duration sim.Duration
+	// Plan is the physical plan, when one was produced.
+	Plan plan.Node
+}
+
+// Engine is the database server. Not safe for concurrent use: the simulation
+// executes one statement at a time and models concurrency via the event
+// timeline plus the contention factor.
+type Engine struct {
+	Disk    *storage.DiskManager
+	Pool    *buffer.Pool
+	Catalog *catalog.Catalog
+
+	cfg   Config
+	meter *sim.Meter
+	// ActiveJobs is the number of other jobs logically in flight; the
+	// harness sets it before invoking the engine on a busy server.
+	ActiveJobs int
+
+	seq int64
+}
+
+// New constructs an empty engine.
+func New(cfg Config) *Engine {
+	if cfg.BufferPoolPages < 2 {
+		cfg.BufferPoolPages = 64
+	}
+	if cfg.Rates == (sim.CostRates{}) {
+		cfg.Rates = sim.DefaultRates()
+	}
+	if cfg.HistogramBuckets == 0 {
+		cfg.HistogramBuckets = 20
+	}
+	disk := storage.NewDiskManager(cfg.PageSize)
+	meter := sim.NewMeter()
+	pool := buffer.NewPool(disk, cfg.BufferPoolPages, meter)
+	if cfg.WorkMemBytes == 0 {
+		cfg.WorkMemBytes = int64(cfg.BufferPoolPages) * int64(disk.PageSize()) / 4
+	}
+	return &Engine{
+		Disk:    disk,
+		Pool:    pool,
+		Catalog: catalog.New(pool),
+		cfg:     cfg,
+		meter:   meter,
+	}
+}
+
+// Rates reports the engine's cost rates.
+func (e *Engine) Rates() sim.CostRates { return e.cfg.Rates }
+
+// UseViews reports whether optional views are considered.
+func (e *Engine) UseViews() bool { return e.cfg.UseViews }
+
+// SetUseViews toggles optional-view usage (Figure 6 modes).
+func (e *Engine) SetUseViews(v bool) { e.cfg.UseViews = v }
+
+// planOptions builds the optimizer options.
+func (e *Engine) planOptions() plan.Options {
+	return plan.Options{Rates: e.cfg.Rates, UseViews: e.cfg.UseViews, WorkMemBytes: e.cfg.WorkMemBytes}
+}
+
+// execContext builds an executor context with the engine's work-memory
+// budget.
+func (e *Engine) execContext() *exec.Context {
+	return &exec.Context{Meter: e.meter, WorkMemBytes: e.cfg.WorkMemBytes}
+}
+
+// measure runs fn and converts the work it performed into a duration under
+// the contention model.
+func (e *Engine) measure(fn func() error) (sim.Work, sim.Duration, error) {
+	before := e.meter.Snapshot()
+	err := fn()
+	work := e.meter.Since(before)
+	d := work.Cost(e.cfg.Rates)
+	if e.cfg.ContentionFactor > 0 && e.ActiveJobs > 0 {
+		d = sim.Duration(float64(d) * (1 + e.cfg.ContentionFactor*float64(e.ActiveJobs)))
+	}
+	return work, d, err
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		q, err := plan.Bind(e.Catalog, s)
+		if err != nil {
+			return nil, err
+		}
+		if s.Into != "" {
+			return e.materializeQuery(s.Into, q, q.Graph, false)
+		}
+		return e.RunQuery(q)
+	case *sql.ExplainStmt:
+		q, err := plan.Bind(e.Catalog, s.Query)
+		if err != nil {
+			return nil, err
+		}
+		node, err := plan.Optimize(e.Catalog, q, e.planOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: node, Schema: node.Schema()}, nil
+	case *sql.CreateIndexStmt:
+		return e.CreateIndex(s.Table, s.Column)
+	case *sql.CreateHistogramStmt:
+		return e.CreateHistogram(s.Table, s.Column)
+	case *sql.DropTableStmt:
+		if err := e.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// RunQuery optimizes and executes a bound query, returning its rows.
+func (e *Engine) RunQuery(q *plan.Query) (*Result, error) {
+	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: node, Schema: node.Schema()}
+	work, d, err := e.measure(func() error {
+		it, err := node.Build(e.execContext())
+		if err != nil {
+			return err
+		}
+		rows, err := exec.Collect(it)
+		if err != nil {
+			return err
+		}
+		res.Rows = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.RowCount = int64(len(res.Rows))
+	res.Work = work
+	res.Duration = d
+	return res, nil
+}
+
+// RunGraph binds and executes a query graph with SELECT * projections.
+func (e *Engine) RunGraph(g *qgraph.Graph) (*Result, error) {
+	q, err := plan.BindGraph(e.Catalog, g)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunQuery(q)
+}
+
+// PlanGraph optimizes a query graph without executing it (the speculation
+// cost model calls this to price alternatives).
+func (e *Engine) PlanGraph(g *qgraph.Graph) (plan.Node, error) {
+	q, err := plan.BindGraph(e.Catalog, g)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Optimize(e.Catalog, q, e.planOptions())
+}
+
+// Materialize executes graph g and stores the result as a new table
+// registered as a materialized view of g. forced selects query-rewriting
+// semantics (the optimizer MUST use it) versus query-materialization (an
+// option). The duration covers execution, storage writes, and the analyze
+// pass that gives the view statistics.
+func (e *Engine) Materialize(name string, g *qgraph.Graph, forced bool) (*Result, error) {
+	q, err := plan.BindGraph(e.Catalog, g)
+	if err != nil {
+		return nil, err
+	}
+	return e.materializeQuery(name, q, g, forced)
+}
+
+func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, forced bool) (*Result, error) {
+	if e.Catalog.HasTable(name) {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: node}
+	work, d, err := e.measure(func() error {
+		table, err := e.Catalog.CreateTable(name, node.Schema())
+		if err != nil {
+			return err
+		}
+		it, err := node.Build(e.execContext())
+		if err != nil {
+			return err
+		}
+		// Statistics are collected from the stream as it is written, the
+		// way a real engine piggybacks stats on CREATE TABLE AS SELECT —
+		// no second scan.
+		cols := make([][]tuple.Value, table.Schema.Len())
+		var buf []byte
+		var n int64
+		err = exec.Drain(it, func(r tuple.Row) error {
+			buf, err = tuple.EncodeRow(buf[:0], table.Schema, r)
+			if err != nil {
+				return err
+			}
+			if _, err := table.Heap.Insert(buf); err != nil {
+				return err
+			}
+			for i, v := range r {
+				cols[i] = append(cols[i], v)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			// Leave no half-created table behind.
+			_ = e.Catalog.DropTable(name)
+			return err
+		}
+		res.RowCount = n
+		for i, c := range table.Schema.Columns {
+			table.Stats[c.Name] = stats.CollectColumnStats(cols[i])
+		}
+		e.meter.ChargeTuples(n) // the stats pass over the stream
+		return e.Catalog.RegisterView(name, g, forced)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Schema = node.Schema()
+	res.Work = work
+	res.Duration = d
+	return res, nil
+}
+
+// FreshName generates a unique table name for speculative materializations.
+func (e *Engine) FreshName(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("%s_%d", prefix, e.seq)
+}
+
+// CreateIndex builds a B+-tree index on table.column by scanning the table.
+func (e *Engine) CreateIndex(table, column string) (*Result, error) {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ord := t.Schema.Ordinal(column)
+	if ord < 0 {
+		return nil, fmt.Errorf("engine: table %q has no column %q", table, column)
+	}
+	if t.Index(column) != nil {
+		return nil, fmt.Errorf("engine: index on %s.%s already exists", table, column)
+	}
+	res := &Result{}
+	work, d, err := e.measure(func() error {
+		tree, err := btree.New(e.Pool, e.Disk.PageSize())
+		if err != nil {
+			return err
+		}
+		var entries []btree.Entry
+		err = t.Heap.Scan(func(rid storage.RID, rec []byte) error {
+			row, _, err := tuple.DecodeRow(rec, t.Schema)
+			if err != nil {
+				return err
+			}
+			e.meter.ChargeTuples(1)
+			entries = append(entries, btree.Entry{Key: tuple.EncodeKey(nil, row[ord]), RID: rid})
+			res.RowCount++
+			return nil
+		})
+		if err != nil {
+			_ = tree.Drop()
+			return err
+		}
+		btree.SortEntries(entries)
+		e.meter.ChargeTuples(int64(len(entries))) // sort pass
+		if err := tree.BulkLoad(entries); err != nil {
+			_ = tree.Drop()
+			return err
+		}
+		_, err = e.Catalog.AddIndex(table, column, tree)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Work = work
+	res.Duration = d
+	return res, nil
+}
+
+// DropIndex removes the index on table.column, freeing its pages.
+func (e *Engine) DropIndex(table, column string) error {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	idx := t.Index(column)
+	if idx == nil {
+		return fmt.Errorf("engine: no index on %s.%s", table, column)
+	}
+	if err := idx.Tree.Drop(); err != nil {
+		return err
+	}
+	delete(t.Indexes, column)
+	return nil
+}
+
+// CreateHistogram builds an equi-depth histogram on table.column, improving
+// the optimizer's selectivity estimates (Section 3.2: histogram creation).
+func (e *Engine) CreateHistogram(table, column string) (*Result, error) {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	work, d, err := e.measure(func() error {
+		values, err := catalog.ColumnValues(t, column)
+		if err != nil {
+			return err
+		}
+		e.meter.ChargeTuples(int64(len(values)))
+		h, err := stats.BuildHistogram(values, e.cfg.HistogramBuckets)
+		if err != nil {
+			return err
+		}
+		cs := t.Stats[column]
+		if cs == nil {
+			cs = stats.CollectColumnStats(values)
+			t.Stats[column] = cs
+		}
+		cs.Hist = h
+		res.RowCount = int64(len(values))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Work = work
+	res.Duration = d
+	return res, nil
+}
+
+// DropHistogram removes the histogram on table.column.
+func (e *Engine) DropHistogram(table, column string) error {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	if cs := t.Stats[column]; cs != nil {
+		cs.Hist = nil
+	}
+	return nil
+}
+
+// Stage pre-fetches and pins a table's heap pages in the buffer pool: the
+// data-staging manipulation (Section 3.2), implementable here because we own
+// the buffer pool. Staging at most half the pool is allowed, to leave room
+// for query execution.
+func (e *Engine) Stage(table string) (*Result, error) {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	work, d, err := e.measure(func() error {
+		// The staging budget is half the pool ACROSS ALL staged tables —
+		// otherwise repeated staging pins the whole pool and starves query
+		// execution of frames.
+		budget := e.Pool.Capacity()/2 - e.Pool.StagedCount()
+		for _, id := range t.Heap.PageIDs() {
+			if budget <= 0 {
+				break
+			}
+			if err := e.Pool.Stage(id); err != nil {
+				return err
+			}
+			res.RowCount++
+			budget--
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Work = work
+	res.Duration = d
+	return res, nil
+}
+
+// Unstage releases a table's staged pages.
+func (e *Engine) Unstage(table string) error {
+	t, err := e.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, id := range t.Heap.PageIDs() {
+		e.Pool.Unstage(id)
+	}
+	return nil
+}
+
+// DropTable removes a table (and any view it backs), freeing storage.
+func (e *Engine) DropTable(name string) error {
+	t, err := e.Catalog.Table(name)
+	if err != nil {
+		return err
+	}
+	for _, id := range t.Heap.PageIDs() {
+		e.Pool.Unstage(id) // staged pages must not block the free
+	}
+	return e.Catalog.DropTable(name)
+}
+
+// CreateTable registers an empty base table (bulk-load path).
+func (e *Engine) CreateTable(name string, schema *tuple.Schema) (*catalog.Table, error) {
+	return e.Catalog.CreateTable(name, schema)
+}
+
+// InsertRows bulk-inserts rows into a table (no per-statement measurement —
+// loading is setup, not workload).
+func (e *Engine) InsertRows(name string, rows []tuple.Row) error {
+	t, err := e.Catalog.Table(name)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range rows {
+		buf, err = tuple.EncodeRow(buf[:0], t.Schema, r)
+		if err != nil {
+			return err
+		}
+		if _, err := t.Heap.Insert(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Analyze recomputes statistics for a table.
+func (e *Engine) Analyze(name string) error {
+	t, err := e.Catalog.Table(name)
+	if err != nil {
+		return err
+	}
+	return catalog.Analyze(t)
+}
+
+// ColdStart flushes and empties the buffer pool, simulating the paper's
+// cold-buffer-pool experimental setup.
+func (e *Engine) ColdStart() error { return e.Pool.EvictAll() }
+
+// TotalDataPages reports the pages held by all tables (a sizing diagnostic).
+func (e *Engine) TotalDataPages() int {
+	total := 0
+	for _, name := range e.Catalog.TableNames() {
+		t, _ := e.Catalog.Table(name)
+		total += t.NumPages()
+	}
+	return total
+}

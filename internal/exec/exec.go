@@ -1,0 +1,91 @@
+// Package exec is the Volcano-style executor: pull-based iterators for
+// scans, filters, projections, and joins. Every operator charges the tuples
+// it processes to the execution context's meter, which — together with the
+// buffer pool's page charging — is where a statement's simulated duration
+// comes from.
+package exec
+
+import (
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+// Context carries per-execution state through an operator tree.
+type Context struct {
+	// Meter receives per-tuple CPU charges. Required.
+	Meter *sim.Meter
+	// WorkMemBytes bounds the memory a single join may use before it
+	// spills: a hash join whose build side exceeds it partitions both
+	// inputs to disk (charged as page I/O), like the era-appropriate
+	// GRACE hash join of the paper's testbed DBMS. 0 disables spilling.
+	WorkMemBytes int64
+}
+
+// NewContext returns a context charging to meter.
+func NewContext(meter *sim.Meter) *Context { return &Context{Meter: meter} }
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	// Open prepares the operator (builds hash tables, positions cursors).
+	Open() error
+	// Next produces the next row; ok is false at end of stream. The returned
+	// row may be reused by the operator on the following Next call unless
+	// documented otherwise; callers that retain rows must Clone them.
+	Next() (row tuple.Row, ok bool, err error)
+	// Close releases resources. Must be safe to call after a failed Open and
+	// more than once.
+	Close() error
+	// Schema describes the rows produced.
+	Schema() *tuple.Schema
+}
+
+// Drain runs an iterator to completion, invoking fn for each row, and always
+// closes it. It is the standard top-level execution loop.
+func Drain(it Iterator, fn func(tuple.Row) error) (err error) {
+	if err := it.Open(); err != nil {
+		it.Close()
+		return err
+	}
+	defer func() {
+		if cerr := it.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		row, ok, err2 := it.Next()
+		if err2 != nil {
+			return err2
+		}
+		if !ok {
+			return nil
+		}
+		if fn != nil {
+			if err2 := fn(row); err2 != nil {
+				return err2
+			}
+		}
+	}
+}
+
+// Collect drains an iterator into a materialized row slice (rows are cloned).
+func Collect(it Iterator) ([]tuple.Row, error) {
+	var out []tuple.Row
+	err := Drain(it, func(r tuple.Row) error {
+		out = append(out, r.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count drains an iterator and reports the number of rows.
+func Count(it Iterator) (int64, error) {
+	var n int64
+	err := Drain(it, func(tuple.Row) error {
+		n++
+		return nil
+	})
+	return n, err
+}

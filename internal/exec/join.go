@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"fmt"
+
+	"specdb/internal/btree"
+	"specdb/internal/catalog"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+// HashJoin is an in-memory equi-join: the left child is built into a hash
+// table at Open, the right child probes it. The planner puts the smaller
+// estimated side on the left.
+type HashJoin struct {
+	ctx         *Context
+	left, right Iterator
+	leftOrd     int
+	rightOrd    int
+	schema      *tuple.Schema
+
+	table      map[string][]tuple.Row
+	emptyBuild bool
+	// spill accounting (see Context.WorkMemBytes): when the build side
+	// exceeds work memory, both sides are partitioned through disk.
+	spilled    bool
+	spillBytes int64
+	// probe state: current right row and its pending matches
+	pending []tuple.Row
+	current tuple.Row
+	keyBuf  []byte
+}
+
+// NewHashJoin joins left and right on leftCol = rightCol (names resolved in
+// each child's schema). Join columns must have the same kind; the planner's
+// binder guarantees this, and it matters because hash keys are compared as
+// encoded bytes.
+func NewHashJoin(ctx *Context, left, right Iterator, leftCol, rightCol string) (*HashJoin, error) {
+	lo := left.Schema().Ordinal(leftCol)
+	if lo < 0 {
+		return nil, fmt.Errorf("exec: hash join: no column %q on build side", leftCol)
+	}
+	ro := right.Schema().Ordinal(rightCol)
+	if ro < 0 {
+		return nil, fmt.Errorf("exec: hash join: no column %q on probe side", rightCol)
+	}
+	lk := left.Schema().Columns[lo].Kind
+	rk := right.Schema().Columns[ro].Kind
+	if lk != rk {
+		return nil, fmt.Errorf("exec: hash join kind mismatch: %v vs %v", lk, rk)
+	}
+	return &HashJoin{
+		ctx:      ctx,
+		left:     left,
+		right:    right,
+		leftOrd:  lo,
+		rightOrd: ro,
+		schema:   left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// Open builds the hash table from the left child.
+func (j *HashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]tuple.Row)
+	leftSchema := j.left.Schema()
+	var buildBytes int64
+	for {
+		row, ok, err := j.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.keyBuf = tuple.EncodeKey(j.keyBuf[:0], row[j.leftOrd])
+		j.table[string(j.keyBuf)] = append(j.table[string(j.keyBuf)], row.Clone())
+		j.ctx.Meter.ChargeTuples(1)
+		buildBytes += int64(tuple.EncodedSize(leftSchema, row))
+	}
+	if err := j.left.Close(); err != nil {
+		return err
+	}
+	if j.ctx.WorkMemBytes > 0 && buildBytes > j.ctx.WorkMemBytes {
+		// GRACE-style spill: the build side is written out as partitions
+		// and read back; the probe side pays the same toll as it streams
+		// (charged incrementally in Next).
+		j.spilled = true
+		pages := buildBytes/pageSizeForSpill + 1
+		j.ctx.Meter.ChargePageWrite(pages)
+		j.ctx.Meter.ChargePageRead(pages)
+	}
+	if len(j.table) == 0 {
+		// Empty build side: no row can match; skip scanning the probe side
+		// entirely (it may be a large forced materialization).
+		j.emptyBuild = true
+		return nil
+	}
+	return j.right.Open()
+}
+
+// Next emits the next (left ++ right) match.
+func (j *HashJoin) Next() (tuple.Row, bool, error) {
+	if j.emptyBuild {
+		return nil, false, nil
+	}
+	for {
+		if len(j.pending) > 0 {
+			l := j.pending[0]
+			j.pending = j.pending[1:]
+			j.ctx.Meter.ChargeTuples(1)
+			return l.Concat(j.current), true, nil
+		}
+		row, ok, err := j.right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.ctx.Meter.ChargeTuples(1)
+		if j.spilled {
+			j.spillBytes += int64(tuple.EncodedSize(j.right.Schema(), row))
+			for j.spillBytes >= pageSizeForSpill {
+				j.spillBytes -= pageSizeForSpill
+				j.ctx.Meter.ChargePageWrite(1)
+				j.ctx.Meter.ChargePageRead(1)
+			}
+		}
+		j.keyBuf = tuple.EncodeKey(j.keyBuf[:0], row[j.rightOrd])
+		matches := j.table[string(j.keyBuf)]
+		if len(matches) == 0 {
+			continue
+		}
+		j.current = row.Clone()
+		j.pending = matches
+	}
+}
+
+// pageSizeForSpill is the unit for spill I/O accounting.
+const pageSizeForSpill = 8192
+
+// Close closes both children and releases the hash table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.pending = nil
+	j.emptyBuild = false
+	j.spilled = false
+	j.spillBytes = 0
+	err := j.left.Close()
+	if rerr := j.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Schema is left ++ right.
+func (j *HashJoin) Schema() *tuple.Schema { return j.schema }
+
+// IndexNLJoin drives the outer child and, for each outer row, probes an index
+// on the inner base table — the access path whose absence on freshly
+// materialized relations is the paper's main source of speculation penalties
+// (Section 6.1).
+type IndexNLJoin struct {
+	ctx      *Context
+	outer    Iterator
+	outerOrd int
+	inner    *catalog.Table
+	index    *catalog.Index
+	// innerPreds filter inner rows (selections on the inner relation),
+	// compiled against the inner's qualified schema.
+	innerPreds  []Pred
+	innerSchema *tuple.Schema
+	schema      *tuple.Schema
+
+	current tuple.Row
+	pending []tuple.Row
+	keyBuf  []byte
+}
+
+// NewIndexNLJoin joins outer to inner on outerCol = index.Column.
+func NewIndexNLJoin(ctx *Context, outer Iterator, outerCol string, inner *catalog.Table, index *catalog.Index, qualifier string, innerPreds []Pred) (*IndexNLJoin, error) {
+	oo := outer.Schema().Ordinal(outerCol)
+	if oo < 0 {
+		return nil, fmt.Errorf("exec: index join: no outer column %q", outerCol)
+	}
+	innerSchema := qualify(inner.Schema, qualifier)
+	return &IndexNLJoin{
+		ctx:         ctx,
+		outer:       outer,
+		outerOrd:    oo,
+		inner:       inner,
+		index:       index,
+		innerPreds:  innerPreds,
+		innerSchema: innerSchema,
+		schema:      outer.Schema().Concat(innerSchema),
+	}, nil
+}
+
+// Open opens the outer child.
+func (j *IndexNLJoin) Open() error { return j.outer.Open() }
+
+// Next emits the next (outer ++ inner) match.
+func (j *IndexNLJoin) Next() (tuple.Row, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			in := j.pending[0]
+			j.pending = j.pending[1:]
+			j.ctx.Meter.ChargeTuples(1)
+			return j.current.Concat(in), true, nil
+		}
+		row, ok, err := j.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.ctx.Meter.ChargeTuples(1)
+		j.keyBuf = tuple.EncodeKey(j.keyBuf[:0], row[j.outerOrd])
+		var matches []tuple.Row
+		err = j.index.Tree.Scan(btree.Exact(j.keyBuf), btree.Exact(j.keyBuf), func(_ []byte, rid storage.RID) error {
+			rec, err := j.inner.Heap.Fetch(rid)
+			if err != nil {
+				return err
+			}
+			inRow, _, err := tuple.DecodeRow(rec, j.inner.Schema)
+			if err != nil {
+				return err
+			}
+			j.ctx.Meter.ChargeTuples(1)
+			for _, p := range j.innerPreds {
+				if !p.Eval(inRow) {
+					return nil
+				}
+			}
+			matches = append(matches, inRow)
+			return nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		j.current = row.Clone()
+		j.pending = matches
+	}
+}
+
+// Close closes the outer child.
+func (j *IndexNLJoin) Close() error { return j.outer.Close() }
+
+// Schema is outer ++ inner.
+func (j *IndexNLJoin) Schema() *tuple.Schema { return j.schema }
+
+// CrossJoin is a nested-loop cross product with the inner side materialized
+// at Open. The planner only emits it for queries whose graph is disconnected
+// (transient states while a user assembles a query).
+type CrossJoin struct {
+	ctx          *Context
+	outer, inner Iterator
+	schema       *tuple.Schema
+
+	innerRows []tuple.Row
+	current   tuple.Row
+	pos       int
+	haveOuter bool
+}
+
+// NewCrossJoin builds outer × inner.
+func NewCrossJoin(ctx *Context, outer, inner Iterator) *CrossJoin {
+	return &CrossJoin{
+		ctx:    ctx,
+		outer:  outer,
+		inner:  inner,
+		schema: outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// Open materializes the inner side.
+func (j *CrossJoin) Open() error {
+	if err := j.outer.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.inner)
+	if err != nil {
+		return err
+	}
+	j.innerRows = rows
+	j.pos = 0
+	j.haveOuter = false
+	return nil
+}
+
+// Next emits the next pair.
+func (j *CrossJoin) Next() (tuple.Row, bool, error) {
+	for {
+		if j.haveOuter && j.pos < len(j.innerRows) {
+			in := j.innerRows[j.pos]
+			j.pos++
+			j.ctx.Meter.ChargeTuples(1)
+			return j.current.Concat(in), true, nil
+		}
+		row, ok, err := j.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.ctx.Meter.ChargeTuples(1)
+		if len(j.innerRows) == 0 {
+			return nil, false, nil // empty inner: empty product
+		}
+		j.current = row.Clone()
+		j.pos = 0
+		j.haveOuter = true
+	}
+}
+
+// Close closes the outer child (the inner was closed by Collect).
+func (j *CrossJoin) Close() error {
+	j.innerRows = nil
+	return j.outer.Close()
+}
+
+// Schema is outer ++ inner.
+func (j *CrossJoin) Schema() *tuple.Schema { return j.schema }

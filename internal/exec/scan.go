@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+
+	"specdb/internal/btree"
+	"specdb/internal/catalog"
+	"specdb/internal/storage"
+	"specdb/internal/tuple"
+)
+
+// qualify renames a stored schema with a relation prefix. A view's stored
+// columns are already qualified ("rel.col"), so view scans pass qualifier "".
+func qualify(s *tuple.Schema, qualifier string) *tuple.Schema {
+	if qualifier == "" {
+		return s
+	}
+	return s.Rename(func(n string) string { return qualifier + "." + n })
+}
+
+// SeqScan reads a table front to back.
+type SeqScan struct {
+	ctx    *Context
+	table  *catalog.Table
+	schema *tuple.Schema
+	iter   *storage.HeapIterator
+}
+
+// NewSeqScan builds a sequential scan over table. qualifier, when non-empty,
+// prefixes column names ("R" turns column "a" into "R.a").
+func NewSeqScan(ctx *Context, table *catalog.Table, qualifier string) *SeqScan {
+	return &SeqScan{
+		ctx:    ctx,
+		table:  table,
+		schema: qualify(table.Schema, qualifier),
+	}
+}
+
+// Open positions the cursor.
+func (s *SeqScan) Open() error {
+	s.iter = s.table.Heap.NewIterator()
+	return nil
+}
+
+// Next decodes and returns the next stored row.
+func (s *SeqScan) Next() (tuple.Row, bool, error) {
+	_, rec, ok, err := s.iter.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, _, err := tuple.DecodeRow(rec, s.table.Schema)
+	if err != nil {
+		return nil, false, fmt.Errorf("exec: decoding row in %q: %w", s.table.Name, err)
+	}
+	s.ctx.Meter.ChargeTuples(1)
+	return row, true, nil
+}
+
+// Close releases the cursor.
+func (s *SeqScan) Close() error {
+	if s.iter != nil {
+		s.iter.Close()
+		s.iter = nil
+	}
+	return nil
+}
+
+// Schema reports the (possibly qualified) output schema.
+func (s *SeqScan) Schema() *tuple.Schema { return s.schema }
+
+// IndexScan fetches the rows whose indexed column falls within [lo, hi] via
+// a B+-tree, then fetches each matching row from the heap. Matching RIDs are
+// gathered at Open (charging index-page I/O); heap fetches happen lazily.
+type IndexScan struct {
+	ctx    *Context
+	table  *catalog.Table
+	index  *catalog.Index
+	lo, hi btree.Bound
+	schema *tuple.Schema
+
+	rids []storage.RID
+	pos  int
+}
+
+// NewIndexScan builds an index scan with the given key bounds (tuple.EncodeKey
+// encodings; nil key = unbounded).
+func NewIndexScan(ctx *Context, table *catalog.Table, index *catalog.Index, lo, hi btree.Bound, qualifier string) *IndexScan {
+	return &IndexScan{
+		ctx:    ctx,
+		table:  table,
+		index:  index,
+		lo:     lo,
+		hi:     hi,
+		schema: qualify(table.Schema, qualifier),
+	}
+}
+
+// Open walks the index and gathers matching RIDs.
+func (s *IndexScan) Open() error {
+	s.rids = s.rids[:0]
+	s.pos = 0
+	return s.index.Tree.Scan(s.lo, s.hi, func(key []byte, rid storage.RID) error {
+		s.rids = append(s.rids, rid)
+		return nil
+	})
+}
+
+// Next fetches the row for the next matching RID.
+func (s *IndexScan) Next() (tuple.Row, bool, error) {
+	if s.pos >= len(s.rids) {
+		return nil, false, nil
+	}
+	rec, err := s.table.Heap.Fetch(s.rids[s.pos])
+	if err != nil {
+		return nil, false, err
+	}
+	s.pos++
+	row, _, err := tuple.DecodeRow(rec, s.table.Schema)
+	if err != nil {
+		return nil, false, err
+	}
+	s.ctx.Meter.ChargeTuples(1)
+	return row, true, nil
+}
+
+// Close is a no-op (Open re-gathers).
+func (s *IndexScan) Close() error { return nil }
+
+// Schema reports the output schema.
+func (s *IndexScan) Schema() *tuple.Schema { return s.schema }
+
+// ValuesScan replays an in-memory row set; used for tests and for
+// re-scanning materialized intermediates.
+type ValuesScan struct {
+	ctx    *Context
+	schema *tuple.Schema
+	rows   []tuple.Row
+	pos    int
+}
+
+// NewValuesScan wraps rows with the given schema.
+func NewValuesScan(ctx *Context, schema *tuple.Schema, rows []tuple.Row) *ValuesScan {
+	return &ValuesScan{ctx: ctx, schema: schema, rows: rows}
+}
+
+// Open rewinds.
+func (v *ValuesScan) Open() error { v.pos = 0; return nil }
+
+// Next returns the next stored row.
+func (v *ValuesScan) Next() (tuple.Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	row := v.rows[v.pos]
+	v.pos++
+	v.ctx.Meter.ChargeTuples(1)
+	return row, true, nil
+}
+
+// Close is a no-op.
+func (v *ValuesScan) Close() error { return nil }
+
+// Schema reports the row schema.
+func (v *ValuesScan) Schema() *tuple.Schema { return v.schema }

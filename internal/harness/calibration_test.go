@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"sort"
+	"testing"
+
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// TestCalibrationReport prints duration distributions and headline numbers
+// for a small corpus; used to keep the simulated-time calibration honest.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report is slow")
+	}
+	traces, err := trace.GenerateCorpus(tpch.Vocabulary(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []string{"100MB"} {
+		res, err := RunSpecVsNormal(scale, traces, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("== %s overall=%.1f%% in-range=%.1f%% avgMat=%.1fs incomplete=%.0f%% stats=%+v",
+			scale, res.OverallPct, res.InRangePct, res.AvgMaterializationSec, res.IncompletePct, res.Stats)
+		t.Logf("\n%s", RenderBuckets(res.Buckets, true))
+
+		env, err := NewEnv(EnvConfig{Scale: mustScale(t, scale), Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for i, tr := range traces {
+			ts, err := RunTraceNormal(env.Eng, i, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range ts {
+				all = append(all, x.Seconds)
+			}
+		}
+		sort.Float64s(all)
+		t.Logf("normal durations: min=%.1f p25=%.1f p50=%.1f p75=%.1f p90=%.1f max=%.1f n=%d",
+			all[0], all[len(all)/4], all[len(all)/2], all[3*len(all)/4], all[9*len(all)/10], all[len(all)-1], len(all))
+	}
+}
+
+func mustScale(t *testing.T, n string) tpch.Scale {
+	t.Helper()
+	s, err := tpch.ScaleByName(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

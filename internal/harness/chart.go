@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBarChart draws a bucket series as a horizontal ASCII bar chart — the
+// textual equivalent of the paper's Figure 4/7 bar charts. Negative bars
+// (penalties) extend left of the axis.
+func RenderBarChart(title string, buckets []Bucket) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(buckets) == 0 {
+		b.WriteString("  (no buckets with enough queries)\n")
+		return b.String()
+	}
+	maxAbs := 1.0
+	for _, bk := range buckets {
+		if v := math.Abs(bk.ImprovementPct); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	const width = 40
+	for _, bk := range buckets {
+		frac := bk.ImprovementPct / maxAbs
+		n := int(math.Round(math.Abs(frac) * width))
+		var neg, pos string
+		if frac < 0 {
+			neg = strings.Repeat("█", n)
+		} else {
+			pos = strings.Repeat("█", n)
+		}
+		fmt.Fprintf(&b, "%5.0f-%-4.0f %10s|%-40s %6.1f%%  (n=%d)\n",
+			bk.Lo, bk.Hi, neg, pos, bk.ImprovementPct, bk.Count)
+	}
+	return b.String()
+}
+
+// RenderExtremesChart draws Figure 5's paired max/min bars per bucket.
+func RenderExtremesChart(title string, buckets []Bucket) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(buckets) == 0 {
+		b.WriteString("  (no buckets with enough queries)\n")
+		return b.String()
+	}
+	const width = 30
+	scale := 1.0
+	for _, bk := range buckets {
+		for _, v := range []float64{bk.MaxImprovementPct, -bk.MinImprovementPct} {
+			if v > scale {
+				scale = v
+			}
+		}
+	}
+	bar := func(v float64) string {
+		n := int(math.Round(math.Abs(v) / scale * width))
+		return strings.Repeat("█", n)
+	}
+	for _, bk := range buckets {
+		fmt.Fprintf(&b, "%5.0f-%-4.0f max %-30s %6.1f%%\n", bk.Lo, bk.Hi, bar(bk.MaxImprovementPct), bk.MaxImprovementPct)
+		fmt.Fprintf(&b, "%10s min %-30s %6.1f%%\n", "", bar(bk.MinImprovementPct), bk.MinImprovementPct)
+	}
+	return b.String()
+}

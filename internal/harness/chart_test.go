@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartBuckets() []Bucket {
+	return []Bucket{
+		{Lo: 3, Hi: 4, Count: 10, ImprovementPct: 40, MaxImprovementPct: 95, MinImprovementPct: -5},
+		{Lo: 4, Hi: 5, Count: 7, ImprovementPct: -12, MaxImprovementPct: 20, MinImprovementPct: -30},
+	}
+}
+
+func TestRenderBarChart(t *testing.T) {
+	out := RenderBarChart("F4 demo", chartBuckets())
+	if !strings.Contains(out, "F4 demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	// The positive bucket's bar sits right of the axis; the negative left.
+	if !strings.Contains(lines[1], "|█") {
+		t.Fatalf("positive bar not right of axis: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "█|") {
+		t.Fatalf("negative bar not left of axis: %q", lines[2])
+	}
+	if !strings.Contains(out, "40.0%") || !strings.Contains(out, "-12.0%") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	// The larger magnitude gets the longer bar.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestRenderBarChartEmpty(t *testing.T) {
+	out := RenderBarChart("empty", nil)
+	if !strings.Contains(out, "no buckets") {
+		t.Fatalf("empty message missing: %q", out)
+	}
+}
+
+func TestRenderExtremesChart(t *testing.T) {
+	out := RenderExtremesChart("F5 demo", chartBuckets())
+	for _, want := range []string{"max", "min", "95.0%", "-30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if RenderExtremesChart("e", nil) == "" {
+		t.Fatal("empty chart should still render a header")
+	}
+}

@@ -1,0 +1,629 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"specdb/internal/core"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// Improvement is the paper's metric (Section 4.1):
+// 1 − Σ time_spec / Σ time_normal, as a fraction (×100 for percent).
+func Improvement(normalSec, specSec []float64) float64 {
+	var n, s float64
+	for _, x := range normalSec {
+		n += x
+	}
+	for _, x := range specSec {
+		s += x
+	}
+	if n == 0 {
+		return 0
+	}
+	return 1 - s/n
+}
+
+// Bucket is one bar of the Section 6 charts: queries grouped by their
+// execution time under normal processing.
+type Bucket struct {
+	Lo, Hi float64 // normal-execution-time range (seconds)
+	Count  int
+	// ImprovementPct is the aggregate metric over the bucket's queries.
+	ImprovementPct float64
+	// MaxImprovementPct / MinImprovementPct are the per-query extremes
+	// (Figure 5); Min < 0 is a penalty.
+	MaxImprovementPct float64
+	MinImprovementPct float64
+}
+
+// BucketSpec describes a chart's x-axis.
+type BucketSpec struct {
+	Lo, Hi, Width float64
+	// MinCount drops buckets with fewer queries (the paper requires ≥5 for
+	// statistical robustness).
+	MinCount int
+}
+
+// BucketSpecFor returns the paper's x-axis for a dataset size (Figure 4/5/6
+// ranges; the multi-user Figure 7 uses shifted ranges).
+func BucketSpecFor(scaleName string, multiUser bool) BucketSpec {
+	if multiUser {
+		switch scaleName {
+		case "100MB":
+			return BucketSpec{Lo: 1, Hi: 10, Width: 1, MinCount: 5}
+		case "500MB":
+			return BucketSpec{Lo: 0, Hi: 100, Width: 10, MinCount: 5}
+		default:
+			return BucketSpec{Lo: 10, Hi: 160, Width: 30, MinCount: 5}
+		}
+	}
+	switch scaleName {
+	case "100MB":
+		return BucketSpec{Lo: 3, Hi: 13, Width: 1, MinCount: 5}
+	case "500MB":
+		return BucketSpec{Lo: 15, Hi: 65, Width: 5, MinCount: 5}
+	default:
+		return BucketSpec{Lo: 30, Hi: 140, Width: 10, MinCount: 5}
+	}
+}
+
+// BucketImprovements groups paired timings by normal execution time and
+// computes the per-bucket aggregate and extreme improvements.
+func BucketImprovements(normal, spec []QueryTiming, bs BucketSpec) []Bucket {
+	if len(normal) != len(spec) {
+		panic("harness: unpaired timings")
+	}
+	nb := int(math.Ceil((bs.Hi - bs.Lo) / bs.Width))
+	type acc struct {
+		n, s     float64
+		count    int
+		max, min float64
+	}
+	accs := make([]acc, nb)
+	for i := range accs {
+		accs[i].max = math.Inf(-1)
+		accs[i].min = math.Inf(1)
+	}
+	for i := range normal {
+		t := normal[i].Seconds
+		if t < bs.Lo || t >= bs.Hi {
+			continue
+		}
+		b := int((t - bs.Lo) / bs.Width)
+		a := &accs[b]
+		a.n += t
+		a.s += spec[i].Seconds
+		a.count++
+		imp := 0.0
+		if t > 0 {
+			imp = (1 - spec[i].Seconds/t) * 100
+		}
+		if imp > a.max {
+			a.max = imp
+		}
+		if imp < a.min {
+			a.min = imp
+		}
+	}
+	var out []Bucket
+	for i, a := range accs {
+		if a.count < bs.MinCount || a.n == 0 {
+			continue
+		}
+		out = append(out, Bucket{
+			Lo:                bs.Lo + float64(i)*bs.Width,
+			Hi:                bs.Lo + float64(i+1)*bs.Width,
+			Count:             a.count,
+			ImprovementPct:    (1 - a.s/a.n) * 100,
+			MaxImprovementPct: a.max,
+			MinImprovementPct: a.min,
+		})
+	}
+	return out
+}
+
+// InRangeImprovement computes the aggregate metric over the paired queries
+// whose NORMAL duration falls within the bucket range.
+func InRangeImprovement(normal, spec []QueryTiming, bs BucketSpec) float64 {
+	var n, s float64
+	for i := range normal {
+		t := normal[i].Seconds
+		if t < bs.Lo || t >= bs.Hi {
+			continue
+		}
+		n += t
+		s += spec[i].Seconds
+	}
+	if n == 0 {
+		return 0
+	}
+	return 1 - s/n
+}
+
+func seconds(ts []QueryTiming) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = t.Seconds
+	}
+	return out
+}
+
+// SpecVsNormalResult is one dataset-size run of the main experiment,
+// feeding both Figure 4 (averages) and Figure 5 (extremes).
+type SpecVsNormalResult struct {
+	Scale   string
+	Buckets []Bucket
+	// OverallPct is the aggregate improvement over every query.
+	OverallPct float64
+	// InRangePct is the aggregate improvement over the queries inside the
+	// paper's bucket range — the paper's headline averages (42/28/20 %)
+	// are computed over these "initial time ranges that include the great
+	// majority of queries" (Section 6).
+	InRangePct float64
+	// AvgMaterializationSec reproduces the paper's per-size average
+	// materialization time (6 / 9 / 10 s).
+	AvgMaterializationSec float64
+	// IncompletePct is the share of issued manipulations still running at
+	// GO (the paper reports 17 / 25 / 30 %).
+	IncompletePct float64
+	Stats         core.Stats
+}
+
+// RunSpecVsNormal runs the Figure 4/5 experiment for one dataset size.
+func RunSpecVsNormal(scaleName string, traces []*trace.Trace, seed uint64) (*SpecVsNormalResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := RunPaired(env, traces, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	bs := BucketSpecFor(scaleName, false)
+	res := &SpecVsNormalResult{
+		Scale:      scaleName,
+		Buckets:    BucketImprovements(pr.Normal, pr.Spec, bs),
+		OverallPct: Improvement(seconds(pr.Normal), seconds(pr.Spec)) * 100,
+		InRangePct: InRangeImprovement(pr.Normal, pr.Spec, bs) * 100,
+		Stats:      pr.Stats,
+	}
+	if pr.Stats.MaterializationsIssued > 0 {
+		res.AvgMaterializationSec = pr.Stats.MaterializationTime.Seconds() / float64(pr.Stats.MaterializationsIssued)
+	}
+	if pr.Stats.Issued > 0 {
+		res.IncompletePct = 100 * float64(pr.Stats.CanceledAtGo) / float64(pr.Stats.Issued)
+	}
+	return res, nil
+}
+
+// Figure6Result compares Views, Spec, and Spec+Views against normal
+// processing without views, per bucket (Section 6.2).
+type Figure6Result struct {
+	Scale   string
+	Views   []Bucket
+	Spec    []Bucket
+	Both    []Bucket
+	Overall struct {
+		ViewsPct, SpecPct, BothPct float64
+	}
+}
+
+// RunFigure6 runs the three-way comparison for one dataset size.
+func RunFigure6(scaleName string, traces []*trace.Trace, seed uint64) (*Figure6Result, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	// Baseline + Spec run on a view-less database.
+	plain, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := RunPaired(plain, traces, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	baseline, spec := pr.Normal, pr.Spec
+
+	// Views + Spec+Views run on the pre-materialized battery.
+	viewEnv, err := NewEnv(EnvConfig{Scale: scale, Seed: seed, PrematerializeViews: true, UseViews: true})
+	if err != nil {
+		return nil, err
+	}
+	var viewsOnly []QueryTiming
+	for i, tr := range traces {
+		vt, err := RunTraceNormal(viewEnv.Eng, i, tr)
+		if err != nil {
+			return nil, err
+		}
+		viewsOnly = append(viewsOnly, vt...)
+	}
+	var both []QueryTiming
+	for i, tr := range traces {
+		so, err := RunTraceSpeculative(viewEnv.Eng, i, tr, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		both = append(both, so.Timings...)
+	}
+
+	bs := BucketSpecFor(scaleName, false)
+	res := &Figure6Result{
+		Scale: scaleName,
+		Views: BucketImprovements(baseline, viewsOnly, bs),
+		Spec:  BucketImprovements(baseline, spec, bs),
+		Both:  BucketImprovements(baseline, both, bs),
+	}
+	res.Overall.ViewsPct = Improvement(seconds(baseline), seconds(viewsOnly)) * 100
+	res.Overall.SpecPct = Improvement(seconds(baseline), seconds(spec)) * 100
+	res.Overall.BothPct = Improvement(seconds(baseline), seconds(both)) * 100
+	return res, nil
+}
+
+// Figure7Result is the multi-user experiment (Section 6.3).
+type Figure7Result struct {
+	Scale      string
+	Buckets    []Bucket
+	OverallPct float64
+	Stats      core.Stats
+}
+
+// RunFigure7 replays three simultaneous traces with the 96 MB-equivalent
+// pool, selections-only enumeration, and the contention model.
+func RunFigure7(scaleName string, traces []*trace.Trace, seed uint64) (*Figure7Result, error) {
+	if len(traces) > 3 {
+		traces = traces[:3]
+	}
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(EnvConfig{
+		Scale:            scale,
+		Seed:             seed,
+		BufferPoolPages:  PoolPages96MB,
+		ContentionFactor: 0.35,
+	})
+	if err != nil {
+		return nil, err
+	}
+	normal, err := RunMultiUserNormal(env.Eng, traces)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.SelectionsOnly = true
+	specOut, err := RunMultiUserSpeculative(env.Eng, traces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pair by (user, query index).
+	key := func(t QueryTiming) string { return fmt.Sprintf("%d/%d", t.TraceIdx, t.QueryIdx) }
+	specBy := map[string]QueryTiming{}
+	for _, t := range specOut.Timings {
+		specBy[key(t)] = t
+	}
+	var pairedNormal, pairedSpec []QueryTiming
+	for _, n := range normal {
+		s, ok := specBy[key(n)]
+		if !ok {
+			return nil, fmt.Errorf("harness: multi-user runs disagree on %s", key(n))
+		}
+		pairedNormal = append(pairedNormal, n)
+		pairedSpec = append(pairedSpec, s)
+	}
+	return &Figure7Result{
+		Scale:      scaleName,
+		Buckets:    BucketImprovements(pairedNormal, pairedSpec, BucketSpecFor(scaleName, true)),
+		OverallPct: Improvement(seconds(pairedNormal), seconds(pairedSpec)) * 100,
+		Stats:      specOut.Stats,
+	}, nil
+}
+
+// AblationResult compares manipulation families (the Section 3.2 claim).
+type AblationResult struct {
+	Scale string
+	// PctByFamily maps family name → overall improvement.
+	PctByFamily map[string]float64
+}
+
+// RunAblationManipulations runs the A1 ablation: one manipulation family
+// enabled at a time, on one dataset size.
+func RunAblationManipulations(scaleName string, traces []*trace.Trace, seed uint64) (*AblationResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	families := []struct {
+		name string
+		ops  core.OpSet
+	}{
+		{"materialize", core.OpSet{Materialize: true}},
+		{"index", core.OpSet{Index: true}},
+		{"histogram", core.OpSet{Histogram: true}},
+		{"stage", core.OpSet{Stage: true}},
+	}
+	res := &AblationResult{Scale: scaleName, PctByFamily: map[string]float64{}}
+	for _, fam := range families {
+		env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Ops = fam.ops
+		cfg.MinBenefit = 0
+		pr, err := RunPaired(env, traces, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: ablation %s: %w", fam.name, err)
+		}
+		res.PctByFamily[fam.name] = Improvement(seconds(pr.Normal), seconds(pr.Spec)) * 100
+	}
+	return res, nil
+}
+
+// MemoryResidentResult is the A2 experiment (Section 6.1 prose): the pool
+// holds the whole database, so I/O is free after warm-up; speculation must
+// still win on CPU work.
+type MemoryResidentResult struct {
+	Scale      string
+	OverallPct float64
+}
+
+// RunMemoryResident runs the paired experiment with a pool larger than the
+// dataset and a warm start.
+func RunMemoryResident(scaleName string, traces []*trace.Trace, seed uint64) (*MemoryResidentResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed, BufferPoolPages: 1 << 17})
+	if err != nil {
+		return nil, err
+	}
+	// Warm the pool: one pass over every table.
+	for _, name := range env.Eng.Catalog.TableNames() {
+		if _, err := env.Eng.Exec("SELECT * FROM " + name); err != nil {
+			return nil, err
+		}
+	}
+	var normal, spec []QueryTiming
+	for i, tr := range traces {
+		// No ColdStart between traces: memory-resident means staying warm.
+		qs, err := replayWarmNormal(env, i, tr)
+		if err != nil {
+			return nil, err
+		}
+		normal = append(normal, qs...)
+	}
+	for i, tr := range traces {
+		so, err := replayWarmSpeculative(env, i, tr)
+		if err != nil {
+			return nil, err
+		}
+		spec = append(spec, so...)
+	}
+	return &MemoryResidentResult{
+		Scale:      scaleName,
+		OverallPct: Improvement(seconds(normal), seconds(spec)) * 100,
+	}, nil
+}
+
+func replayWarmNormal(env *Env, idx int, tr *trace.Trace) ([]QueryTiming, error) {
+	queries, err := trace.ExtractQueries(tr)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryTiming
+	for _, q := range queries {
+		res, err := env.Eng.RunGraph(q.Graph)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryTiming{TraceIdx: idx, QueryIdx: q.Index, Seconds: res.Duration.Seconds(), Rows: res.RowCount})
+	}
+	return out, nil
+}
+
+func replayWarmSpeculative(env *Env, idx int, tr *trace.Trace) ([]QueryTiming, error) {
+	// Same as RunTraceSpeculative but without the cold start.
+	cfg := core.DefaultConfig()
+	cfg.NamePrefix = fmt.Sprintf("specw_t%d", idx)
+	sp := core.NewSpeculator(env.Eng, core.NewLearner(DefaultLearnerConfig()), cfg)
+	var out []QueryTiming
+	var pending *core.Job
+	qIdx := 0
+	for _, ev := range tr.Events {
+		at := ev.At()
+		for pending != nil && pending.CompletesAt <= at {
+			next, err := sp.Complete(pending, pending.CompletesAt)
+			if err != nil {
+				return nil, err
+			}
+			pending = next
+		}
+		if ev.Kind == trace.EvGo {
+			res, goOut, err := sp.OnGo(at)
+			if err != nil {
+				return nil, err
+			}
+			if goOut.Canceled != nil {
+				pending = nil
+			}
+			if goOut.Issued != nil {
+				pending = goOut.Issued
+			}
+			out = append(out, QueryTiming{TraceIdx: idx, QueryIdx: qIdx, Seconds: res.Duration.Seconds(), Rows: res.RowCount})
+			qIdx++
+			continue
+		}
+		evOut, err := sp.OnEvent(ev, at)
+		if err != nil {
+			return nil, err
+		}
+		if evOut.Canceled != nil {
+			pending = nil
+		}
+		if evOut.Issued != nil {
+			pending = evOut.Issued
+		}
+	}
+	return out, sp.Shutdown()
+}
+
+// LookaheadResult is the A3 ablation over the cost model's future-query
+// depth n (Section 3.3's extension).
+type LookaheadResult struct {
+	Scale    string
+	PctByN   map[int]float64
+	Lookades []int
+}
+
+// RunLookahead compares lookahead depths.
+func RunLookahead(scaleName string, traces []*trace.Trace, seed uint64, depths []int) (*LookaheadResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	res := &LookaheadResult{Scale: scaleName, PctByN: map[int]float64{}, Lookades: depths}
+	for _, n := range depths {
+		env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Lookahead = n
+		pr, err := RunPaired(env, traces, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.PctByN[n] = Improvement(seconds(pr.Normal), seconds(pr.Spec)) * 100
+	}
+	return res, nil
+}
+
+// WaitAblationResult is the A4 experiment: the paper's Section 7 proposal of
+// waiting for almost-finished manipulations at GO, versus the conservative
+// always-cancel default.
+type WaitAblationResult struct {
+	Scale      string
+	CancelPct  float64 // improvement with the default cancel-at-GO policy
+	WaitPct    float64 // improvement with WaitForCompletion
+	WaitedAtGo int
+}
+
+// RunWaitAblation compares the two GO policies on one dataset size.
+func RunWaitAblation(scaleName string, traces []*trace.Trace, seed uint64) (*WaitAblationResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	res := &WaitAblationResult{Scale: scaleName}
+	for _, wait := range []bool{false, true} {
+		env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.WaitForCompletion = wait
+		pr, err := RunPaired(env, traces, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pct := Improvement(seconds(pr.Normal), seconds(pr.Spec)) * 100
+		if wait {
+			res.WaitPct = pct
+			res.WaitedAtGo = pr.Stats.WaitedAtGo
+		} else {
+			res.CancelPct = pct
+		}
+	}
+	return res, nil
+}
+
+// SuspendAblationResult is the A5 experiment: the Section 7 load-aware
+// proposal — suspend speculation while the server is busy — in the
+// multi-user setting.
+type SuspendAblationResult struct {
+	Scale      string
+	AlwaysPct  float64 // improvement without suspension
+	SuspendPct float64 // improvement when suspending under load
+	Suspended  int
+}
+
+// RunSuspendAblation compares the two load policies with three simultaneous
+// users (full enumeration, where interference is worst).
+func RunSuspendAblation(scaleName string, traces []*trace.Trace, seed uint64) (*SuspendAblationResult, error) {
+	if len(traces) > 3 {
+		traces = traces[:3]
+	}
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	res := &SuspendAblationResult{Scale: scaleName}
+	for _, suspend := range []bool{false, true} {
+		env, err := NewEnv(EnvConfig{
+			Scale:            scale,
+			Seed:             seed,
+			BufferPoolPages:  PoolPages96MB,
+			ContentionFactor: 0.35,
+		})
+		if err != nil {
+			return nil, err
+		}
+		normal, err := RunMultiUserNormal(env.Eng, traces)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		if suspend {
+			cfg.SuspendWhenBusy = 1
+		}
+		spec, err := RunMultiUserSpeculative(env.Eng, traces, cfg)
+		if err != nil {
+			return nil, err
+		}
+		specBy := map[string]float64{}
+		for _, t := range spec.Timings {
+			specBy[fmt.Sprintf("%d/%d", t.TraceIdx, t.QueryIdx)] = t.Seconds
+		}
+		var n, s []float64
+		for _, t := range normal {
+			n = append(n, t.Seconds)
+			s = append(s, specBy[fmt.Sprintf("%d/%d", t.TraceIdx, t.QueryIdx)])
+		}
+		pct := Improvement(n, s) * 100
+		if suspend {
+			res.SuspendPct = pct
+			res.Suspended = spec.Stats.Suspended
+		} else {
+			res.AlwaysPct = pct
+		}
+	}
+	return res, nil
+}
+
+// RenderBuckets prints a bucket series as a fixed-width table.
+func RenderBuckets(buckets []Bucket, withExtremes bool) string {
+	var b strings.Builder
+	if withExtremes {
+		fmt.Fprintf(&b, "%-12s %6s %8s %8s %8s\n", "bucket(s)", "n", "avg%", "max%", "min%")
+		for _, bk := range buckets {
+			fmt.Fprintf(&b, "%5.0f-%-6.0f %6d %8.1f %8.1f %8.1f\n",
+				bk.Lo, bk.Hi, bk.Count, bk.ImprovementPct, bk.MaxImprovementPct, bk.MinImprovementPct)
+		}
+	} else {
+		fmt.Fprintf(&b, "%-12s %6s %8s\n", "bucket(s)", "n", "avg%")
+		for _, bk := range buckets {
+			fmt.Fprintf(&b, "%5.0f-%-6.0f %6d %8.1f\n", bk.Lo, bk.Hi, bk.Count, bk.ImprovementPct)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,451 @@
+// Package harness replays user traces against the engine under the paper's
+// processing modes — normal, speculative, materialized views, and their
+// combination — on the simulated timeline, and computes the evaluation's
+// improvement metric, bucketed exactly as Section 6 presents it.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specdb/internal/core"
+	"specdb/internal/engine"
+	"specdb/internal/plan"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// PoolPages32MB is the paper's 32 MB buffer pool, scaled to preserve the
+// paper's data:pool ratios against this repository's (narrower-row) datasets:
+// the "100MB" dataset is 145 heap pages, and 100 MB / 32 MB ≈ 3.1, so the
+// pool gets 46 pages — which makes the "500MB" and "1GB" ratios ≈ 16 and
+// ≈ 33, matching the paper's 15.6 and 31.
+const PoolPages32MB = 46
+
+// PoolPages96MB is the multi-user experiment's scaled-up pool (Section 6.3).
+const PoolPages96MB = 138
+
+// Env is a loaded experimental environment: one engine with one dataset.
+type Env struct {
+	Eng   *engine.Engine
+	Scale tpch.Scale
+	// Views lists pre-materialized view names (Figure 6 modes).
+	Views []string
+}
+
+// EnvConfig sizes an environment.
+type EnvConfig struct {
+	Scale            tpch.Scale
+	Seed             uint64
+	BufferPoolPages  int
+	ContentionFactor float64
+	// PrematerializeViews builds the join of every connected subset of the
+	// relations (all attributes) as optional views — the paper's extreme
+	// pro-views configuration (Section 6.2).
+	PrematerializeViews bool
+	// UseViews lets the optimizer consider optional views.
+	UseViews bool
+}
+
+// NewEnv loads a dataset (and optionally the view battery) into a fresh
+// engine with a cold buffer pool.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.BufferPoolPages == 0 {
+		cfg.BufferPoolPages = PoolPages32MB
+	}
+	eng := engine.New(engine.Config{
+		BufferPoolPages:  cfg.BufferPoolPages,
+		UseViews:         cfg.UseViews,
+		ContentionFactor: cfg.ContentionFactor,
+	})
+	if err := tpch.Load(eng, cfg.Scale, cfg.Seed); err != nil {
+		return nil, err
+	}
+	env := &Env{Eng: eng, Scale: cfg.Scale}
+	if cfg.PrematerializeViews {
+		names, err := prematerializeViews(eng)
+		if err != nil {
+			return nil, err
+		}
+		env.Views = names
+	}
+	if err := eng.ColdStart(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// shortRel abbreviates relation names for view naming.
+var shortRel = map[string]string{
+	"customer": "cust", "lineitem": "li", "orders": "ord",
+	"part": "part", "partsupp": "ps", "supplier": "supp",
+}
+
+// prematerializeViews builds the join of each connected subset (size ≥ 2) of
+// the six relations, keeping all attributes, registered as optional views.
+func prematerializeViews(eng *engine.Engine) ([]string, error) {
+	rels := []string{"customer", "lineitem", "orders", "part", "partsupp", "supplier"}
+	edges := tpch.JoinEdges()
+	var names []string
+	for mask := 1; mask < 1<<len(rels); mask++ {
+		subset := map[string]bool{}
+		count := 0
+		for i, r := range rels {
+			if mask>>i&1 == 1 {
+				subset[r] = true
+				count++
+			}
+		}
+		if count < 2 {
+			continue
+		}
+		g := qgraph.New()
+		for r := range subset {
+			g.AddRelation(r)
+		}
+		for _, j := range edges {
+			if subset[j.LeftRel] && subset[j.RightRel] {
+				g.AddJoin(j)
+			}
+		}
+		if !g.IsConnected() {
+			continue
+		}
+		var parts []string
+		for _, r := range rels {
+			if subset[r] {
+				parts = append(parts, shortRel[r])
+			}
+		}
+		name := "mv_" + strings.Join(parts, "_")
+		if _, err := eng.Materialize(name, g, false); err != nil {
+			return nil, fmt.Errorf("harness: prematerializing %s: %w", name, err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// QueryTiming records one executed final query.
+type QueryTiming struct {
+	TraceIdx int
+	QueryIdx int
+	Seconds  float64
+	Rows     int64
+}
+
+// RunTraceNormal replays a trace without speculation: each final query runs
+// at its GO time. The pool starts cold (the paper's setup).
+func RunTraceNormal(eng *engine.Engine, traceIdx int, tr *trace.Trace) ([]QueryTiming, error) {
+	if err := eng.ColdStart(); err != nil {
+		return nil, err
+	}
+	queries, err := trace.ExtractQueries(tr)
+	if err != nil {
+		return nil, err
+	}
+	timings := make([]QueryTiming, 0, len(queries))
+	for _, q := range queries {
+		bound, err := plan.BindGraphProjections(eng.Catalog, q.Graph, q.Projs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.RunQuery(bound)
+		if err != nil {
+			return nil, err
+		}
+		timings = append(timings, QueryTiming{
+			TraceIdx: traceIdx,
+			QueryIdx: q.Index,
+			Seconds:  res.Duration.Seconds(),
+			Rows:     res.RowCount,
+		})
+	}
+	return timings, nil
+}
+
+// SpecOutcome reports a speculative replay.
+type SpecOutcome struct {
+	Timings []QueryTiming
+	Stats   core.Stats
+}
+
+// RunTraceSpeculative replays a trace through the speculation subsystem:
+// interface events drive the Speculator; asynchronous manipulations complete
+// on the simulated timeline; GO events execute the (possibly rewritten)
+// final query. The pool starts cold.
+func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg core.Config) (*SpecOutcome, error) {
+	if err := eng.ColdStart(); err != nil {
+		return nil, err
+	}
+	cfg.NamePrefix = fmt.Sprintf("spec_t%d", traceIdx)
+	sp := core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), cfg)
+	out := &SpecOutcome{}
+	pending := (*core.Job)(nil)
+
+	// advance completes due jobs (including chained follow-ups) up to t.
+	advance := func(t sim.Time) error {
+		for pending != nil && pending.CompletesAt <= t {
+			next, err := sp.Complete(pending, pending.CompletesAt)
+			if err != nil {
+				return err
+			}
+			pending = next
+		}
+		return nil
+	}
+
+	qIdx := 0
+	for _, ev := range tr.Events {
+		at := ev.At()
+		if err := advance(at); err != nil {
+			return nil, err
+		}
+		if ev.Kind == trace.EvGo {
+			res, goOut, err := sp.OnGo(at)
+			if err != nil {
+				return nil, err
+			}
+			if goOut.Canceled != nil {
+				pending = nil
+			}
+			if goOut.Issued != nil {
+				pending = goOut.Issued
+			}
+			out.Timings = append(out.Timings, QueryTiming{
+				TraceIdx: traceIdx,
+				QueryIdx: qIdx,
+				Seconds:  res.Duration.Seconds(),
+				Rows:     res.RowCount,
+			})
+			qIdx++
+			continue
+		}
+		evOut, err := sp.OnEvent(ev, at)
+		if err != nil {
+			return nil, err
+		}
+		if evOut.Canceled != nil {
+			pending = nil
+		}
+		if evOut.Issued != nil {
+			pending = evOut.Issued
+		}
+	}
+	out.Stats = sp.Stats()
+	if err := sp.Shutdown(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DefaultLearnerConfig re-exports the core default for harness callers.
+func DefaultLearnerConfig() core.LearnerConfig { return core.DefaultLearnerConfig() }
+
+// PairedRun replays every trace under normal then speculative processing on
+// the same environment, returning paired timings.
+type PairedRun struct {
+	Normal []QueryTiming
+	Spec   []QueryTiming
+	Stats  core.Stats // aggregated speculation counters
+}
+
+// RunPaired executes the paired replay for a corpus.
+func RunPaired(env *Env, traces []*trace.Trace, cfg core.Config) (*PairedRun, error) {
+	out := &PairedRun{}
+	for i, tr := range traces {
+		nt, err := RunTraceNormal(env.Eng, i, tr)
+		if err != nil {
+			return nil, fmt.Errorf("harness: normal replay of trace %d: %w", i, err)
+		}
+		out.Normal = append(out.Normal, nt...)
+		so, err := RunTraceSpeculative(env.Eng, i, tr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: speculative replay of trace %d: %w", i, err)
+		}
+		out.Spec = append(out.Spec, so.Timings...)
+		out.Stats = addStats(out.Stats, so.Stats)
+	}
+	if len(out.Normal) != len(out.Spec) {
+		return nil, fmt.Errorf("harness: paired runs disagree: %d vs %d queries", len(out.Normal), len(out.Spec))
+	}
+	return out, nil
+}
+
+func addStats(a, b core.Stats) core.Stats {
+	a.Issued += b.Issued
+	a.Completed += b.Completed
+	a.CanceledInvalidated += b.CanceledInvalidated
+	a.CanceledAtGo += b.CanceledAtGo
+	a.MaterializationsIssued += b.MaterializationsIssued
+	a.MaterializationTime += b.MaterializationTime
+	a.GarbageCollected += b.GarbageCollected
+	return a
+}
+
+// MultiUserOutcome reports a simultaneous multi-user replay.
+type MultiUserOutcome struct {
+	Timings []QueryTiming // TraceIdx identifies the user
+	Stats   core.Stats
+}
+
+// RunMultiUserSpeculative replays several traces simultaneously against one
+// engine (Section 6.3): events from all users interleave by timestamp, each
+// user has an independent Speculator, and the engine's contention model sees
+// the other users' in-flight manipulations.
+func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) (*MultiUserOutcome, error) {
+	if err := eng.ColdStart(); err != nil {
+		return nil, err
+	}
+	type userState struct {
+		sp      *core.Speculator
+		pending *core.Job
+		qIdx    int
+	}
+	users := make([]*userState, len(traces))
+	for i := range traces {
+		c := cfg
+		c.NamePrefix = fmt.Sprintf("spec_u%d", i)
+		users[i] = &userState{sp: core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), c)}
+	}
+
+	// Merge events by timestamp (stable by user for determinism).
+	type tagged struct {
+		user int
+		ev   trace.Event
+	}
+	var all []tagged
+	for u, tr := range traces {
+		for _, ev := range tr.Events {
+			all = append(all, tagged{user: u, ev: ev})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.AtSeconds != all[j].ev.AtSeconds {
+			return all[i].ev.AtSeconds < all[j].ev.AtSeconds
+		}
+		return all[i].user < all[j].user
+	})
+
+	activeOthers := func(self int) int {
+		n := 0
+		for i, u := range users {
+			if i != self && u.pending != nil {
+				n++
+			}
+		}
+		return n
+	}
+	out := &MultiUserOutcome{}
+	advance := func(u *userState, uIdx int, t sim.Time) error {
+		for u.pending != nil && u.pending.CompletesAt <= t {
+			eng.ActiveJobs = activeOthers(uIdx)
+			next, err := u.sp.Complete(u.pending, u.pending.CompletesAt)
+			if err != nil {
+				return err
+			}
+			u.pending = next
+		}
+		return nil
+	}
+	for _, item := range all {
+		u := users[item.user]
+		at := item.ev.At()
+		// Complete due jobs for every user up to this instant.
+		for i, other := range users {
+			if err := advance(other, i, at); err != nil {
+				return nil, err
+			}
+		}
+		eng.ActiveJobs = activeOthers(item.user)
+		if item.ev.Kind == trace.EvGo {
+			res, goOut, err := u.sp.OnGo(at)
+			if err != nil {
+				return nil, err
+			}
+			if goOut.Canceled != nil {
+				u.pending = nil
+			}
+			if goOut.Issued != nil {
+				u.pending = goOut.Issued
+			}
+			out.Timings = append(out.Timings, QueryTiming{
+				TraceIdx: item.user,
+				QueryIdx: u.qIdx,
+				Seconds:  res.Duration.Seconds(),
+				Rows:     res.RowCount,
+			})
+			u.qIdx++
+			continue
+		}
+		evOut, err := u.sp.OnEvent(item.ev, at)
+		if err != nil {
+			return nil, err
+		}
+		if evOut.Canceled != nil {
+			u.pending = nil
+		}
+		if evOut.Issued != nil {
+			u.pending = evOut.Issued
+		}
+	}
+	for _, u := range users {
+		out.Stats = addStats(out.Stats, u.sp.Stats())
+		if err := u.sp.Shutdown(); err != nil {
+			return nil, err
+		}
+	}
+	eng.ActiveJobs = 0
+	return out, nil
+}
+
+// RunMultiUserNormal replays several traces simultaneously WITHOUT
+// speculation: queries execute at their GO times; the contention model sees
+// no manipulations (normal multi-user processing shares only the pool).
+func RunMultiUserNormal(eng *engine.Engine, traces []*trace.Trace) ([]QueryTiming, error) {
+	if err := eng.ColdStart(); err != nil {
+		return nil, err
+	}
+	type item struct {
+		user int
+		q    trace.Query
+	}
+	var all []item
+	for u, tr := range traces {
+		qs, err := trace.ExtractQueries(tr)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range qs {
+			all = append(all, item{user: u, q: q})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].q.GoAt != all[j].q.GoAt {
+			return all[i].q.GoAt < all[j].q.GoAt
+		}
+		return all[i].user < all[j].user
+	})
+	var out []QueryTiming
+	for _, it := range all {
+		bound, err := plan.BindGraphProjections(eng.Catalog, it.q.Graph, it.q.Projs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.RunQuery(bound)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryTiming{
+			TraceIdx: it.user,
+			QueryIdx: it.q.Index,
+			Seconds:  res.Duration.Seconds(),
+			Rows:     res.RowCount,
+		})
+	}
+	return out, nil
+}

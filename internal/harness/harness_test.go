@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"specdb/internal/core"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// tinyScale keeps integration tests fast while exercising every code path.
+var tinyScale = tpch.NewScale("tiny", 0.002)
+
+func tinyEnv(t *testing.T, cfg EnvConfig) *Env {
+	t.Helper()
+	if cfg.Scale.Name == "" {
+		cfg.Scale = tinyScale
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func tinyTraces(t *testing.T, n int) []*trace.Trace {
+	t.Helper()
+	traces, err := trace.GenerateCorpus(tpch.Vocabulary(), n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorten the sessions for test speed.
+	for i, tr := range traces {
+		cfg := trace.DefaultGenConfig(tr.User, tr.Seed)
+		cfg.NumQueries = 12
+		cfg.NumTasks = 2
+		short, err := trace.Generate(tpch.Vocabulary(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = short
+	}
+	return traces
+}
+
+func TestImprovementMetric(t *testing.T) {
+	if got := Improvement([]float64{10, 10}, []float64{5, 5}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Improvement = %v, want 0.5", got)
+	}
+	if got := Improvement([]float64{10}, []float64{12}); math.Abs(got+0.2) > 1e-12 {
+		t.Fatalf("penalty = %v, want -0.2", got)
+	}
+	if got := Improvement(nil, nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestBucketImprovements(t *testing.T) {
+	mk := func(secs ...float64) []QueryTiming {
+		out := make([]QueryTiming, len(secs))
+		for i, s := range secs {
+			out[i] = QueryTiming{QueryIdx: i, Seconds: s}
+		}
+		return out
+	}
+	normal := mk(3.5, 3.6, 3.7, 3.8, 3.9, 4.5, 4.6, 20) // 20 is out of range
+	spec := mk(1.75, 1.8, 3.7, 3.8, 3.9, 4.5, 4.6, 5)
+	bs := BucketSpec{Lo: 3, Hi: 13, Width: 1, MinCount: 5}
+	buckets := BucketImprovements(normal, spec, bs)
+	if len(buckets) != 1 { // bucket 4-5 has only 2 queries (< MinCount)
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	b := buckets[0]
+	if b.Lo != 3 || b.Hi != 4 || b.Count != 5 {
+		t.Fatalf("bucket %+v", b)
+	}
+	// Two queries halved, three unchanged: aggregate < 50, max = 50, min = 0.
+	if b.ImprovementPct <= 0 || b.ImprovementPct >= 50 {
+		t.Fatalf("aggregate %v", b.ImprovementPct)
+	}
+	if math.Abs(b.MaxImprovementPct-50) > 0.1 || math.Abs(b.MinImprovementPct) > 0.1 {
+		t.Fatalf("extremes %v / %v", b.MaxImprovementPct, b.MinImprovementPct)
+	}
+	// In-range improvement ignores the 20s query.
+	inRange := InRangeImprovement(normal, spec, bs)
+	all := Improvement(seconds(normal), seconds(spec))
+	if inRange <= 0 || all <= inRange {
+		t.Fatalf("in-range %v vs overall %v (overall includes the big win at 20s)", inRange, all)
+	}
+}
+
+func TestBucketSpecFor(t *testing.T) {
+	for _, scale := range []string{"100MB", "500MB", "1GB"} {
+		for _, mu := range []bool{false, true} {
+			bs := BucketSpecFor(scale, mu)
+			if bs.Hi <= bs.Lo || bs.Width <= 0 || bs.MinCount < 1 {
+				t.Fatalf("bad spec %+v for %s/%v", bs, scale, mu)
+			}
+		}
+	}
+	if BucketSpecFor("100MB", false).Lo != 3 {
+		t.Fatal("100MB range should start at 3s (paper)")
+	}
+}
+
+func TestPairedRunProducesAlignedTimings(t *testing.T) {
+	env := tinyEnv(t, EnvConfig{})
+	traces := tinyTraces(t, 2)
+	pr, err := RunPaired(env, traces, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Normal) == 0 || len(pr.Normal) != len(pr.Spec) {
+		t.Fatalf("timings %d/%d", len(pr.Normal), len(pr.Spec))
+	}
+	for i := range pr.Normal {
+		if pr.Normal[i].TraceIdx != pr.Spec[i].TraceIdx || pr.Normal[i].QueryIdx != pr.Spec[i].QueryIdx {
+			t.Fatalf("pairing broken at %d", i)
+		}
+		// Answers must agree: speculation may never change results.
+		if pr.Normal[i].Rows != pr.Spec[i].Rows {
+			t.Fatalf("query %d/%d: normal %d rows, spec %d rows",
+				pr.Normal[i].TraceIdx, pr.Normal[i].QueryIdx, pr.Normal[i].Rows, pr.Spec[i].Rows)
+		}
+	}
+	// No speculative leftovers in the catalog.
+	for _, name := range env.Eng.Catalog.TableNames() {
+		if len(name) >= 4 && name[:4] == "spec" {
+			t.Fatalf("speculative table %q leaked", name)
+		}
+	}
+}
+
+func TestPairedRunDeterminism(t *testing.T) {
+	traces := tinyTraces(t, 1)
+	run := func() []QueryTiming {
+		env := tinyEnv(t, EnvConfig{})
+		pr, err := RunPaired(env, traces, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr.Spec
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Seconds != b[i].Seconds || a[i].Rows != b[i].Rows {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPrematerializedViews(t *testing.T) {
+	env := tinyEnv(t, EnvConfig{PrematerializeViews: true, UseViews: true})
+	if len(env.Views) < 10 {
+		t.Fatalf("only %d views prematerialized", len(env.Views))
+	}
+	// Views include the full 6-relation join and the customer-orders pair.
+	found := map[string]bool{}
+	for _, v := range env.Views {
+		found[v] = true
+	}
+	if !found["mv_cust_li_ord_part_ps_supp"] || !found["mv_cust_ord"] {
+		t.Fatalf("expected canonical view names, got %v", env.Views)
+	}
+	// A query over customer ⋈ orders must be answerable (and agree) with
+	// views on.
+	res, err := env.Eng.Exec("SELECT * FROM customer, orders WHERE customer.c_custkey = orders.o_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordT, _ := env.Eng.Catalog.Table("orders")
+	if res.RowCount != ordT.RowCount() {
+		t.Fatalf("view-mode answer %d rows, want %d", res.RowCount, ordT.RowCount())
+	}
+}
+
+func TestMultiUserReplay(t *testing.T) {
+	env := tinyEnv(t, EnvConfig{BufferPoolPages: PoolPages96MB, ContentionFactor: 0.5})
+	traces := tinyTraces(t, 3)
+
+	normal, err := RunMultiUserNormal(env.Eng, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SelectionsOnly = true
+	spec, err := RunMultiUserSpeculative(env.Eng, traces, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(normal) != len(spec.Timings) {
+		t.Fatalf("normal %d vs spec %d timings", len(normal), len(spec.Timings))
+	}
+	// Row counts agree per (user, query).
+	specBy := map[[2]int]QueryTiming{}
+	for _, s := range spec.Timings {
+		specBy[[2]int{s.TraceIdx, s.QueryIdx}] = s
+	}
+	for _, n := range normal {
+		s, ok := specBy[[2]int{n.TraceIdx, n.QueryIdx}]
+		if !ok {
+			t.Fatalf("missing spec timing for %d/%d", n.TraceIdx, n.QueryIdx)
+		}
+		if s.Rows != n.Rows {
+			t.Fatalf("user %d query %d: rows %d vs %d", n.TraceIdx, n.QueryIdx, n.Rows, s.Rows)
+		}
+	}
+	if env.Eng.ActiveJobs != 0 {
+		t.Fatal("ActiveJobs not reset")
+	}
+}
+
+func TestRunTraceSpeculativeStats(t *testing.T) {
+	env := tinyEnv(t, EnvConfig{})
+	traces := tinyTraces(t, 1)
+	so, err := RunTraceSpeculative(env.Eng, 0, traces[0], core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := so.Stats
+	if st.Issued < st.Completed {
+		t.Fatalf("impossible stats %+v", st)
+	}
+	if st.Issued != st.Completed+st.CanceledInvalidated+st.CanceledAtGo &&
+		st.Issued != st.Completed+st.CanceledInvalidated+st.CanceledAtGo+1 {
+		// +1 allows one job pending at end of trace (dropped by Shutdown).
+		t.Fatalf("issue accounting broken: %+v", st)
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"specdb/internal/core"
+	"specdb/internal/plan"
+	"specdb/internal/sim"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// TestProbeSpecDetail replays one trace speculatively, logging per-query
+// improvement and whether the plan used a speculative table.
+func TestProbeSpecDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe is slow")
+	}
+	traces, err := trace.GenerateCorpus(tpch.Vocabulary(), 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
+	env, err := NewEnv(EnvConfig{Scale: tpch.Scale100MB, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, err := RunTraceNormal(env.Eng, 0, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Eng.ColdStart(); err != nil {
+		t.Fatal(err)
+	}
+	eng := env.Eng
+	cfg := core.DefaultConfig()
+	sp := core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), cfg)
+	var pending *core.Job
+	qIdx := 0
+	completedN := 0
+	advance := func(at sim.Time) {
+		for pending != nil && pending.CompletesAt <= at {
+			next, err := sp.Complete(pending, pending.CompletesAt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			completedN++
+			pending = next
+		}
+	}
+	var issuedLog []string
+	rewritten := 0
+	for _, ev := range tr.Events {
+		at := ev.At()
+		advance(at)
+		if ev.Kind == trace.EvGo {
+			res, goOut, err := sp.OnGo(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if goOut.Canceled != nil {
+				pending = nil
+			}
+			if goOut.Issued != nil {
+				pending = goOut.Issued
+			}
+			n := normal[qIdx].Seconds
+			s := res.Duration.Seconds()
+			usesSpec := strings.Contains(plan.Explain(res.Plan), "spec_")
+			if usesSpec {
+				rewritten++
+			}
+			imp := 0.0
+			if n > 0 {
+				imp = (1 - s/n) * 100
+			}
+			t.Logf("q%02d normal=%6.1fs spec=%6.1fs imp=%6.1f%% usesSpec=%v manips=%v",
+				qIdx, n, s, imp, usesSpec, issuedLog)
+			issuedLog = nil
+			qIdx++
+			continue
+		}
+		evOut, err := sp.OnEvent(ev, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evOut.Canceled != nil {
+			pending = nil
+		}
+		if evOut.Issued != nil {
+			pending = evOut.Issued
+			issuedLog = append(issuedLog, evOut.Issued.Manip.String())
+		}
+	}
+	st := sp.Stats()
+	t.Logf("rewritten=%d/%d stats=%+v", rewritten, qIdx, st)
+	_ = sp.Shutdown()
+}

@@ -1,0 +1,117 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of work scheduled on the simulated timeline.
+type Event struct {
+	At   Time
+	Name string
+	// Run executes the event. It may schedule further events.
+	Run func()
+
+	seq   int64 // tie-breaker: FIFO among events at the same instant
+	index int   // heap bookkeeping
+}
+
+// EventQueue is a discrete-event scheduler. Events run in timestamp order;
+// ties run in scheduling order, which keeps multi-user interleavings
+// deterministic.
+type EventQueue struct {
+	clock *Clock
+	pq    eventHeap
+	seq   int64
+}
+
+// NewEventQueue returns an empty queue driving the given clock.
+func NewEventQueue(clock *Clock) *EventQueue {
+	return &EventQueue{clock: clock}
+}
+
+// Schedule enqueues an event at absolute time at. Scheduling in the past
+// (before the clock's current position) panics — it would silently reorder
+// history.
+func (q *EventQueue) Schedule(at Time, name string, run func()) *Event {
+	if at < q.clock.Now() {
+		panic("sim: event scheduled in the past: " + name)
+	}
+	ev := &Event{At: at, Name: name, Run: run, seq: q.seq}
+	q.seq++
+	heap.Push(&q.pq, ev)
+	return ev
+}
+
+// ScheduleAfter enqueues an event d after the current clock position.
+func (q *EventQueue) ScheduleAfter(d Duration, name string, run func()) *Event {
+	return q.Schedule(q.clock.Now().Add(d), name, run)
+}
+
+// Cancel removes an event from the queue. Cancelling an event that already
+// ran (or was already cancelled) is a no-op.
+func (q *EventQueue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&q.pq, ev.index)
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return q.pq.Len() }
+
+// Step runs the earliest pending event, advancing the clock to its timestamp.
+// It reports whether an event ran.
+func (q *EventQueue) Step() bool {
+	if q.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.pq).(*Event)
+	q.clock.AdvanceTo(ev.At)
+	ev.Run()
+	return true
+}
+
+// Run drains the queue, running every event in order.
+func (q *EventQueue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil runs events with timestamps ≤ t, then advances the clock to t.
+func (q *EventQueue) RunUntil(t Time) {
+	for q.pq.Len() > 0 && q.pq[0].At <= t {
+		q.Step()
+	}
+	q.clock.AdvanceTo(t)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "time"
+
+// CostRates converts engine work counters into simulated time. The default
+// rates are calibrated (see EXPERIMENTS.md) so that query durations on the
+// scaled TPC-H datasets land in the paper's bucket ranges: 3–13 s ("100 MB"),
+// 15–65 s ("500 MB"), 30–140 s ("1 GB").
+type CostRates struct {
+	// PageRead is the simulated cost of one buffer-pool miss (a disk read).
+	PageRead Duration
+	// PageWrite is the simulated cost of writing one dirty page back.
+	PageWrite Duration
+	// Tuple is the simulated CPU cost of moving one tuple through one
+	// operator.
+	Tuple Duration
+}
+
+// DefaultRates models a ~2000-era disk and CPU at the repository's 1/20 data
+// scale: scans dominated by I/O, joins by per-tuple work.
+func DefaultRates() CostRates {
+	return CostRates{
+		PageRead:  18 * time.Millisecond,
+		PageWrite: 20 * time.Millisecond,
+		Tuple:     10 * time.Microsecond,
+	}
+}
+
+// Work is a snapshot of accumulated engine work counters.
+type Work struct {
+	PageReads  int64 // buffer-pool misses serviced from "disk"
+	PageWrites int64 // dirty pages written back
+	Tuples     int64 // tuples processed across all operators
+}
+
+// Add returns the component-wise sum w+v.
+func (w Work) Add(v Work) Work {
+	return Work{
+		PageReads:  w.PageReads + v.PageReads,
+		PageWrites: w.PageWrites + v.PageWrites,
+		Tuples:     w.Tuples + v.Tuples,
+	}
+}
+
+// Sub returns the component-wise difference w−v.
+func (w Work) Sub(v Work) Work {
+	return Work{
+		PageReads:  w.PageReads - v.PageReads,
+		PageWrites: w.PageWrites - v.PageWrites,
+		Tuples:     w.Tuples - v.Tuples,
+	}
+}
+
+// Cost converts the work into simulated time under the given rates.
+func (w Work) Cost(r CostRates) Duration {
+	return Duration(w.PageReads)*r.PageRead +
+		Duration(w.PageWrites)*r.PageWrite +
+		Duration(w.Tuples)*r.Tuple
+}
+
+// Meter accumulates work counters. The buffer pool charges page I/O to it and
+// executor operators charge tuples; the engine snapshots it around each
+// statement to obtain that statement's simulated duration.
+type Meter struct {
+	w Work
+}
+
+// NewMeter returns a zeroed meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// ChargePageRead records n buffer-pool misses.
+func (m *Meter) ChargePageRead(n int64) { m.w.PageReads += n }
+
+// ChargePageWrite records n page write-backs.
+func (m *Meter) ChargePageWrite(n int64) { m.w.PageWrites += n }
+
+// ChargeTuples records n tuples processed.
+func (m *Meter) ChargeTuples(n int64) { m.w.Tuples += n }
+
+// Snapshot reports the accumulated work so far.
+func (m *Meter) Snapshot() Work { return m.w }
+
+// Since reports the work accumulated after the given snapshot.
+func (m *Meter) Since(s Work) Work { return m.w.Sub(s) }

@@ -1,0 +1,125 @@
+// Package sql implements the engine's SQL dialect: conjunctive
+// select-project-join queries plus the DDL the speculation subsystem needs
+// (SELECT … INTO for materialization, CREATE INDEX, CREATE HISTOGRAM,
+// DROP TABLE, EXPLAIN). The dialect deliberately matches the query class of
+// the paper (Section 2: conjunctive queries).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // = <> != < <= > >=
+	tokPunct // ( ) , . *
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer produces tokens from SQL text.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token, or an error for unterminated strings and
+// unexpected bytes.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++ // first digit or sign
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				// '' escapes a quote inside the literal.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	case c == '<' || c == '>' || c == '=' || c == '!':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "!" {
+			return token{}, fmt.Errorf("sql: unexpected %q at offset %d", text, start)
+		}
+		return token{kind: tokOp, text: text, pos: start}, nil
+	case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

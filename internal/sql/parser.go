@@ -1,0 +1,325 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"specdb/internal/tuple"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.cur)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement that must be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	return p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %s", strings.ToUpper(kw), p.cur)
+	}
+	return p.advance()
+}
+
+// expectPunct consumes the given punctuation or fails.
+func (p *parser) expectPunct(s string) error {
+	if p.cur.kind != tokPunct || p.cur.text != s {
+		return fmt.Errorf("sql: expected %q, got %s", s, p.cur)
+	}
+	return p.advance()
+}
+
+// ident consumes an identifier and returns its text.
+func (p *parser) ident() (string, error) {
+	if p.cur.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %s", p.cur)
+	}
+	text := p.cur.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.keyword("select"):
+		return p.parseSelect()
+	case p.keyword("explain"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel}, nil
+	case p.keyword("create"):
+		return p.parseCreate()
+	case p.keyword("drop"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("sql: expected a statement, got %s", p.cur)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.advance(); err != nil { // consume CREATE
+		return nil, err
+	}
+	var histogram bool
+	switch {
+	case p.keyword("index"):
+	case p.keyword("histogram"):
+		histogram = true
+	default:
+		return nil, fmt.Errorf("sql: expected INDEX or HISTOGRAM after CREATE, got %s", p.cur)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if histogram {
+		return &CreateHistogramStmt{Table: table, Column: col}, nil
+	}
+	return &CreateIndexStmt{Table: table, Column: col}, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+
+	// Projection list: * or col[, col]...
+	if p.cur.kind == tokPunct && p.cur.text == "*" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Projections = append(stmt.Projections, ref)
+			if p.cur.kind == tokPunct && p.cur.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, name)
+		if p.cur.kind == tokPunct && p.cur.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+
+	if p.keyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if p.keyword("and") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+
+	if p.keyword("into") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Accept the optional TABLE noise word the paper's example uses
+		// ("INTO TABLE young_employee").
+		if p.keyword("table") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Into = name
+	}
+	return stmt, nil
+}
+
+// parseColRef parses ident[.ident].
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.cur.kind == tokPunct && p.cur.text == "." {
+		if err := p.advance(); err != nil {
+			return ColRef{}, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Rel: first, Col: col}, nil
+	}
+	return ColRef{Col: first}, nil
+}
+
+// parseCondition parses colref op (colref | constant).
+func (p *parser) parseCondition() (Condition, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return Condition{}, err
+	}
+	if p.cur.kind != tokOp {
+		return Condition{}, fmt.Errorf("sql: expected comparison operator, got %s", p.cur)
+	}
+	op, ok := tuple.ParseCmpOp(p.cur.text)
+	if !ok {
+		return Condition{}, fmt.Errorf("sql: unknown operator %s", p.cur)
+	}
+	if err := p.advance(); err != nil {
+		return Condition{}, err
+	}
+
+	switch p.cur.kind {
+	case tokNumber:
+		v, err := parseNumber(p.cur.text)
+		if err != nil {
+			return Condition{}, err
+		}
+		if err := p.advance(); err != nil {
+			return Condition{}, err
+		}
+		return Condition{Left: left, Op: op, RightConst: &v}, nil
+	case tokString:
+		v := tuple.NewString(p.cur.text)
+		if err := p.advance(); err != nil {
+			return Condition{}, err
+		}
+		return Condition{Left: left, Op: op, RightConst: &v}, nil
+	case tokIdent:
+		// Join condition: only equality joins are in the dialect (and in the
+		// paper's interface model).
+		right, err := p.parseColRef()
+		if err != nil {
+			return Condition{}, err
+		}
+		if op != tuple.CmpEQ {
+			return Condition{}, fmt.Errorf("sql: join conditions must use =, got %s", op)
+		}
+		return Condition{Left: left, Op: op, RightCol: &right}, nil
+	default:
+		return Condition{}, fmt.Errorf("sql: expected a constant or column after operator, got %s", p.cur)
+	}
+}
+
+func parseNumber(text string) (tuple.Value, error) {
+	if strings.ContainsRune(text, '.') {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tuple.Value{}, fmt.Errorf("sql: bad number %q: %w", text, err)
+		}
+		return tuple.NewFloat(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return tuple.Value{}, fmt.Errorf("sql: bad number %q: %w", text, err)
+	}
+	return tuple.NewInt(i), nil
+}

@@ -1,0 +1,268 @@
+// Package stats provides the optimizer's statistics layer: per-column
+// statistics, equi-depth histograms, and selectivity estimation for selection
+// and join predicates. Histogram creation is itself one of the paper's
+// speculative manipulations (Section 3.2): creating a histogram during user
+// think-time sharpens the optimizer's estimates for the final query.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/tuple"
+)
+
+// Default selectivities used when no statistics are available — the classic
+// System-R magic numbers.
+const (
+	DefaultEqSelectivity    = 0.10
+	DefaultRangeSelectivity = 1.0 / 3.0
+	DefaultNeSelectivity    = 0.90
+)
+
+// ColumnStats summarizes one column of one relation.
+type ColumnStats struct {
+	Count    int64 // rows (including the column's duplicates)
+	Distinct int64
+	// Min/Max are valid when HasRange is true (numeric or string columns
+	// with at least one row).
+	HasRange bool
+	Min, Max tuple.Value
+	// Hist is non-nil after histogram creation for the column.
+	Hist *Histogram
+}
+
+// EstimateSelectivity estimates the fraction of rows satisfying
+// "column op constant".
+func (c *ColumnStats) EstimateSelectivity(op tuple.CmpOp, constant tuple.Value) float64 {
+	if c == nil || c.Count == 0 {
+		return defaultSelectivity(op)
+	}
+	if c.Hist != nil && constant.IsNumeric() {
+		return c.Hist.Selectivity(op, constant.AsFloat())
+	}
+	switch op {
+	case tuple.CmpEQ:
+		if c.Distinct > 0 {
+			return clamp01(1 / float64(c.Distinct))
+		}
+		return DefaultEqSelectivity
+	case tuple.CmpNE:
+		if c.Distinct > 0 {
+			return clamp01(1 - 1/float64(c.Distinct))
+		}
+		return DefaultNeSelectivity
+	case tuple.CmpLT, tuple.CmpLE, tuple.CmpGT, tuple.CmpGE:
+		if c.HasRange && c.Min.IsNumeric() && constant.IsNumeric() {
+			return interpolate(op, c.Min.AsFloat(), c.Max.AsFloat(), constant.AsFloat())
+		}
+		return DefaultRangeSelectivity
+	default:
+		return defaultSelectivity(op)
+	}
+}
+
+func defaultSelectivity(op tuple.CmpOp) float64 {
+	switch op {
+	case tuple.CmpEQ:
+		return DefaultEqSelectivity
+	case tuple.CmpNE:
+		return DefaultNeSelectivity
+	default:
+		return DefaultRangeSelectivity
+	}
+}
+
+// interpolate assumes a uniform distribution over [min, max] — the estimate a
+// System-R optimizer makes *without* a histogram. On the skewed fields of the
+// paper's dataset this is exactly the estimate histograms improve upon.
+func interpolate(op tuple.CmpOp, min, max, c float64) float64 {
+	if max <= min {
+		return DefaultRangeSelectivity
+	}
+	frac := (c - min) / (max - min)
+	frac = clamp01(frac)
+	switch op {
+	case tuple.CmpLT, tuple.CmpLE:
+		return frac
+	default: // GT, GE
+		return 1 - frac
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// CollectColumnStats computes Count/Distinct/Min/Max from a column's values.
+// Histograms are built separately (BuildHistogram) because histogram creation
+// is a distinct, costed manipulation.
+func CollectColumnStats(values []tuple.Value) *ColumnStats {
+	cs := &ColumnStats{Count: int64(len(values))}
+	if len(values) == 0 {
+		return cs
+	}
+	distinct := make(map[string]struct{}, len(values))
+	var keyBuf []byte
+	cs.Min, cs.Max = values[0], values[0]
+	for _, v := range values {
+		keyBuf = tuple.EncodeKey(keyBuf[:0], v)
+		distinct[string(keyBuf)] = struct{}{}
+		if v.Compare(cs.Min) < 0 {
+			cs.Min = v
+		}
+		if v.Compare(cs.Max) > 0 {
+			cs.Max = v
+		}
+	}
+	cs.Distinct = int64(len(distinct))
+	cs.HasRange = true
+	return cs
+}
+
+// Bucket is one equi-depth histogram bucket over [Lo, Hi].
+type Bucket struct {
+	Lo, Hi   float64
+	Count    int64
+	Distinct int64
+}
+
+// Histogram is an equi-depth histogram over a numeric column.
+type Histogram struct {
+	Buckets []Bucket
+	Total   int64
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most numBuckets
+// buckets from the given numeric values. Non-numeric values are rejected.
+func BuildHistogram(values []tuple.Value, numBuckets int) (*Histogram, error) {
+	if numBuckets <= 0 {
+		return nil, fmt.Errorf("stats: numBuckets must be positive, got %d", numBuckets)
+	}
+	xs := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !v.IsNumeric() {
+			return nil, fmt.Errorf("stats: histogram over non-numeric kind %v", v.Kind)
+		}
+		xs = append(xs, v.AsFloat())
+	}
+	sort.Float64s(xs)
+	h := &Histogram{Total: int64(len(xs))}
+	if len(xs) == 0 {
+		return h, nil
+	}
+	depth := (len(xs) + numBuckets - 1) / numBuckets
+	for start := 0; start < len(xs); {
+		end := start + depth
+		if end > len(xs) {
+			end = len(xs)
+		}
+		// Extend the bucket so equal values never straddle a boundary;
+		// otherwise equality estimates near boundaries double-count.
+		for end < len(xs) && xs[end] == xs[end-1] {
+			end++
+		}
+		b := Bucket{Lo: xs[start], Hi: xs[end-1], Count: int64(end - start)}
+		d := int64(1)
+		for i := start + 1; i < end; i++ {
+			if xs[i] != xs[i-1] {
+				d++
+			}
+		}
+		b.Distinct = d
+		h.Buckets = append(h.Buckets, b)
+		start = end
+	}
+	return h, nil
+}
+
+// Selectivity estimates the fraction of rows with "value op c".
+func (h *Histogram) Selectivity(op tuple.CmpOp, c float64) float64 {
+	if h == nil || h.Total == 0 {
+		return defaultSelectivity(op)
+	}
+	switch op {
+	case tuple.CmpEQ:
+		return clamp01(h.estimateEq(c))
+	case tuple.CmpNE:
+		return clamp01(1 - h.estimateEq(c))
+	case tuple.CmpLT:
+		return clamp01(h.estimateLess(c, false))
+	case tuple.CmpLE:
+		return clamp01(h.estimateLess(c, true))
+	case tuple.CmpGT:
+		return clamp01(1 - h.estimateLess(c, true))
+	case tuple.CmpGE:
+		return clamp01(1 - h.estimateLess(c, false))
+	default:
+		return defaultSelectivity(op)
+	}
+}
+
+func (h *Histogram) estimateEq(c float64) float64 {
+	for _, b := range h.Buckets {
+		if c < b.Lo || c > b.Hi {
+			continue
+		}
+		if b.Distinct == 0 {
+			continue
+		}
+		// Uniform-within-bucket: each distinct value holds count/distinct rows.
+		return float64(b.Count) / float64(b.Distinct) / float64(h.Total)
+	}
+	return 0
+}
+
+// estimateLess returns the estimated fraction with value < c (or ≤ c when
+// inclusive), using linear interpolation within the straddling bucket.
+func (h *Histogram) estimateLess(c float64, inclusive bool) float64 {
+	var below float64
+	for _, b := range h.Buckets {
+		switch {
+		case b.Hi < c:
+			below += float64(b.Count)
+		case b.Lo > c:
+			// entire bucket above
+		default: // straddling bucket
+			var frac float64
+			if b.Hi > b.Lo {
+				frac = (c - b.Lo) / (b.Hi - b.Lo)
+			} else if inclusive {
+				frac = 1 // single-value bucket equal to c
+			}
+			below += frac * float64(b.Count)
+		}
+	}
+	sel := below / float64(h.Total)
+	if inclusive {
+		sel += h.estimateEq(c) * 0.5 // nudge toward including the point mass
+	}
+	return sel
+}
+
+// EstimateJoinSelectivity estimates the selectivity of an equi-join between
+// two columns with the given statistics: 1/max(distinct_l, distinct_r), the
+// standard textbook formula.
+func EstimateJoinSelectivity(l, r *ColumnStats) float64 {
+	dl, dr := int64(0), int64(0)
+	if l != nil {
+		dl = l.Distinct
+	}
+	if r != nil {
+		dr = r.Distinct
+	}
+	d := dl
+	if dr > d {
+		d = dr
+	}
+	if d <= 0 {
+		return DefaultEqSelectivity
+	}
+	return 1 / float64(d)
+}

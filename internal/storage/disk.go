@@ -1,0 +1,97 @@
+// Package storage implements the on-"disk" layer of the engine: a page-based
+// disk manager, slotted pages, and heap files. The disk is an in-memory byte
+// store with physical-I/O counters; actual latency is accounted by the buffer
+// pool against a sim.Meter, keeping every run deterministic (DESIGN.md §1).
+package storage
+
+import "fmt"
+
+// PageID identifies a disk page. Zero is never a valid page, so PageID 0 can
+// mean "none".
+type PageID int64
+
+// DefaultPageSize matches the 8 KB pages of the paper's testbed DBMS.
+const DefaultPageSize = 8192
+
+// DiskManager is the simulated disk: a growable array of fixed-size pages
+// with allocate/read/write/free and physical I/O counters.
+type DiskManager struct {
+	pageSize int
+	pages    map[PageID][]byte
+	next     PageID
+
+	reads  int64
+	writes int64
+}
+
+// NewDiskManager returns an empty disk with the given page size (0 means
+// DefaultPageSize).
+func NewDiskManager(pageSize int) *DiskManager {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 64 {
+		panic("storage: page size too small")
+	}
+	return &DiskManager{
+		pageSize: pageSize,
+		pages:    make(map[PageID][]byte),
+		next:     1,
+	}
+}
+
+// PageSize reports the size of every page on this disk.
+func (d *DiskManager) PageSize() int { return d.pageSize }
+
+// Allocate reserves a fresh zeroed page and returns its ID.
+func (d *DiskManager) Allocate() PageID {
+	id := d.next
+	d.next++
+	d.pages[id] = make([]byte, d.pageSize)
+	return id
+}
+
+// Read copies page id into buf (which must be PageSize bytes).
+func (d *DiskManager) Read(id PageID, buf []byte) error {
+	p, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.pageSize)
+	}
+	copy(buf, p)
+	d.reads++
+	return nil
+}
+
+// Write stores buf (PageSize bytes) as the content of page id.
+func (d *DiskManager) Write(id PageID, buf []byte) error {
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: write to unallocated page %d", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), d.pageSize)
+	}
+	p := make([]byte, d.pageSize)
+	copy(p, buf)
+	d.pages[id] = p
+	d.writes++
+	return nil
+}
+
+// Free releases page id. Freeing an unallocated page is an error — it
+// indicates double-free in the heap-file layer.
+func (d *DiskManager) Free(id PageID) error {
+	if _, ok := d.pages[id]; !ok {
+		return fmt.Errorf("storage: free of unallocated page %d", id)
+	}
+	delete(d.pages, id)
+	return nil
+}
+
+// Allocated reports the number of live pages (a proxy for disk usage).
+func (d *DiskManager) Allocated() int { return len(d.pages) }
+
+// Stats reports cumulative physical reads and writes.
+func (d *DiskManager) Stats() (reads, writes int64) { return d.reads, d.writes }

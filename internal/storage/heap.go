@@ -1,0 +1,142 @@
+package storage
+
+import "fmt"
+
+// PagePool is the slice of buffer-pool behaviour the heap file needs. It is
+// defined here (consumer side) so storage does not import the buffer package.
+type PagePool interface {
+	// Get pins a page and returns its buffer.
+	Get(PageID) ([]byte, error)
+	// Unpin releases a pin, recording whether the buffer was modified.
+	Unpin(id PageID, dirty bool)
+	// New allocates a fresh pinned page.
+	New() (PageID, []byte, error)
+	// Free drops a page from pool and disk.
+	Free(PageID) error
+}
+
+// RID locates a record: the index of its page within the owning heap file and
+// its slot on that page.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile is an unordered collection of records spread over slotted pages.
+// It is append-only: the paper's environment is a read-only database plus
+// whole-table materializations, so record-level delete is unnecessary.
+type HeapFile struct {
+	pool  PagePool
+	pages []PageID
+	rows  int64
+}
+
+// NewHeapFile returns an empty heap file writing through pool.
+func NewHeapFile(pool PagePool) *HeapFile {
+	return &HeapFile{pool: pool}
+}
+
+// NumPages reports the number of pages in the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// NumRows reports the number of records in the file.
+func (h *HeapFile) NumRows() int64 { return h.rows }
+
+// PageIDs returns the file's page IDs in order (used by data staging).
+func (h *HeapFile) PageIDs() []PageID {
+	out := make([]PageID, len(h.pages))
+	copy(out, h.pages)
+	return out
+}
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if n := len(h.pages); n > 0 {
+		buf, err := h.pool.Get(h.pages[n-1])
+		if err != nil {
+			return RID{}, err
+		}
+		page := AsSlotted(buf)
+		if slot, err := page.Insert(rec); err == nil {
+			h.pool.Unpin(h.pages[n-1], true)
+			h.rows++
+			return RID{Page: int32(n - 1), Slot: int32(slot)}, nil
+		}
+		h.pool.Unpin(h.pages[n-1], false)
+	}
+	id, buf, err := h.pool.New()
+	if err != nil {
+		return RID{}, err
+	}
+	page := InitSlotted(buf)
+	slot, err := page.Insert(rec)
+	h.pool.Unpin(id, true)
+	if err != nil {
+		return RID{}, fmt.Errorf("storage: record too large for an empty page: %w", err)
+	}
+	h.pages = append(h.pages, id)
+	h.rows++
+	return RID{Page: int32(len(h.pages) - 1), Slot: int32(slot)}, nil
+}
+
+// Scan visits every record in file order. The rec slice passed to fn aliases
+// the page buffer and is only valid during the callback. Returning a non-nil
+// error from fn stops the scan and propagates the error.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	for pi, id := range h.pages {
+		buf, err := h.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		page := AsSlotted(buf)
+		for si := 0; si < page.NumSlots(); si++ {
+			rec, err := page.Record(si)
+			if err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+			if err := fn(RID{Page: int32(pi), Slot: int32(si)}, rec); err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	return nil
+}
+
+// Fetch returns a copy of the record at rid.
+func (h *HeapFile) Fetch(rid RID) ([]byte, error) {
+	if rid.Page < 0 || int(rid.Page) >= len(h.pages) {
+		return nil, fmt.Errorf("storage: RID %v page out of range", rid)
+	}
+	id := h.pages[rid.Page]
+	buf, err := h.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(id, false)
+	page := AsSlotted(buf)
+	rec, err := page.Record(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Drop frees every page of the file. The file must not be used afterwards.
+func (h *HeapFile) Drop() error {
+	for _, id := range h.pages {
+		if err := h.pool.Free(id); err != nil {
+			return err
+		}
+	}
+	h.pages = nil
+	h.rows = 0
+	return nil
+}

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted page layout (record pages):
+//
+//	[0:2)   uint16 slot count
+//	[2:4)   uint16 free-space start offset
+//	[4:...) record payloads, growing forward
+//	[...:N) slot directory, growing backward from the page end;
+//	        slot i occupies the 4 bytes at N-4(i+1): uint16 offset, uint16 length
+//
+// The engine's workload is read-mostly (the database is read-only; speculation
+// adds whole materialized tables), so pages support insert and read but not
+// in-place delete; space is reclaimed by dropping whole tables.
+
+const (
+	slottedHeaderSize = 4
+	slotEntrySize     = 4
+)
+
+// SlottedPage wraps a page buffer with record accessors. It does not own the
+// buffer; the buffer pool does.
+type SlottedPage struct {
+	buf []byte
+}
+
+// AsSlotted interprets buf as a slotted page.
+func AsSlotted(buf []byte) SlottedPage { return SlottedPage{buf: buf} }
+
+// InitSlotted formats buf as an empty slotted page.
+func InitSlotted(buf []byte) SlottedPage {
+	binary.LittleEndian.PutUint16(buf[0:2], 0)
+	binary.LittleEndian.PutUint16(buf[2:4], slottedHeaderSize)
+	return SlottedPage{buf: buf}
+}
+
+// NumSlots reports the number of records on the page.
+func (p SlottedPage) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p SlottedPage) freeStart() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+}
+
+// FreeSpace reports the bytes available for one more record (payload plus its
+// slot entry).
+func (p SlottedPage) FreeSpace() int {
+	dirStart := len(p.buf) - p.NumSlots()*slotEntrySize
+	free := dirStart - p.freeStart() - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert appends a record and returns its slot number. It fails if the record
+// does not fit.
+func (p SlottedPage) Insert(rec []byte) (int, error) {
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("storage: record of %d bytes does not fit (%d free)", len(rec), p.FreeSpace())
+	}
+	n := p.NumSlots()
+	off := p.freeStart()
+	copy(p.buf[off:], rec)
+	slotPos := len(p.buf) - (n+1)*slotEntrySize
+	binary.LittleEndian.PutUint16(p.buf[slotPos:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[slotPos+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off+len(rec)))
+	return n, nil
+}
+
+// Record returns the payload of slot i. The returned slice aliases the page
+// buffer and must not be retained past the pin.
+func (p SlottedPage) Record(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.NumSlots())
+	}
+	slotPos := len(p.buf) - (i+1)*slotEntrySize
+	off := int(binary.LittleEndian.Uint16(p.buf[slotPos:]))
+	length := int(binary.LittleEndian.Uint16(p.buf[slotPos+2:]))
+	return p.buf[off : off+length], nil
+}

@@ -1,0 +1,36 @@
+package tpch
+
+import (
+	"specdb/internal/qgraph"
+	"specdb/internal/trace"
+)
+
+// Vocabulary builds the synthetic user model's schema knowledge from the
+// TPC-H subset: its relations, FK join edges, and selectable skewed columns.
+func Vocabulary() *trace.Vocabulary {
+	v := &trace.Vocabulary{
+		Relations: []string{"customer", "lineitem", "orders", "part", "partsupp", "supplier"},
+		Joins:     JoinEdges(),
+		// Growth follows the FK spine; the supplier–partsupp edge is added
+		// by closure whenever both relations are present (see
+		// trace.Vocabulary.GrowthJoins).
+		GrowthJoins: []qgraph.Join{
+			qgraph.NewJoin("customer", "c_custkey", "orders", "o_custkey"),
+			qgraph.NewJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			qgraph.NewJoin("part", "p_partkey", "lineitem", "l_partkey"),
+			qgraph.NewJoin("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+			qgraph.NewJoin("part", "p_partkey", "partsupp", "ps_partkey"),
+		},
+	}
+	for _, sc := range SelectionColumns() {
+		v.Selections = append(v.Selections, trace.SelectionTemplate{
+			Rel:  sc.Table,
+			Col:  sc.Column,
+			Kind: sc.Kind,
+			Min:  sc.Min,
+			Max:  sc.Max,
+			Skew: sc.Skew,
+		})
+	}
+	return v
+}

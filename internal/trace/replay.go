@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+
+	"specdb/internal/qgraph"
+)
+
+// State is the interface canvas during replay: the evolving partial query.
+type State struct {
+	Graph *qgraph.Graph
+	Projs []string
+}
+
+// NewState returns an empty canvas.
+func NewState() *State { return &State{Graph: qgraph.New()} }
+
+// Apply mutates the state by one event and reports what changed. GO and
+// projection events do not mutate the graph.
+func (s *State) Apply(e Event) error {
+	switch e.Kind {
+	case EvAddSelection:
+		sel, err := e.Sel.ToSelection()
+		if err != nil {
+			return err
+		}
+		s.Graph.AddSelection(sel)
+	case EvRemoveSelection:
+		sel, err := e.Sel.ToSelection()
+		if err != nil {
+			return err
+		}
+		s.Graph.RemoveSelection(sel)
+	case EvAddJoin:
+		s.Graph.AddJoin(e.Join.ToJoin())
+	case EvRemoveJoin:
+		s.Graph.RemoveJoin(e.Join.ToJoin())
+	case EvAddRelation:
+		s.Graph.AddRelation(e.Rel)
+	case EvRemoveRelation:
+		s.Graph.RemoveRelation(e.Rel)
+	case EvSetProjections:
+		s.Projs = append([]string(nil), e.Projs...)
+	case EvClear:
+		s.Graph = qgraph.New()
+		s.Projs = nil
+	case EvGo:
+		// Query submission: graph unchanged; the caller snapshots it.
+	default:
+		return fmt.Errorf("trace: cannot apply event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Query is one final query extracted from a trace.
+type Query struct {
+	// Graph is the submitted query graph (cloned).
+	Graph *qgraph.Graph
+	// Projs are the projection annotations ("rel.col"); empty means SELECT *.
+	Projs []string
+	// FormulationStart is when the first edit after the previous GO (or the
+	// session start) occurred, in seconds.
+	FormulationStart float64
+	// GoAt is the submission time in seconds.
+	GoAt float64
+	// Index is the query's ordinal within the trace (0-based).
+	Index int
+}
+
+// FormulationSeconds is the paper's query-formulation duration: first
+// modification to GO.
+func (q Query) FormulationSeconds() float64 { return q.GoAt - q.FormulationStart }
+
+// ExtractQueries replays a trace offline and returns its final queries — the
+// workload for normal (non-speculative) processing and for statistics.
+func ExtractQueries(t *Trace) ([]Query, error) {
+	st := NewState()
+	var out []Query
+	formStart := -1.0
+	for _, e := range t.Events {
+		if e.Kind == EvGo {
+			if st.Graph.IsEmpty() {
+				return nil, fmt.Errorf("trace: GO with empty canvas at %.3fs", e.AtSeconds)
+			}
+			start := formStart
+			if start < 0 {
+				start = e.AtSeconds
+			}
+			out = append(out, Query{
+				Graph:            st.Graph.Clone(),
+				Projs:            append([]string(nil), st.Projs...),
+				FormulationStart: start,
+				GoAt:             e.AtSeconds,
+				Index:            len(out),
+			})
+			formStart = -1
+			continue
+		}
+		if formStart < 0 {
+			formStart = e.AtSeconds
+		}
+		if err := st.Apply(e); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FormulationStats summarizes query-formulation durations (seconds): the
+// Section 5 table of the paper.
+type FormulationStats struct {
+	Count            int
+	Min, Avg, Max    float64
+	P25, Median, P75 float64
+}
+
+// String renders the stats as the paper's table row.
+func (s FormulationStats) String() string {
+	return fmt.Sprintf("min=%.0f avg=%.0f max=%.0f p25=%.0f p50=%.0f p75=%.0f (n=%d)",
+		s.Min, s.Avg, s.Max, s.P25, s.Median, s.P75, s.Count)
+}
+
+// CorpusFormulationStats computes formulation-duration statistics across a
+// trace corpus.
+func CorpusFormulationStats(traces []*Trace) (FormulationStats, error) {
+	var durs []float64
+	for _, t := range traces {
+		qs, err := ExtractQueries(t)
+		if err != nil {
+			return FormulationStats{}, err
+		}
+		for _, q := range qs {
+			durs = append(durs, q.FormulationSeconds())
+		}
+	}
+	return summarize(durs), nil
+}
+
+func summarize(xs []float64) FormulationStats {
+	if len(xs) == 0 {
+		return FormulationStats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return FormulationStats{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Avg:    sum / float64(len(sorted)),
+		Max:    sorted[len(sorted)-1],
+		P25:    pct(0.25),
+		Median: pct(0.50),
+		P75:    pct(0.75),
+	}
+}
+
+// StructureStats summarizes query structure across a corpus: the Section 5
+// prose statistics.
+type StructureStats struct {
+	Traces               int
+	AvgQueriesPerTrace   float64
+	AvgSelectionsPerQry  float64
+	AvgRelationsPerQry   float64
+	SelectionPersistence float64 // consecutive final queries a selection survives
+	JoinPersistence      float64
+}
+
+// String renders the statistics in the paper's terms.
+func (s StructureStats) String() string {
+	return fmt.Sprintf(
+		"traces=%d queries/trace=%.1f selections/query=%.2f relations/query=%.2f selection-persistence=%.1f join-persistence=%.1f",
+		s.Traces, s.AvgQueriesPerTrace, s.AvgSelectionsPerQry, s.AvgRelationsPerQry,
+		s.SelectionPersistence, s.JoinPersistence)
+}
+
+// CorpusStructureStats computes structure statistics across a corpus.
+func CorpusStructureStats(traces []*Trace) (StructureStats, error) {
+	var st StructureStats
+	st.Traces = len(traces)
+	totalQueries, totalSels, totalRels := 0, 0, 0
+	var selRuns, joinRuns []int
+	for _, t := range traces {
+		qs, err := ExtractQueries(t)
+		if err != nil {
+			return StructureStats{}, err
+		}
+		totalQueries += len(qs)
+		// Track how many consecutive queries each part survives.
+		selAlive := map[string]int{}
+		joinAlive := map[string]int{}
+		for _, q := range qs {
+			totalSels += q.Graph.NumSelections()
+			totalRels += q.Graph.NumRelations()
+			seenSel := map[string]bool{}
+			for _, s := range q.Graph.Selections() {
+				selAlive[s.Key()]++
+				seenSel[s.Key()] = true
+			}
+			for k, run := range selAlive {
+				if !seenSel[k] {
+					selRuns = append(selRuns, run)
+					delete(selAlive, k)
+				}
+			}
+			seenJoin := map[string]bool{}
+			for _, j := range q.Graph.Joins() {
+				joinAlive[j.Key()]++
+				seenJoin[j.Key()] = true
+			}
+			for k, run := range joinAlive {
+				if !seenJoin[k] {
+					joinRuns = append(joinRuns, run)
+					delete(joinAlive, k)
+				}
+			}
+		}
+		for _, run := range selAlive {
+			selRuns = append(selRuns, run)
+		}
+		for _, run := range joinAlive {
+			joinRuns = append(joinRuns, run)
+		}
+	}
+	if st.Traces > 0 {
+		st.AvgQueriesPerTrace = float64(totalQueries) / float64(st.Traces)
+	}
+	if totalQueries > 0 {
+		st.AvgSelectionsPerQry = float64(totalSels) / float64(totalQueries)
+		st.AvgRelationsPerQry = float64(totalRels) / float64(totalQueries)
+	}
+	st.SelectionPersistence = meanInt(selRuns)
+	st.JoinPersistence = meanInt(joinRuns)
+	return st, nil
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

@@ -1,0 +1,117 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row codec: a compact, schema-driven binary format used by slotted pages.
+// Layout per value: ints/dates are varints (zig-zag), floats are 8 fixed
+// bytes, strings are uvarint length + bytes. The schema supplies kinds, so no
+// per-value tags are stored.
+
+// EncodeRow appends the encoding of r (which must match schema s) to dst and
+// returns the extended slice.
+func EncodeRow(dst []byte, s *Schema, r Row) ([]byte, error) {
+	if err := s.Validate(r); err != nil {
+		return nil, err
+	}
+	for _, v := range r {
+		switch v.Kind {
+		case KindInt, KindDate:
+			dst = binary.AppendVarint(dst, v.I)
+		case KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		default:
+			return nil, fmt.Errorf("tuple: cannot encode kind %v", v.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRow decodes one row of schema s from buf. It returns the row and the
+// number of bytes consumed.
+func DecodeRow(buf []byte, s *Schema) (Row, int, error) {
+	r := make(Row, s.Len())
+	off := 0
+	for i, c := range s.Columns {
+		switch c.Kind {
+		case KindInt, KindDate:
+			v, n := binary.Varint(buf[off:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("tuple: truncated varint in column %q", c.Name)
+			}
+			off += n
+			r[i] = Value{Kind: c.Kind, I: v}
+		case KindFloat:
+			if len(buf[off:]) < 8 {
+				return nil, 0, fmt.Errorf("tuple: truncated float in column %q", c.Name)
+			}
+			bits := binary.BigEndian.Uint64(buf[off:])
+			off += 8
+			r[i] = NewFloat(math.Float64frombits(bits))
+		case KindString:
+			l, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("tuple: truncated string length in column %q", c.Name)
+			}
+			off += n
+			if uint64(len(buf[off:])) < l {
+				return nil, 0, fmt.Errorf("tuple: truncated string in column %q", c.Name)
+			}
+			r[i] = NewString(string(buf[off : off+int(l)]))
+			off += int(l)
+		default:
+			return nil, 0, fmt.Errorf("tuple: cannot decode kind %v", c.Kind)
+		}
+	}
+	return r, off, nil
+}
+
+// EncodedSize reports the encoded length of r under schema s without
+// allocating. Used by the page layer to decide whether a row fits.
+func EncodedSize(s *Schema, r Row) int {
+	size := 0
+	var scratch [binary.MaxVarintLen64]byte
+	for _, v := range r {
+		switch v.Kind {
+		case KindInt, KindDate:
+			size += binary.PutVarint(scratch[:], v.I)
+		case KindFloat:
+			size += 8
+		case KindString:
+			size += binary.PutUvarint(scratch[:], uint64(len(v.S))) + len(v.S)
+		}
+	}
+	return size
+}
+
+// EncodeKey produces an order-preserving byte encoding of a single value:
+// byte-wise comparison of encodings matches Value.Compare. Used as B+-tree
+// key material.
+//
+// Ints/dates: offset-binary (flip sign bit) big-endian 8 bytes.
+// Floats: IEEE bits with sign-aware flipping.
+// Strings: raw bytes (memcmp order equals lexical order for UTF-8).
+func EncodeKey(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindInt, KindDate:
+		return binary.BigEndian.AppendUint64(dst, uint64(v.I)^(1<<63))
+	case KindFloat:
+		bits := math.Float64bits(v.F)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip all
+		} else {
+			bits |= 1 << 63 // positive: flip sign
+		}
+		return binary.BigEndian.AppendUint64(dst, bits)
+	case KindString:
+		return append(dst, v.S...)
+	default:
+		panic("tuple: cannot key-encode kind " + v.Kind.String())
+	}
+}

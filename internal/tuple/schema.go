@@ -1,0 +1,108 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Column names are unqualified at the
+// storage layer; the planner qualifies them with relation aliases.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Duplicate column names
+// panic: schemas are engine-constructed, so a duplicate is a programming bug.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic("tuple: duplicate column " + c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Len reports the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Ordinal resolves a column name to its position, or −1 if absent.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustOrdinal resolves a column name or panics. For engine-internal lookups
+// that have already been validated by the planner.
+func (s *Schema) MustOrdinal(name string) int {
+	i := s.Ordinal(name)
+	if i < 0 {
+		panic("tuple: unknown column " + name)
+	}
+	return i
+}
+
+// Project returns a new schema containing the named columns in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.Ordinal(n)
+		if i < 0 {
+			return nil, fmt.Errorf("tuple: unknown column %q", n)
+		}
+		cols = append(cols, s.Columns[i])
+	}
+	return NewSchema(cols...), nil
+}
+
+// Concat returns the schema of a join output: s's columns followed by o's.
+// Name collisions are resolved by the caller (the planner prefixes with
+// relation aliases before concatenating).
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, s.Len()+o.Len())
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return NewSchema(cols...)
+}
+
+// Rename returns a schema with every column name passed through f.
+func (s *Schema) Rename(f func(string) string) *Schema {
+	cols := make([]Column, s.Len())
+	for i, c := range s.Columns {
+		cols[i] = Column{Name: f(c.Name), Kind: c.Kind}
+	}
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(a int, b string, …)".
+func (s *Schema) String() string {
+	parts := make([]string, s.Len())
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Validate checks that row r conforms to the schema (arity and kinds).
+func (s *Schema) Validate(r Row) error {
+	if len(r) != s.Len() {
+		return fmt.Errorf("tuple: row arity %d, schema arity %d", len(r), s.Len())
+	}
+	for i, v := range r {
+		if v.Kind != s.Columns[i].Kind {
+			return fmt.Errorf("tuple: column %q wants %v, row has %v",
+				s.Columns[i].Name, s.Columns[i].Kind, v.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package specdb
+
+import (
+	"fmt"
+	"time"
+
+	"specdb/internal/core"
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/trace"
+	"specdb/internal/tuple"
+)
+
+// SessionConfig tunes a speculative session.
+type SessionConfig struct {
+	// Speculate enables the speculation subsystem (default true when the
+	// zero value is passed through NewSession).
+	DisableSpeculation bool
+	// SelectionsOnly restricts manipulations to selection materializations
+	// (the paper's multi-user strategy).
+	SelectionsOnly bool
+	// Lookahead is the cost model's future-query depth (default 3).
+	Lookahead int
+}
+
+// Session is the programmatic equivalent of the paper's visual query
+// interface: the caller edits a query part by part, think-time passes, and
+// Go submits the final query. A Speculator watches every edit and prepares
+// the database in the background (on the simulated timeline).
+type Session struct {
+	db      *DB
+	sp      *core.Speculator
+	clock   *sim.Clock
+	pending *core.Job
+	// recorded holds the session's interaction for TraceJSON.
+	recorded []trace.Event
+}
+
+// NewSession opens a session at simulated time zero.
+func (db *DB) NewSession(cfg SessionConfig) *Session {
+	s := &Session{db: db, clock: sim.NewClock()}
+	if !cfg.DisableSpeculation {
+		c := core.DefaultConfig()
+		c.SelectionsOnly = cfg.SelectionsOnly
+		if cfg.Lookahead > 0 {
+			c.Lookahead = cfg.Lookahead
+		}
+		s.sp = core.NewSpeculator(db.eng, core.NewLearner(core.DefaultLearnerConfig()), c)
+	}
+	return s
+}
+
+// Now reports the session's position on the simulated timeline.
+func (s *Session) Now() time.Duration { return time.Duration(s.clock.Now()) }
+
+// Think advances simulated time: the user is reading, typing, or pondering.
+// Asynchronous manipulations that finish within the window complete.
+func (s *Session) Think(d time.Duration) {
+	target := s.clock.Now().Add(simDuration(d))
+	s.completeDue(target)
+	s.clock.AdvanceTo(target)
+}
+
+func (s *Session) completeDue(t sim.Time) {
+	for s.pending != nil && s.pending.CompletesAt <= t {
+		job := s.pending
+		s.clock.AdvanceTo(job.CompletesAt)
+		next, err := s.sp.Complete(job, job.CompletesAt)
+		if err != nil {
+			// Completion can only fail on internal invariant violations;
+			// surface loudly rather than silently losing the job.
+			panic(fmt.Sprintf("specdb: completing manipulation: %v", err))
+		}
+		s.pending = next
+	}
+}
+
+// apply routes one interface event through the speculator.
+func (s *Session) apply(ev trace.Event) error {
+	if s.sp == nil {
+		return fmt.Errorf("specdb: session has speculation disabled; use DB.Exec for plain SQL")
+	}
+	out, err := s.sp.OnEvent(ev, s.clock.Now())
+	if err != nil {
+		return err
+	}
+	s.record(ev)
+	if out.Canceled != nil {
+		s.pending = nil
+	}
+	if out.Issued != nil {
+		s.pending = out.Issued
+	}
+	return nil
+}
+
+// AddSelection places a selection predicate on the canvas:
+// rel.col op value, with op one of = <> < <= > >=.
+func (s *Session) AddSelection(rel, col, op string, value any) error {
+	sel, err := makeSelection(rel, col, op, value)
+	if err != nil {
+		return err
+	}
+	sj := trace.FromSelection(sel)
+	return s.apply(trace.Event{Kind: trace.EvAddSelection, Sel: &sj})
+}
+
+// RemoveSelection removes a previously placed predicate (exact match).
+func (s *Session) RemoveSelection(rel, col, op string, value any) error {
+	sel, err := makeSelection(rel, col, op, value)
+	if err != nil {
+		return err
+	}
+	sj := trace.FromSelection(sel)
+	return s.apply(trace.Event{Kind: trace.EvRemoveSelection, Sel: &sj})
+}
+
+// AddJoin places an equi-join edge between two relations.
+func (s *Session) AddJoin(rel1, col1, rel2, col2 string) error {
+	jj := trace.FromJoin(qgraph.NewJoin(rel1, col1, rel2, col2))
+	return s.apply(trace.Event{Kind: trace.EvAddJoin, Join: &jj})
+}
+
+// RemoveJoin removes a join edge.
+func (s *Session) RemoveJoin(rel1, col1, rel2, col2 string) error {
+	jj := trace.FromJoin(qgraph.NewJoin(rel1, col1, rel2, col2))
+	return s.apply(trace.Event{Kind: trace.EvRemoveJoin, Join: &jj})
+}
+
+// AddRelation places a bare relation on the canvas.
+func (s *Session) AddRelation(rel string) error {
+	return s.apply(trace.Event{Kind: trace.EvAddRelation, Rel: rel})
+}
+
+// RemoveRelation removes a relation and its incident edges.
+func (s *Session) RemoveRelation(rel string) error {
+	return s.apply(trace.Event{Kind: trace.EvRemoveRelation, Rel: rel})
+}
+
+// SetProjections annotates the output columns ("rel.col"); empty means
+// SELECT *.
+func (s *Session) SetProjections(cols ...string) error {
+	return s.apply(trace.Event{Kind: trace.EvSetProjections, Projs: cols})
+}
+
+// Clear empties the canvas (a new exploration task).
+func (s *Session) Clear() error {
+	return s.apply(trace.Event{Kind: trace.EvClear})
+}
+
+// Go submits the final query: any incomplete manipulation is canceled, the
+// query runs on the prepared database (completed materializations rewrite
+// it), and the user profile learns from the formulation.
+func (s *Session) Go() (*Result, error) {
+	if s.sp == nil {
+		return nil, fmt.Errorf("specdb: session has speculation disabled")
+	}
+	res, out, err := s.sp.OnGo(s.clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	s.record(trace.Event{Kind: trace.EvGo})
+	if out.Canceled != nil {
+		s.pending = nil
+	}
+	if out.Issued != nil {
+		s.pending = out.Issued
+	}
+	return wrapResult(res), nil
+}
+
+// Stats reports the session's speculation counters.
+type Stats struct {
+	Issued, Completed   int
+	CanceledInvalidated int
+	CanceledAtGo        int
+	GarbageCollected    int
+}
+
+// Stats reports speculation activity so far.
+func (s *Session) Stats() Stats {
+	if s.sp == nil {
+		return Stats{}
+	}
+	st := s.sp.Stats()
+	return Stats{
+		Issued:              st.Issued,
+		Completed:           st.Completed,
+		CanceledInvalidated: st.CanceledInvalidated,
+		CanceledAtGo:        st.CanceledAtGo,
+		GarbageCollected:    st.GarbageCollected,
+	}
+}
+
+// Close releases everything the session's speculator still holds.
+func (s *Session) Close() error {
+	if s.sp == nil {
+		return nil
+	}
+	return s.sp.Shutdown()
+}
+
+func makeSelection(rel, col, op string, value any) (qgraph.Selection, error) {
+	cmp, ok := tuple.ParseCmpOp(op)
+	if !ok {
+		return qgraph.Selection{}, fmt.Errorf("specdb: unknown operator %q", op)
+	}
+	v, err := parseValue(value)
+	if err != nil {
+		return qgraph.Selection{}, err
+	}
+	return qgraph.Selection{Rel: rel, Col: col, Op: cmp, Const: v}, nil
+}

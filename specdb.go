@@ -1,0 +1,155 @@
+// Package specdb is a speculative query processing engine: a from-scratch
+// relational engine (storage, buffer pool, B+-tree indexes, histograms,
+// cost-based optimizer with materialized-view rewriting, Volcano executor)
+// topped by the speculation subsystem of Polyzotis & Ioannidis, "Speculative
+// Query Processing" (CIDR 2003).
+//
+// The headline idea: while a user assembles a query in a visual interface,
+// the partial query is a preview of the final one. During the user's
+// think-time, a Speculator issues asynchronous manipulations — materializing
+// sub-queries, building indexes or histograms, staging pages — chosen by a
+// cost model (Theorem 3.1 of the paper) and a learned user profile, so the
+// final query runs against a prepared database.
+//
+// Open a DB, load a dataset, and either run plain SQL:
+//
+//	db := specdb.Open(specdb.Options{})
+//	_ = db.LoadTPCH("100MB", 42)
+//	res, _ := db.Exec("SELECT * FROM lineitem WHERE lineitem.l_quantity < 5")
+//
+// or drive a speculative session the way the visual interface would:
+//
+//	s := db.NewSession(specdb.SessionConfig{})
+//	s.AddSelection("lineitem", "l_quantity", "<", 5)
+//	s.Think(20 * time.Second) // the Speculator works during think-time
+//	res, _ := s.Go()
+//
+// All time is simulated: results are deterministic and durations reflect the
+// engine's page-I/O and per-tuple work, not wall-clock.
+package specdb
+
+import (
+	"fmt"
+	"time"
+
+	"specdb/internal/engine"
+	"specdb/internal/plan"
+	"specdb/internal/sim"
+	"specdb/internal/tpch"
+	"specdb/internal/tuple"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// BufferPoolPages sizes the buffer pool (default 46 pages — the
+	// paper's 32 MB pool at this repository's data scale).
+	BufferPoolPages int
+	// UseOptionalViews lets the optimizer consider non-forced materialized
+	// views (query-materialization semantics).
+	UseOptionalViews bool
+}
+
+// DB is a database instance with a speculative query processor attached.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	pool := opts.BufferPoolPages
+	if pool == 0 {
+		pool = 46
+	}
+	return &DB{eng: engine.New(engine.Config{
+		BufferPoolPages: pool,
+		UseViews:        opts.UseOptionalViews,
+	})}
+}
+
+// LoadTPCH populates the database with the paper's TPC-H-subset dataset at
+// one of the named scales: "100MB", "500MB", or "1GB" (scaled 1/20, see
+// DESIGN.md), fully prepared with indexes and histograms.
+func (db *DB) LoadTPCH(scale string, seed uint64) error {
+	sc, err := tpch.ScaleByName(scale)
+	if err != nil {
+		return err
+	}
+	return tpch.Load(db.eng, sc, seed)
+}
+
+// Result reports one executed statement.
+type Result struct {
+	// Columns names the output columns.
+	Columns []string
+	// Rows holds the result as Go values (int64, float64, or string).
+	Rows [][]any
+	// RowCount is the result cardinality.
+	RowCount int64
+	// Duration is the simulated execution time.
+	Duration time.Duration
+	// Plan is the physical plan as indented text ("" when not planned).
+	Plan string
+}
+
+func wrapResult(r *engine.Result) *Result {
+	out := &Result{RowCount: r.RowCount, Duration: r.Duration}
+	if r.Schema != nil {
+		for _, c := range r.Schema.Columns {
+			out.Columns = append(out.Columns, c.Name)
+		}
+	}
+	for _, row := range r.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			switch v.Kind {
+			case tuple.KindInt, tuple.KindDate:
+				vals[i] = v.I
+			case tuple.KindFloat:
+				vals[i] = v.F
+			default:
+				vals[i] = v.S
+			}
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	if r.Plan != nil {
+		out.Plan = plan.Explain(r.Plan)
+	}
+	return out
+}
+
+// Exec parses and executes one SQL statement: conjunctive SELECTs,
+// SELECT … INTO (materialization), CREATE INDEX, CREATE HISTOGRAM,
+// DROP TABLE, and EXPLAIN.
+func (db *DB) Exec(sql string) (*Result, error) {
+	res, err := db.eng.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// ColdStart empties the buffer pool (a cold restart).
+func (db *DB) ColdStart() error { return db.eng.ColdStart() }
+
+// Tables lists the tables currently in the catalog.
+func (db *DB) Tables() []string { return db.eng.Catalog.TableNames() }
+
+// parseValue converts a Go value into an engine value.
+func parseValue(v any) (tuple.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return tuple.NewInt(int64(x)), nil
+	case int64:
+		return tuple.NewInt(x), nil
+	case float64:
+		return tuple.NewFloat(x), nil
+	case string:
+		return tuple.NewString(x), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("specdb: unsupported constant type %T", v)
+	}
+}
+
+// simTime converts wall-style durations to the simulated timeline.
+func simDuration(d time.Duration) sim.Duration { return d }
