@@ -12,13 +12,20 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"specdb/internal/storage"
 )
 
-// BTree is a B+-tree rooted at a buffer-pool page.
+// BTree is a B+-tree rooted at a buffer-pool page. A per-tree RWMutex makes
+// it safe to share across sessions: builds (Insert, BulkLoad, Drop) take the
+// write lock while traversals and metadata reads take the read lock, so a
+// speculative index build on one session never races with another session's
+// lookups or with the cost model pricing the tree.
 type BTree struct {
 	pool storage.PagePool
+
+	mu   sync.RWMutex
 	root storage.PageID
 	// capacity is the serialized-size budget per node before it splits.
 	capacity int
@@ -57,16 +64,30 @@ func New(pool storage.PagePool, pageSize int) (*BTree, error) {
 }
 
 // Height reports the number of levels (1 for a lone leaf).
-func (t *BTree) Height() int { return t.height }
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 // Len reports the number of (key, RID) entries.
-func (t *BTree) Len() int64 { return t.entries }
+func (t *BTree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries
+}
 
 // NumPages reports the number of pages the tree owns.
-func (t *BTree) NumPages() int { return len(t.pages) }
+func (t *BTree) NumPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.pages)
+}
 
 // PageIDs returns the tree's pages (used by data staging).
 func (t *BTree) PageIDs() []storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]storage.PageID, len(t.pages))
 	copy(out, t.pages)
 	return out
@@ -74,6 +95,8 @@ func (t *BTree) PageIDs() []storage.PageID {
 
 // Drop frees every page of the tree.
 func (t *BTree) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, id := range t.pages {
 		if err := t.pool.Free(id); err != nil {
 			return err
@@ -87,6 +110,8 @@ func (t *BTree) Drop() error {
 
 // Insert adds one (key, rid) entry.
 func (t *BTree) Insert(key []byte, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.root == 0 {
 		return fmt.Errorf("btree: insert into dropped tree")
 	}
@@ -197,6 +222,8 @@ type Bound struct {
 // Scan visits entries with lo ≤ key ≤ hi (subject to inclusivity) in key
 // order. fn returning a non-nil error stops the scan and propagates it.
 func (t *BTree) Scan(lo, hi Bound, fn func(key []byte, rid storage.RID) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.root == 0 {
 		return fmt.Errorf("btree: scan of dropped tree")
 	}

@@ -30,6 +30,8 @@ func SortEntries(entries []Entry) {
 // repeated Insert which rewrites node pages, so index builds cost O(pages)
 // I/O — this is what a real engine's CREATE INDEX does.
 func (t *BTree) BulkLoad(entries []Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.root == 0 {
 		return fmt.Errorf("btree: bulk load into dropped tree")
 	}

@@ -9,15 +9,22 @@ package buffer
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"specdb/internal/sim"
 	"specdb/internal/storage"
 )
 
-// Pool is a buffer pool over one disk manager. It is not safe for concurrent
-// use; the simulation executes one statement at a time by construction.
+// Pool is a buffer pool over one disk manager. An internal lock makes every
+// pool operation atomic, so concurrent sessions can share the pool: the frame
+// table, LRU list, pin counts, and hit/miss counters never race. Buffer
+// *contents* returned by Get are additionally protected by the engine's
+// statement serialization — only one measured statement mutates pages at a
+// time.
 type Pool struct {
-	disk   *storage.DiskManager
+	disk *storage.DiskManager
+
+	mu     sync.Mutex
 	meter  *sim.Meter
 	frames map[storage.PageID]*frame
 	lru    *list.List // front = most recently used; holds unpinned candidates too
@@ -53,19 +60,33 @@ func NewPool(disk *storage.DiskManager, capacity int, meter *sim.Meter) *Pool {
 
 // SetMeter redirects I/O charging to m. The harness points this at the meter
 // of whichever simulated job is currently executing.
-func (p *Pool) SetMeter(m *sim.Meter) { p.meter = m }
+func (p *Pool) SetMeter(m *sim.Meter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meter = m
+}
 
 // Capacity reports the number of frames.
 func (p *Pool) Capacity() int { return p.cap }
 
 // Resident reports how many pages are currently cached.
-func (p *Pool) Resident() int { return len(p.frames) }
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
 
 // Stats reports cumulative hits, misses, and write-backs.
-func (p *Pool) Stats() (hits, misses, writes int64) { return p.hits, p.misses, p.writes }
+func (p *Pool) Stats() (hits, misses, writes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.writes
+}
 
 // Get pins page id and returns its buffer. The caller must Unpin it.
 func (p *Pool) Get(id storage.PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		p.hits++
 		f.pins++
@@ -83,6 +104,8 @@ func (p *Pool) Get(id storage.PageID) ([]byte, error) {
 // New allocates a fresh page on disk, pins it, and returns its ID and buffer.
 // The frame starts dirty (it must reach disk eventually).
 func (p *Pool) New() (storage.PageID, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id := p.disk.Allocate()
 	f, err := p.admit(id, false)
 	if err != nil {
@@ -97,6 +120,8 @@ func (p *Pool) New() (storage.PageID, []byte, error) {
 // the buffer. Unpinning a page that is not resident or not pinned panics —
 // both indicate pin-discipline bugs that would silently corrupt accounting.
 func (p *Pool) Unpin(id storage.PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok {
 		panic(fmt.Sprintf("buffer: unpin of non-resident page %d", id))
@@ -113,6 +138,8 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) {
 // Free drops page id from the pool (discarding its contents) and releases the
 // disk page. The page must be unpinned.
 func (p *Pool) Free(id storage.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: freeing pinned page %d", id)
@@ -126,6 +153,8 @@ func (p *Pool) Free(id storage.PageID) error {
 // Stage pre-fetches page id into the pool and marks it sticky so it survives
 // eviction: the data-staging manipulation. It does not hold a pin.
 func (p *Pool) Stage(id storage.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok {
 		var err error
@@ -142,6 +171,8 @@ func (p *Pool) Stage(id storage.PageID) error {
 
 // Unstage removes the sticky mark from page id if it is resident.
 func (p *Pool) Unstage(id storage.PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		f.sticky = false
 	}
@@ -149,6 +180,8 @@ func (p *Pool) Unstage(id storage.PageID) {
 
 // StagedCount reports how many resident pages are sticky.
 func (p *Pool) StagedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, f := range p.frames {
 		if f.sticky {
@@ -161,12 +194,16 @@ func (p *Pool) StagedCount() int {
 // Contains reports whether page id is resident (used by tests and by the
 // cost model's warmth estimate).
 func (p *Pool) Contains(id storage.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.frames[id]
 	return ok
 }
 
 // FlushAll writes every dirty resident page back to disk.
 func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if err := p.writeBack(f); err != nil {
 			return err
@@ -178,6 +215,8 @@ func (p *Pool) FlushAll() error {
 // EvictAll empties the pool (after flushing), simulating a cold restart. Any
 // pinned page makes this fail.
 func (p *Pool) EvictAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for id, f := range p.frames {
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: EvictAll with pinned page %d", id)

@@ -27,10 +27,10 @@ func Analyze(t *Table) error {
 	}
 	for i, c := range t.Schema.Columns {
 		cs := stats.CollectColumnStats(cols[i])
-		if old := t.Stats[c.Name]; old != nil {
-			cs.Hist = old.Hist
+		if old := t.ColumnStats(c.Name); old != nil {
+			cs.SetHist(old.Hist())
 		}
-		t.Stats[c.Name] = cs
+		t.SetColumnStats(c.Name, cs)
 	}
 	return nil
 }

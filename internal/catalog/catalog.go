@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"specdb/internal/btree"
 	"specdb/internal/qgraph"
@@ -23,16 +24,21 @@ type Index struct {
 	Tree   *btree.BTree
 }
 
-// Table is a base or materialized relation.
+// Table is a base or materialized relation. Name/Schema/Heap are fixed at
+// creation; the statistics and index maps are mutated by speculative
+// manipulations — possibly issued by a different session than the one
+// planning a query over the table — so they live behind a per-table RWMutex.
 type Table struct {
 	Name   string
 	Schema *tuple.Schema
 	Heap   *storage.HeapFile
-	// Stats maps column name → statistics. Populated by Analyze; histogram
+
+	mu sync.RWMutex
+	// stats maps column name → statistics. Populated by Analyze; histogram
 	// pointers are added by histogram-creation manipulations.
-	Stats map[string]*stats.ColumnStats
-	// Indexes maps column name → index.
-	Indexes map[string]*Index
+	stats map[string]*stats.ColumnStats
+	// indexes maps column name → index.
+	indexes map[string]*Index
 }
 
 // RowCount reports the table cardinality.
@@ -43,18 +49,54 @@ func (t *Table) NumPages() int { return t.Heap.NumPages() }
 
 // ColumnStats returns statistics for col, or nil if not analyzed.
 func (t *Table) ColumnStats(col string) *stats.ColumnStats {
-	if t.Stats == nil {
-		return nil
-	}
-	return t.Stats[col]
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats[col]
+}
+
+// SetColumnStats installs (replacing any previous) statistics for col.
+func (t *Table) SetColumnStats(col string, cs *stats.ColumnStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats[col] = cs
 }
 
 // Index returns the index on col, or nil.
 func (t *Table) Index(col string) *Index {
-	if t.Indexes == nil {
-		return nil
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[col]
+}
+
+// SetIndex registers idx as the index on col, replacing any previous entry.
+func (t *Table) SetIndex(col string, idx *Index) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.indexes[col] = idx
+}
+
+// RemoveIndex unregisters the index on col without dropping its tree (the
+// caller owns tree disposal).
+func (t *Table) RemoveIndex(col string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.indexes, col)
+}
+
+// IndexList returns the table's indexes sorted by column name.
+func (t *Table) IndexList() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cols := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
 	}
-	return t.Indexes[col]
+	sort.Strings(cols)
+	out := make([]*Index, len(cols))
+	for i, c := range cols {
+		out[i] = t.indexes[c]
+	}
+	return out
 }
 
 // MatView records that table Name holds the materialized result of Graph.
@@ -69,10 +111,13 @@ type MatView struct {
 	Forced bool
 }
 
-// Catalog holds all metadata. It is not safe for concurrent use; the
-// simulation is single-threaded by construction.
+// Catalog holds all metadata. An internal RWMutex guards the table and view
+// maps so concurrent sessions can create, drop, and resolve relations safely;
+// per-table state is additionally guarded by each Table's own lock.
 type Catalog struct {
-	pool   storage.PagePool
+	pool storage.PagePool
+
+	mu     sync.RWMutex
 	tables map[string]*Table
 	views  map[string]*MatView // by view (backing table) name
 }
@@ -88,6 +133,8 @@ func New(pool storage.PagePool) *Catalog {
 
 // CreateTable registers a new empty table.
 func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.tables[name]; exists {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
@@ -95,8 +142,8 @@ func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error)
 		Name:    name,
 		Schema:  schema,
 		Heap:    storage.NewHeapFile(c.pool),
-		Stats:   make(map[string]*stats.ColumnStats),
-		Indexes: make(map[string]*Index),
+		stats:   make(map[string]*stats.ColumnStats),
+		indexes: make(map[string]*Index),
 	}
 	c.tables[name] = t
 	return t, nil
@@ -104,6 +151,8 @@ func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error)
 
 // Table resolves a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("catalog: no table %q", name)
@@ -113,12 +162,16 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // HasTable reports whether name exists.
 func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	_, ok := c.tables[name]
 	return ok
 }
 
 // TableNames returns all table names sorted.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
@@ -130,11 +183,13 @@ func (c *Catalog) TableNames() []string {
 // DropTable removes a table, freeing its heap pages and index pages, and
 // unregistering any materialized view backed by it.
 func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := c.tables[name]
 	if !ok {
 		return fmt.Errorf("catalog: drop of unknown table %q", name)
 	}
-	for _, idx := range t.Indexes {
+	for _, idx := range t.IndexList() {
 		if err := idx.Tree.Drop(); err != nil {
 			return err
 		}
@@ -156,22 +211,26 @@ func (c *Catalog) AddIndex(table, column string, tree *btree.BTree) (*Index, err
 	if t.Schema.Ordinal(column) < 0 {
 		return nil, fmt.Errorf("catalog: table %q has no column %q", table, column)
 	}
-	if _, exists := t.Indexes[column]; exists {
-		return nil, fmt.Errorf("catalog: index on %s.%s already exists", table, column)
-	}
 	idx := &Index{
 		Name:   fmt.Sprintf("idx_%s_%s", table, column),
 		Table:  table,
 		Column: column,
 		Tree:   tree,
 	}
-	t.Indexes[column] = idx
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.indexes[column]; exists {
+		return nil, fmt.Errorf("catalog: index on %s.%s already exists", table, column)
+	}
+	t.indexes[column] = idx
 	return idx, nil
 }
 
 // RegisterView records that table name materializes graph.
 func (c *Catalog) RegisterView(name string, graph *qgraph.Graph, forced bool) error {
-	if !c.HasTable(name) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
 		return fmt.Errorf("catalog: view %q has no backing table", name)
 	}
 	c.views[name] = &MatView{Name: name, Graph: graph, Forced: forced}
@@ -180,13 +239,23 @@ func (c *Catalog) RegisterView(name string, graph *qgraph.Graph, forced bool) er
 
 // DropView unregisters a view without touching the backing table (callers
 // usually DropTable right after, which also unregisters).
-func (c *Catalog) DropView(name string) { delete(c.views, name) }
+func (c *Catalog) DropView(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.views, name)
+}
 
 // View returns the view backed by table name, or nil.
-func (c *Catalog) View(name string) *MatView { return c.views[name] }
+func (c *Catalog) View(name string) *MatView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[name]
+}
 
 // Views returns all registered views sorted by name.
 func (c *Catalog) Views() []*MatView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.views))
 	for n := range c.views {
 		names = append(names, n)

@@ -224,11 +224,11 @@ func TestAnalyzeAndColumnValues(t *testing.T) {
 	}
 	// Analyze preserves an existing histogram.
 	h := &stats.Histogram{Total: 1}
-	tb.Stats["id"].Hist = h
+	tb.ColumnStats("id").SetHist(h)
 	if err := Analyze(tb); err != nil {
 		t.Fatal(err)
 	}
-	if tb.ColumnStats("id").Hist != h {
+	if tb.ColumnStats("id").Hist() != h {
 		t.Fatal("Analyze dropped the histogram")
 	}
 }
@@ -242,12 +242,14 @@ func TestColumnStatsLookupEdgeCases(t *testing.T) {
 	if tb.ColumnStats("ghost") != nil {
 		t.Fatal("missing column should have nil stats")
 	}
-	tb.Stats = nil
 	if tb.ColumnStats("id") != nil {
-		t.Fatal("nil stats map should yield nil")
+		t.Fatal("unanalyzed column should have nil stats")
 	}
-	tb.Indexes = nil
 	if tb.Index("id") != nil {
-		t.Fatal("nil index map should yield nil")
+		t.Fatal("unindexed column should yield nil")
+	}
+	// The nil-stats path must extend through histogram access.
+	if tb.ColumnStats("ghost").Hist() != nil {
+		t.Fatal("nil ColumnStats should yield nil histogram")
 	}
 }

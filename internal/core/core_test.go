@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -660,7 +661,7 @@ func TestSuspendWhenBusy(t *testing.T) {
 	cfg.SuspendWhenBusy = 2
 	sp := newSpec(e, cfg)
 
-	e.ActiveJobs = 2 // server busy: speculation suspends
+	j1, j2 := e.BeginJob(), e.BeginJob() // server busy: speculation suspends
 	out, err := sp.OnEvent(evAddSel(selRC(18)), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -672,7 +673,8 @@ func TestSuspendWhenBusy(t *testing.T) {
 		t.Fatal("suspension not counted")
 	}
 
-	e.ActiveJobs = 0 // load fell below the threshold: speculation resumes
+	e.EndJob(j1) // load fell below the threshold: speculation resumes
+	e.EndJob(j2)
 	out, err = sp.OnEvent(evAddSel(qgraph.Selection{
 		Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(100),
 	}), sim.FromSeconds(1))
@@ -768,13 +770,13 @@ func TestSpeculatorHistogramFamily(t *testing.T) {
 		t.Fatalf("expected histogram creation, got %+v", out.Issued)
 	}
 	wt, _ := e.Catalog.Table("W")
-	if wt.ColumnStats("d").Hist != nil {
+	if wt.ColumnStats("d").Hist() != nil {
 		t.Fatal("histogram visible before completion")
 	}
 	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
 		t.Fatal(err)
 	}
-	if wt.ColumnStats("d").Hist == nil {
+	if wt.ColumnStats("d").Hist() == nil {
 		t.Fatal("histogram not installed on completion")
 	}
 	// Re-enumeration must not propose the same histogram again.
@@ -821,5 +823,63 @@ func TestSpeculatorStageFamily(t *testing.T) {
 	}
 	if e.Pool.StagedCount() != 0 {
 		t.Fatalf("%d pages still staged after relation left the canvas", e.Pool.StagedCount())
+	}
+}
+
+// Regression: Clear abandons the whole exploration task, so it must reset the
+// formulation-tracking state (seen parts and the formulation timer), not just
+// the partial query. Otherwise the Learner trains on parts of the abandoned
+// task and on a formulation duration stretched back to before the Clear.
+func TestClearResetsFormulationTracking(t *testing.T) {
+	e := newTestEngine(t, 2000)
+	sp := newSpec(e, DefaultConfig())
+
+	abandoned := selRC(18)
+	if _, err := sp.OnEvent(evAddSel(abandoned), sim.FromSeconds(0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.seenSels) != 1 || !sp.formStarted {
+		t.Fatalf("formulation not tracked: seen=%d started=%v", len(sp.seenSels), sp.formStarted)
+	}
+
+	if _, err := sp.OnEvent(trace.Event{Kind: trace.EvClear}, sim.FromSeconds(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.seenSels) != 0 || len(sp.seenJoins) != 0 {
+		t.Fatalf("Clear left seen parts behind: %d sels, %d joins", len(sp.seenSels), len(sp.seenJoins))
+	}
+	if sp.formStarted || sp.formStart != 0 {
+		t.Fatalf("Clear left the formulation timer running: started=%v at %v", sp.formStarted, sp.formStart)
+	}
+
+	// Fresh task: one selection on a different column, then GO.
+	kept := qgraph.Selection{Rel: "W", Col: "d", Op: tuple.CmpLT, Const: tuple.NewInt(100)}
+	t2, t3 := sim.FromSeconds(100), sim.FromSeconds(130)
+	if _, err := sp.OnEvent(evAddSel(kept), t2); err != nil {
+		t.Fatal(err)
+	}
+	if sp.formStart != t2 {
+		t.Fatalf("new formulation starts at %v, want %v", sp.formStart, t2)
+	}
+	if _, _, err := sp.OnGo(t3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Learner must have observed only the new task's parts...
+	l := sp.learner
+	if _, ok := l.selSurvivalByCol["R.c"]; ok {
+		t.Fatal("Learner observed a selection from the abandoned (cleared) task")
+	}
+	if _, ok := l.selSurvivalByCol["W.d"]; !ok {
+		t.Fatal("Learner missed the fresh task's selection")
+	}
+	// ...and a formulation duration measured from the fresh task's first edit
+	// (30 s), not from before the Clear (130 s).
+	if l.thinkN != 1 {
+		t.Fatalf("thinkN = %v, want 1", l.thinkN)
+	}
+	if want := math.Log(30); math.Abs(l.thinkLogMean-want) > 1e-9 {
+		t.Fatalf("formulation duration logged as %v s, want 30 s",
+			math.Exp(l.thinkLogMean))
 	}
 }

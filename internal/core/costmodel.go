@@ -200,7 +200,7 @@ func (cm *CostModel) histogramDeltas(m *Manipulation) (base, after, duration sim
 	if err != nil {
 		return 0, 0, 0
 	}
-	if cs := t.ColumnStats(m.Col); cs != nil && cs.Hist != nil {
+	if t.ColumnStats(m.Col).Hist() != nil {
 		return 0, 0, 0 // already present: no benefit
 	}
 	node, err := cm.Eng.PlanGraph(m.Graph)

@@ -9,6 +9,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"specdb/internal/qgraph"
 )
@@ -68,8 +69,14 @@ func DefaultLearnerConfig() LearnerConfig {
 // (does a part of one final query persist into the next?), and a think-time
 // model for completion risk. All estimators are counting-based and updated
 // online, exactly as the Learner box of Figure 3 observes the interface.
+//
+// A Learner may be shared by every session of a SessionManager as one
+// multi-user profile, so all observation and estimation goes through an
+// internal RWMutex.
 type Learner struct {
 	cfg LearnerConfig
+
+	mu sync.RWMutex
 
 	// Survival, keyed per column/edge with a kind-level fallback.
 	selSurvivalByCol  map[string]*survivalCounter // key: "rel.col"
@@ -103,6 +110,8 @@ func selColKey(s qgraph.Selection) string { return s.Rel + "." + s.Col }
 // formulation: seen contains every atomic part that appeared on the canvas
 // at any point since the previous GO, and final is the submitted query.
 func (l *Learner) ObserveFormulation(seenSels []qgraph.Selection, seenJoins []qgraph.Join, final *qgraph.Graph) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, s := range seenSels {
 		survived := final.HasSelection(s)
 		l.selSurvival.observe(survived, l.cfg.Decay)
@@ -129,6 +138,8 @@ func (l *Learner) ObserveFormulation(seenSels []qgraph.Selection, seenJoins []qg
 // ObserveTransition trains the retention estimators with two consecutive
 // final queries.
 func (l *Learner) ObserveTransition(prev, next *qgraph.Graph) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, s := range prev.Selections() {
 		l.selRetention.observe(next.HasSelection(s), l.cfg.Decay)
 	}
@@ -142,6 +153,8 @@ func (l *Learner) ObserveFormulationDuration(seconds float64) {
 	if seconds <= 0 {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	x := math.Log(seconds)
 	l.thinkN++
 	delta := x - l.thinkLogMean
@@ -152,6 +165,12 @@ func (l *Learner) ObserveFormulationDuration(seconds float64) {
 // SelectionSurvival estimates P(selection survives to the final query),
 // blending the per-column estimate with the kind-level fallback.
 func (l *Learner) SelectionSurvival(s qgraph.Selection) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.selectionSurvivalLocked(s)
+}
+
+func (l *Learner) selectionSurvivalLocked(s qgraph.Selection) float64 {
 	global := l.selSurvival.estimate(l.cfg.SelectionSurvivalPrior, l.cfg.PriorStrength)
 	if c, ok := l.selSurvivalByCol[selColKey(s)]; ok {
 		return c.estimate(global, l.cfg.PriorStrength)
@@ -161,6 +180,12 @@ func (l *Learner) SelectionSurvival(s qgraph.Selection) float64 {
 
 // JoinSurvival estimates P(join edge survives to the final query).
 func (l *Learner) JoinSurvival(j qgraph.Join) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.joinSurvivalLocked(j)
+}
+
+func (l *Learner) joinSurvivalLocked(j qgraph.Join) float64 {
 	global := l.joinSurvival.estimate(l.cfg.JoinSurvivalPrior, l.cfg.PriorStrength)
 	if c, ok := l.joinSurvivalByKey[j.Key()]; ok {
 		return c.estimate(global, l.cfg.PriorStrength)
@@ -172,12 +197,14 @@ func (l *Learner) JoinSurvival(j qgraph.Join) float64 {
 // contained in the final query, as the product of its parts' survival
 // probabilities (parts are edited near-independently in the interface).
 func (l *Learner) SubgraphSurvival(q *qgraph.Graph) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	p := 1.0
 	for _, s := range q.Selections() {
-		p *= l.SelectionSurvival(s)
+		p *= l.selectionSurvivalLocked(s)
 	}
 	for _, j := range q.Joins() {
-		p *= l.JoinSurvival(j)
+		p *= l.joinSurvivalLocked(j)
 	}
 	return p
 }
@@ -185,6 +212,8 @@ func (l *Learner) SubgraphSurvival(q *qgraph.Graph) float64 {
 // SubgraphRetention estimates P(q ⊆ next final query | q ⊆ this final
 // query): the per-query reuse probability for the lookahead cost model.
 func (l *Learner) SubgraphRetention(q *qgraph.Graph) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	selR := l.selRetention.estimate(l.cfg.SelectionRetentionPrior, l.cfg.PriorStrength)
 	joinR := l.joinRetention.estimate(l.cfg.JoinRetentionPrior, l.cfg.PriorStrength)
 	p := 1.0
@@ -205,7 +234,9 @@ func (l *Learner) CompletionProbability(elapsed, need float64) float64 {
 	if need <= 0 {
 		return 1
 	}
+	l.mu.RLock()
 	mu, sigma := l.thinkParams()
+	l.mu.RUnlock()
 	sTotal := logNormalSurvival(elapsed, mu, sigma)
 	if sTotal <= 0 {
 		return 0.05 // deep in the tail: almost surely about to hit GO
@@ -215,7 +246,7 @@ func (l *Learner) CompletionProbability(elapsed, need float64) float64 {
 
 // thinkParams returns the fitted lognormal parameters, falling back to the
 // Section 5 population statistics (median 11 s, sigma 1.42) until enough
-// observations accumulate.
+// observations accumulate. Callers hold l.mu.
 func (l *Learner) thinkParams() (mu, sigma float64) {
 	if l.thinkN < 5 {
 		return math.Log(11), 1.42

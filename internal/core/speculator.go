@@ -87,8 +87,10 @@ type Stats struct {
 	// Suspended counts issue opportunities skipped because the server was
 	// busy (the SuspendWhenBusy extension).
 	Suspended int
-	// MaterializationsIssued and MaterializationTime give the average
-	// materialization duration the paper reports per dataset size.
+	// MaterializationsIssued counts issued materializations and
+	// MaterializationTime is the cumulative sum of their durations; the
+	// harness divides the sum by the count to report the per-dataset-size
+	// average materialization duration of the paper.
 	MaterializationsIssued int
 	MaterializationTime    sim.Duration
 	// GarbageCollected counts completed materializations dropped because
@@ -108,6 +110,10 @@ type Job struct {
 	tableName string
 	index     *catalog.Index
 	histogram *stats.Histogram
+
+	// jobID is the engine contention-model registration, held from issue
+	// until completion or cancellation.
+	jobID int64
 }
 
 // EventOutcome reports what an interface event made the Speculator do.
@@ -118,6 +124,11 @@ type EventOutcome struct {
 	// Issued is the newly issued job, if any; the harness must schedule its
 	// completion at Issued.CompletesAt.
 	Issued *Job
+	// Waited is the real delay before the final query ran because OnGo let
+	// an almost-finished manipulation complete (WaitForCompletion). The
+	// session owner must advance its clock by this much in addition to the
+	// query duration.
+	Waited sim.Duration
 }
 
 // Speculator is the central component of the speculation subsystem
@@ -234,6 +245,7 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 		return nil, fmt.Errorf("core: completing a job that is not outstanding")
 	}
 	sp.outstanding = nil
+	sp.eng.EndJob(job.jobID)
 	switch job.Manip.Kind {
 	case ManipMaterialize:
 		if err := sp.eng.Catalog.RegisterView(job.tableName, job.Manip.Graph, sp.cfg.Forced); err != nil {
@@ -245,14 +257,14 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Indexes[job.Manip.Col] = job.index
+		t.SetIndex(job.Manip.Col, job.index)
 	case ManipHistogram:
 		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
 		if err != nil {
 			return nil, err
 		}
 		if cs := t.ColumnStats(job.Manip.Col); cs != nil {
-			cs.Hist = job.histogram
+			cs.SetHist(job.histogram)
 		}
 	case ManipStage:
 		sp.stagedRels[job.Manip.Rel] = true
@@ -288,6 +300,7 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 				out.Issued = next
 			}
 			waited = remaining
+			out.Waited = waited
 			sp.stats.WaitedAtGo++
 		} else {
 			sp.cancel(job)
@@ -333,8 +346,11 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	sp.formStarted = false
 	// Use the result-viewing pause: prepare for the next query, which will
 	// very likely retain most of this one's parts (Section 5 persistence).
+	// Any wait for a completing manipulation has already elapsed by this
+	// point, so a fresh job is issued at now+waited — keeping its IssuedAt
+	// and CompletesAt on the session's actual timeline.
 	if sp.outstanding == nil {
-		job, err := sp.maybeIssue(now)
+		job, err := sp.maybeIssue(now.Add(waited))
 		if err != nil {
 			return nil, out, err
 		}
@@ -374,6 +390,14 @@ func (sp *Speculator) apply(ev trace.Event) error {
 	case trace.EvClear:
 		sp.partial = qgraph.New()
 		sp.projs = nil
+		// Clearing the canvas abandons the formulation: parts seen so far
+		// must not train the Learner against the NEXT final query, and the
+		// think-time model must not span the abandoned task. The next event
+		// starts a fresh formulation window.
+		sp.seenSels = make(map[string]qgraph.Selection)
+		sp.seenJoins = make(map[string]qgraph.Join)
+		sp.formStarted = false
+		sp.formStart = 0
 	default:
 		return fmt.Errorf("core: unknown event kind %q", ev.Kind)
 	}
@@ -419,7 +443,7 @@ func (sp *Speculator) collectGarbage() error {
 // maybeIssue enumerates and scores the manipulation space and issues the
 // best alternative if it clears the benefit threshold.
 func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
-	if sp.cfg.SuspendWhenBusy > 0 && sp.eng.ActiveJobs >= sp.cfg.SuspendWhenBusy {
+	if sp.cfg.SuspendWhenBusy > 0 && sp.eng.ActiveJobs() >= sp.cfg.SuspendWhenBusy {
 		sp.stats.Suspended++
 		return nil, nil
 	}
@@ -489,8 +513,7 @@ func (sp *Speculator) isKnown(key string) bool {
 		if err != nil {
 			return true
 		}
-		cs := t.ColumnStats(col)
-		return cs != nil && cs.Hist != nil
+		return t.ColumnStats(col).Hist() != nil
 	case len(key) > 6 && key[:6] == "stage|":
 		return sp.stagedRels[key[6:]]
 	}
@@ -532,7 +555,7 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 			return nil, err
 		}
 		job.index = t.Index(m.Col)
-		delete(t.Indexes, m.Col) // hidden until completion
+		t.RemoveIndex(m.Col) // hidden until completion
 		job.CompletesAt = now.Add(res.Duration)
 	case ManipHistogram:
 		res, err := sp.eng.CreateHistogram(m.Rel, m.Col)
@@ -544,8 +567,8 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 			return nil, err
 		}
 		if cs := t.ColumnStats(m.Col); cs != nil {
-			job.histogram = cs.Hist
-			cs.Hist = nil // hidden until completion
+			job.histogram = cs.Hist()
+			cs.SetHist(nil) // hidden until completion
 		}
 		job.CompletesAt = now.Add(res.Duration)
 	case ManipStage:
@@ -557,11 +580,16 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 	default:
 		return nil, fmt.Errorf("core: cannot issue %v", m)
 	}
+	// Register with the contention model only after the eager execution above:
+	// a session's own manipulation must not inflate the cost of the very
+	// engine work that created it.
+	job.jobID = sp.eng.BeginJob()
 	return job, nil
 }
 
 // cancel undoes a job's hidden side effects.
 func (sp *Speculator) cancel(job *Job) {
+	sp.eng.EndJob(job.jobID)
 	switch job.Manip.Kind {
 	case ManipMaterialize:
 		// The table was never registered as a view; drop it. Its buffer-pool
@@ -576,6 +604,20 @@ func (sp *Speculator) cancel(job *Job) {
 	case ManipStage:
 		_ = sp.eng.Unstage(job.Manip.Rel)
 	}
+}
+
+// CancelOutstanding cancels the in-flight manipulation, if any, undoing its
+// hidden side effects, and returns the canceled job so the owner can drop
+// its scheduled completion. Sessions use it when their context is canceled
+// mid-manipulation.
+func (sp *Speculator) CancelOutstanding() *Job {
+	if sp.outstanding == nil {
+		return nil
+	}
+	job := sp.outstanding
+	sp.cancel(job)
+	sp.outstanding = nil
+	return job
 }
 
 // Shutdown drops everything the Speculator still owns (end of session).

@@ -12,6 +12,8 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"specdb/internal/btree"
 	"specdb/internal/buffer"
@@ -65,21 +67,34 @@ type Result struct {
 	Plan plan.Node
 }
 
-// Engine is the database server. Not safe for concurrent use: the simulation
-// executes one statement at a time and models concurrency via the event
-// timeline plus the contention factor.
+// Engine is the database server. It is safe for concurrent sessions: a
+// statement mutex serializes measured statements (keeping per-statement meter
+// accounting exact), while planning (PlanGraph/Explain) runs lock-free at
+// this level and relies on the fine-grained locks inside the catalog, buffer
+// pool, B-trees, and heap files. Simulated concurrency — the effect of other
+// in-flight jobs on a statement's duration — is modeled by the contention
+// factor over the registered-job count, not by physical overlap.
 type Engine struct {
 	Disk    *storage.DiskManager
 	Pool    *buffer.Pool
 	Catalog *catalog.Catalog
 
-	cfg   Config
-	meter *sim.Meter
-	// ActiveJobs is the number of other jobs logically in flight; the
-	// harness sets it before invoking the engine on a busy server.
-	ActiveJobs int
+	cfg      Config
+	meter    *sim.Meter
+	useViews atomic.Bool
 
-	seq int64
+	// stmtMu serializes measured statements so each statement's meter delta
+	// is exactly its own work.
+	stmtMu sync.Mutex
+
+	// jobsMu guards the registry of logically in-flight jobs (speculative
+	// manipulations, other users' queries) that the contention model counts.
+	jobsMu sync.Mutex
+	jobs   map[int64]struct{}
+	jobSeq int64
+
+	seqMu sync.Mutex
+	seq   int64
 }
 
 // New constructs an empty engine.
@@ -99,27 +114,57 @@ func New(cfg Config) *Engine {
 	if cfg.WorkMemBytes == 0 {
 		cfg.WorkMemBytes = int64(cfg.BufferPoolPages) * int64(disk.PageSize()) / 4
 	}
-	return &Engine{
+	e := &Engine{
 		Disk:    disk,
 		Pool:    pool,
 		Catalog: catalog.New(pool),
 		cfg:     cfg,
 		meter:   meter,
+		jobs:    make(map[int64]struct{}),
 	}
+	e.useViews.Store(cfg.UseViews)
+	return e
 }
 
 // Rates reports the engine's cost rates.
 func (e *Engine) Rates() sim.CostRates { return e.cfg.Rates }
 
 // UseViews reports whether optional views are considered.
-func (e *Engine) UseViews() bool { return e.cfg.UseViews }
+func (e *Engine) UseViews() bool { return e.useViews.Load() }
 
 // SetUseViews toggles optional-view usage (Figure 6 modes).
-func (e *Engine) SetUseViews(v bool) { e.cfg.UseViews = v }
+func (e *Engine) SetUseViews(v bool) { e.useViews.Store(v) }
+
+// BeginJob registers a logically in-flight job with the contention model and
+// returns a handle for EndJob. Speculators register their outstanding
+// manipulations; the multi-user harness registers other users' running
+// queries.
+func (e *Engine) BeginJob() int64 {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	e.jobSeq++
+	e.jobs[e.jobSeq] = struct{}{}
+	return e.jobSeq
+}
+
+// EndJob deregisters a job. Ending an already-ended job is a no-op, so
+// completion and cancellation paths need not coordinate.
+func (e *Engine) EndJob(id int64) {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	delete(e.jobs, id)
+}
+
+// ActiveJobs reports the number of registered in-flight jobs.
+func (e *Engine) ActiveJobs() int {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	return len(e.jobs)
+}
 
 // planOptions builds the optimizer options.
 func (e *Engine) planOptions() plan.Options {
-	return plan.Options{Rates: e.cfg.Rates, UseViews: e.cfg.UseViews, WorkMemBytes: e.cfg.WorkMemBytes}
+	return plan.Options{Rates: e.cfg.Rates, UseViews: e.useViews.Load(), WorkMemBytes: e.cfg.WorkMemBytes}
 }
 
 // execContext builds an executor context with the engine's work-memory
@@ -129,14 +174,15 @@ func (e *Engine) execContext() *exec.Context {
 }
 
 // measure runs fn and converts the work it performed into a duration under
-// the contention model.
+// the contention model. Callers must hold stmtMu so the meter delta contains
+// only fn's own work.
 func (e *Engine) measure(fn func() error) (sim.Work, sim.Duration, error) {
 	before := e.meter.Snapshot()
 	err := fn()
 	work := e.meter.Since(before)
 	d := work.Cost(e.cfg.Rates)
-	if e.cfg.ContentionFactor > 0 && e.ActiveJobs > 0 {
-		d = sim.Duration(float64(d) * (1 + e.cfg.ContentionFactor*float64(e.ActiveJobs)))
+	if n := e.ActiveJobs(); e.cfg.ContentionFactor > 0 && n > 0 {
+		d = sim.Duration(float64(d) * (1 + e.cfg.ContentionFactor*float64(n)))
 	}
 	return work, d, err
 }
@@ -181,8 +227,12 @@ func (e *Engine) Exec(src string) (*Result, error) {
 	}
 }
 
-// RunQuery optimizes and executes a bound query, returning its rows.
+// RunQuery optimizes and executes a bound query, returning its rows. The
+// statement lock is held across optimization AND execution, so a concurrent
+// DropTable cannot invalidate the chosen plan before it runs.
 func (e *Engine) RunQuery(q *plan.Query) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
 	if err != nil {
 		return nil, err
@@ -242,6 +292,8 @@ func (e *Engine) Materialize(name string, g *qgraph.Graph, forced bool) (*Result
 }
 
 func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, forced bool) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	if e.Catalog.HasTable(name) {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
@@ -286,7 +338,7 @@ func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, f
 		}
 		res.RowCount = n
 		for i, c := range table.Schema.Columns {
-			table.Stats[c.Name] = stats.CollectColumnStats(cols[i])
+			table.SetColumnStats(c.Name, stats.CollectColumnStats(cols[i]))
 		}
 		e.meter.ChargeTuples(n) // the stats pass over the stream
 		return e.Catalog.RegisterView(name, g, forced)
@@ -302,12 +354,16 @@ func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, f
 
 // FreshName generates a unique table name for speculative materializations.
 func (e *Engine) FreshName(prefix string) string {
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
 	e.seq++
 	return fmt.Sprintf("%s_%d", prefix, e.seq)
 }
 
 // CreateIndex builds a B+-tree index on table.column by scanning the table.
 func (e *Engine) CreateIndex(table, column string) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return nil, err
@@ -359,6 +415,8 @@ func (e *Engine) CreateIndex(table, column string) (*Result, error) {
 
 // DropIndex removes the index on table.column, freeing its pages.
 func (e *Engine) DropIndex(table, column string) error {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return err
@@ -370,13 +428,15 @@ func (e *Engine) DropIndex(table, column string) error {
 	if err := idx.Tree.Drop(); err != nil {
 		return err
 	}
-	delete(t.Indexes, column)
+	t.RemoveIndex(column)
 	return nil
 }
 
 // CreateHistogram builds an equi-depth histogram on table.column, improving
 // the optimizer's selectivity estimates (Section 3.2: histogram creation).
 func (e *Engine) CreateHistogram(table, column string) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return nil, err
@@ -392,12 +452,12 @@ func (e *Engine) CreateHistogram(table, column string) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		cs := t.Stats[column]
+		cs := t.ColumnStats(column)
 		if cs == nil {
 			cs = stats.CollectColumnStats(values)
-			t.Stats[column] = cs
+			t.SetColumnStats(column, cs)
 		}
-		cs.Hist = h
+		cs.SetHist(h)
 		res.RowCount = int64(len(values))
 		return nil
 	})
@@ -415,8 +475,8 @@ func (e *Engine) DropHistogram(table, column string) error {
 	if err != nil {
 		return err
 	}
-	if cs := t.Stats[column]; cs != nil {
-		cs.Hist = nil
+	if cs := t.ColumnStats(column); cs != nil {
+		cs.SetHist(nil)
 	}
 	return nil
 }
@@ -426,6 +486,8 @@ func (e *Engine) DropHistogram(table, column string) error {
 // the buffer pool. Staging at most half the pool is allowed, to leave room
 // for query execution.
 func (e *Engine) Stage(table string) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return nil, err
@@ -468,8 +530,12 @@ func (e *Engine) Unstage(table string) error {
 	return nil
 }
 
-// DropTable removes a table (and any view it backs), freeing storage.
+// DropTable removes a table (and any view it backs), freeing storage. It
+// takes the statement lock so a drop never races an executing query that
+// planned against the table.
 func (e *Engine) DropTable(name string) error {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(name)
 	if err != nil {
 		return err
@@ -486,8 +552,12 @@ func (e *Engine) CreateTable(name string, schema *tuple.Schema) (*catalog.Table,
 }
 
 // InsertRows bulk-inserts rows into a table (no per-statement measurement —
-// loading is setup, not workload).
+// loading is setup, not workload). It still takes the statement lock: its
+// buffer-pool traffic must not leak into a concurrent statement's meter
+// delta.
 func (e *Engine) InsertRows(name string, rows []tuple.Row) error {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(name)
 	if err != nil {
 		return err
@@ -507,6 +577,8 @@ func (e *Engine) InsertRows(name string, rows []tuple.Row) error {
 
 // Analyze recomputes statistics for a table.
 func (e *Engine) Analyze(name string) error {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(name)
 	if err != nil {
 		return err

@@ -234,7 +234,7 @@ func TestCreateHistogramImprovesEstimates(t *testing.T) {
 		t.Fatalf("histogram scanned %d rows", res.RowCount)
 	}
 	wt, _ := e.Catalog.Table("W")
-	if wt.ColumnStats("d").Hist == nil {
+	if wt.ColumnStats("d").Hist() == nil {
 		t.Fatal("histogram not attached")
 	}
 	after, err := e.PlanGraph(qgraph.SelectionSubgraph(qgraph.Selection{
@@ -251,7 +251,7 @@ func TestCreateHistogramImprovesEstimates(t *testing.T) {
 	if err := e.DropHistogram("W", "d"); err != nil {
 		t.Fatal(err)
 	}
-	if wt.ColumnStats("d").Hist != nil {
+	if wt.ColumnStats("d").Hist() != nil {
 		t.Fatal("histogram not dropped")
 	}
 }
@@ -304,7 +304,8 @@ func TestContentionModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.ActiveJobs = 2
+	e.BeginJob()
+	e.BeginJob()
 	if err := e.ColdStart(); err != nil {
 		t.Fatal(err)
 	}

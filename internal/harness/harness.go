@@ -331,19 +331,15 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 		return all[i].user < all[j].user
 	})
 
-	activeOthers := func(self int) int {
-		n := 0
-		for i, u := range users {
-			if i != self && u.pending != nil {
-				n++
-			}
-		}
-		return n
-	}
+	// The engine's contention model counts registered in-flight jobs: each
+	// speculator registers its outstanding manipulation when issuing and
+	// deregisters it on completion or cancellation, so the harness no longer
+	// maintains an active-job count by hand. A speculator's own job is never
+	// registered while its own engine work is measured, which preserves the
+	// previous "other users' jobs" semantics exactly.
 	out := &MultiUserOutcome{}
-	advance := func(u *userState, uIdx int, t sim.Time) error {
+	advance := func(u *userState, t sim.Time) error {
 		for u.pending != nil && u.pending.CompletesAt <= t {
-			eng.ActiveJobs = activeOthers(uIdx)
 			next, err := u.sp.Complete(u.pending, u.pending.CompletesAt)
 			if err != nil {
 				return err
@@ -356,12 +352,11 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 		u := users[item.user]
 		at := item.ev.At()
 		// Complete due jobs for every user up to this instant.
-		for i, other := range users {
-			if err := advance(other, i, at); err != nil {
+		for _, other := range users {
+			if err := advance(other, at); err != nil {
 				return nil, err
 			}
 		}
-		eng.ActiveJobs = activeOthers(item.user)
 		if item.ev.Kind == trace.EvGo {
 			res, goOut, err := u.sp.OnGo(at)
 			if err != nil {
@@ -399,7 +394,6 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 			return nil, err
 		}
 	}
-	eng.ActiveJobs = 0
 	return out, nil
 }
 

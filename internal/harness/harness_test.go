@@ -209,7 +209,7 @@ func TestMultiUserReplay(t *testing.T) {
 			t.Fatalf("user %d query %d: rows %d vs %d", n.TraceIdx, n.QueryIdx, n.Rows, s.Rows)
 		}
 	}
-	if env.Eng.ActiveJobs != 0 {
+	if env.Eng.ActiveJobs() != 0 {
 		t.Fatal("ActiveJobs not reset")
 	}
 }

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -39,8 +40,10 @@ func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }
 func DurationFromSeconds(s float64) Duration { return Duration(s * float64(time.Second)) }
 
 // Clock is a virtual clock. It only moves when Advance or AdvanceTo is called;
-// nothing in the repository sleeps on it.
+// nothing in the repository sleeps on it. A clock is owned by one session but
+// may be read (Now) by observers on other goroutines, so access is guarded.
 type Clock struct {
+	mu  sync.Mutex
 	now Time
 }
 
@@ -48,7 +51,11 @@ type Clock struct {
 func NewClock() *Clock { return &Clock{} }
 
 // Now reports the current simulated time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Advance moves the clock forward by d. Negative d panics: simulated time is
 // monotone by construction and a rewind always indicates a harness bug.
@@ -56,11 +63,15 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: clock rewind by %v", d))
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.now = c.now.Add(d)
 }
 
 // AdvanceTo moves the clock forward to t. Moving backwards panics.
 func (c *Clock) AdvanceTo(t Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if t < c.now {
 		panic(fmt.Sprintf("sim: clock rewind from %v to %v", c.now, t))
 	}
@@ -68,4 +79,8 @@ func (c *Clock) AdvanceTo(t Time) {
 }
 
 // Reset rewinds the clock to zero for a fresh run.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}

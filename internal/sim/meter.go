@@ -1,6 +1,9 @@
 package sim
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // CostRates converts engine work counters into simulated time. The default
 // rates are calibrated (see EXPERIMENTS.md) so that query durations on the
@@ -61,24 +64,36 @@ func (w Work) Cost(r CostRates) Duration {
 // Meter accumulates work counters. The buffer pool charges page I/O to it and
 // executor operators charge tuples; the engine snapshots it around each
 // statement to obtain that statement's simulated duration.
+//
+// Counters are atomic so charging from concurrent sessions is race-free; the
+// engine still serializes measured statements, so per-statement accounting
+// (and therefore every simulated duration) is unchanged by concurrency.
 type Meter struct {
-	w Work
+	pageReads  atomic.Int64
+	pageWrites atomic.Int64
+	tuples     atomic.Int64
 }
 
 // NewMeter returns a zeroed meter.
 func NewMeter() *Meter { return &Meter{} }
 
 // ChargePageRead records n buffer-pool misses.
-func (m *Meter) ChargePageRead(n int64) { m.w.PageReads += n }
+func (m *Meter) ChargePageRead(n int64) { m.pageReads.Add(n) }
 
 // ChargePageWrite records n page write-backs.
-func (m *Meter) ChargePageWrite(n int64) { m.w.PageWrites += n }
+func (m *Meter) ChargePageWrite(n int64) { m.pageWrites.Add(n) }
 
 // ChargeTuples records n tuples processed.
-func (m *Meter) ChargeTuples(n int64) { m.w.Tuples += n }
+func (m *Meter) ChargeTuples(n int64) { m.tuples.Add(n) }
 
 // Snapshot reports the accumulated work so far.
-func (m *Meter) Snapshot() Work { return m.w }
+func (m *Meter) Snapshot() Work {
+	return Work{
+		PageReads:  m.pageReads.Load(),
+		PageWrites: m.pageWrites.Load(),
+		Tuples:     m.tuples.Load(),
+	}
+}
 
 // Since reports the work accumulated after the given snapshot.
-func (m *Meter) Since(s Work) Work { return m.w.Sub(s) }
+func (m *Meter) Since(s Work) Work { return m.Snapshot().Sub(s) }

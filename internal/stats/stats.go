@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"specdb/internal/tuple"
 )
@@ -20,7 +21,10 @@ const (
 	DefaultNeSelectivity    = 0.90
 )
 
-// ColumnStats summarizes one column of one relation.
+// ColumnStats summarizes one column of one relation. Count/Distinct/Min/Max
+// are set once at collection time and immutable afterwards; the histogram
+// pointer is attached and detached by speculative manipulations, possibly
+// from another session, so it sits behind its own lock.
 type ColumnStats struct {
 	Count    int64 // rows (including the column's duplicates)
 	Distinct int64
@@ -28,8 +32,27 @@ type ColumnStats struct {
 	// with at least one row).
 	HasRange bool
 	Min, Max tuple.Value
-	// Hist is non-nil after histogram creation for the column.
-	Hist *Histogram
+
+	mu   sync.Mutex
+	hist *Histogram
+}
+
+// Hist returns the column's histogram, or nil when none has been created.
+// Safe on a nil receiver.
+func (c *ColumnStats) Hist() *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hist
+}
+
+// SetHist attaches (or, with nil, detaches) the column's histogram.
+func (c *ColumnStats) SetHist(h *Histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hist = h
 }
 
 // EstimateSelectivity estimates the fraction of rows satisfying
@@ -38,8 +61,8 @@ func (c *ColumnStats) EstimateSelectivity(op tuple.CmpOp, constant tuple.Value) 
 	if c == nil || c.Count == 0 {
 		return defaultSelectivity(op)
 	}
-	if c.Hist != nil && constant.IsNumeric() {
-		return c.Hist.Selectivity(op, constant.AsFloat())
+	if h := c.Hist(); h != nil && constant.IsNumeric() {
+		return h.Selectivity(op, constant.AsFloat())
 	}
 	switch op {
 	case tuple.CmpEQ:

@@ -142,7 +142,7 @@ func TestHistogramSkewedBeatsUniform(t *testing.T) {
 	}
 	// The no-histogram path, by contrast, is badly wrong on this data.
 	cs := CollectColumnStats(vals)
-	cs.Hist = nil
+	cs.SetHist(nil)
 	uniform := cs.EstimateSelectivity(tuple.CmpEQ, tuple.NewInt(0))
 	if uniform > 0.1 && eq0 < uniform {
 		t.Fatalf("expected histogram (%v) to dominate uniform (%v) at the hot value", eq0, uniform)

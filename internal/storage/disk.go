@@ -4,7 +4,10 @@
 // pool against a sim.Meter, keeping every run deterministic (DESIGN.md §1).
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // PageID identifies a disk page. Zero is never a valid page, so PageID 0 can
 // mean "none".
@@ -14,8 +17,10 @@ type PageID int64
 const DefaultPageSize = 8192
 
 // DiskManager is the simulated disk: a growable array of fixed-size pages
-// with allocate/read/write/free and physical I/O counters.
+// with allocate/read/write/free and physical I/O counters. It is safe for
+// concurrent use; each operation is atomic under an internal lock.
 type DiskManager struct {
+	mu       sync.Mutex
 	pageSize int
 	pages    map[PageID][]byte
 	next     PageID
@@ -45,6 +50,8 @@ func (d *DiskManager) PageSize() int { return d.pageSize }
 
 // Allocate reserves a fresh zeroed page and returns its ID.
 func (d *DiskManager) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := d.next
 	d.next++
 	d.pages[id] = make([]byte, d.pageSize)
@@ -53,6 +60,8 @@ func (d *DiskManager) Allocate() PageID {
 
 // Read copies page id into buf (which must be PageSize bytes).
 func (d *DiskManager) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p, ok := d.pages[id]
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
@@ -67,6 +76,8 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 
 // Write stores buf (PageSize bytes) as the content of page id.
 func (d *DiskManager) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.pages[id]; !ok {
 		return fmt.Errorf("storage: write to unallocated page %d", id)
 	}
@@ -83,6 +94,8 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 // Free releases page id. Freeing an unallocated page is an error — it
 // indicates double-free in the heap-file layer.
 func (d *DiskManager) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.pages[id]; !ok {
 		return fmt.Errorf("storage: free of unallocated page %d", id)
 	}
@@ -91,7 +104,15 @@ func (d *DiskManager) Free(id PageID) error {
 }
 
 // Allocated reports the number of live pages (a proxy for disk usage).
-func (d *DiskManager) Allocated() int { return len(d.pages) }
+func (d *DiskManager) Allocated() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
 
 // Stats reports cumulative physical reads and writes.
-func (d *DiskManager) Stats() (reads, writes int64) { return d.reads, d.writes }
+func (d *DiskManager) Stats() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}

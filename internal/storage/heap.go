@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // PagePool is the slice of buffer-pool behaviour the heap file needs. It is
 // defined here (consumer side) so storage does not import the buffer package.
@@ -28,8 +31,16 @@ func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 // HeapFile is an unordered collection of records spread over slotted pages.
 // It is append-only: the paper's environment is a read-only database plus
 // whole-table materializations, so record-level delete is unnecessary.
+//
+// Metadata (the page list and row count) is guarded by an RWMutex so readers
+// on other sessions — the speculation cost model prices staging by reading
+// PageIDs/NumPages — never race with a concurrent materialization's inserts.
+// Readers snapshot the append-only page list and then walk it lock-free; page
+// contents are protected by buffer-pool pins plus the engine's statement
+// serialization.
 type HeapFile struct {
 	pool  PagePool
+	mu    sync.RWMutex
 	pages []PageID
 	rows  int64
 }
@@ -40,13 +51,23 @@ func NewHeapFile(pool PagePool) *HeapFile {
 }
 
 // NumPages reports the number of pages in the file.
-func (h *HeapFile) NumPages() int { return len(h.pages) }
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
 
 // NumRows reports the number of records in the file.
-func (h *HeapFile) NumRows() int64 { return h.rows }
+func (h *HeapFile) NumRows() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows
+}
 
 // PageIDs returns the file's page IDs in order (used by data staging).
 func (h *HeapFile) PageIDs() []PageID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]PageID, len(h.pages))
 	copy(out, h.pages)
 	return out
@@ -54,6 +75,8 @@ func (h *HeapFile) PageIDs() []PageID {
 
 // Insert appends a record and returns its RID.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if n := len(h.pages); n > 0 {
 		buf, err := h.pool.Get(h.pages[n-1])
 		if err != nil {
@@ -86,7 +109,8 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 // the page buffer and is only valid during the callback. Returning a non-nil
 // error from fn stops the scan and propagates the error.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
-	for pi, id := range h.pages {
+	pages := h.PageIDs()
+	for pi, id := range pages {
 		buf, err := h.pool.Get(id)
 		if err != nil {
 			return err
@@ -110,10 +134,13 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 
 // Fetch returns a copy of the record at rid.
 func (h *HeapFile) Fetch(rid RID) ([]byte, error) {
+	h.mu.RLock()
 	if rid.Page < 0 || int(rid.Page) >= len(h.pages) {
+		h.mu.RUnlock()
 		return nil, fmt.Errorf("storage: RID %v page out of range", rid)
 	}
 	id := h.pages[rid.Page]
+	h.mu.RUnlock()
 	buf, err := h.pool.Get(id)
 	if err != nil {
 		return nil, err
@@ -131,6 +158,8 @@ func (h *HeapFile) Fetch(rid RID) ([]byte, error) {
 
 // Drop frees every page of the file. The file must not be used afterwards.
 func (h *HeapFile) Drop() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, id := range h.pages {
 		if err := h.pool.Free(id); err != nil {
 			return err

@@ -2,9 +2,11 @@ package storage
 
 // HeapIterator is a pull-based cursor over a heap file, pinning one page at a
 // time. It exists for the Volcano executor, whose operators demand rows one
-// by one rather than via Scan's callback.
+// by one rather than via Scan's callback. The page list is snapshotted at
+// creation, so the cursor never races with concurrent appends to the file.
 type HeapIterator struct {
 	h       *HeapFile
+	pages   []PageID
 	pageIdx int
 	slotIdx int
 	cur     SlottedPage
@@ -13,7 +15,7 @@ type HeapIterator struct {
 
 // NewIterator returns a cursor positioned before the first record.
 func (h *HeapFile) NewIterator() *HeapIterator {
-	return &HeapIterator{h: h}
+	return &HeapIterator{h: h, pages: h.PageIDs()}
 }
 
 // Next advances to the next record, returning its RID and payload. The
@@ -22,10 +24,10 @@ func (h *HeapFile) NewIterator() *HeapIterator {
 func (it *HeapIterator) Next() (rid RID, rec []byte, ok bool, err error) {
 	for {
 		if it.pinned == 0 {
-			if it.pageIdx >= len(it.h.pages) {
+			if it.pageIdx >= len(it.pages) {
 				return RID{}, nil, false, nil
 			}
-			id := it.h.pages[it.pageIdx]
+			id := it.pages[it.pageIdx]
 			buf, err := it.h.pool.Get(id)
 			if err != nil {
 				return RID{}, nil, false, err

@@ -69,11 +69,11 @@ func TestLoadPreparesIndexesAndHistograms(t *testing.T) {
 			t.Fatalf("missing index on lineitem.%s", col)
 		}
 	}
-	if li.ColumnStats("l_quantity").Hist == nil {
+	if li.ColumnStats("l_quantity").Hist() == nil {
 		t.Fatal("missing histogram on lineitem.l_quantity")
 	}
 	ord, _ := e.Catalog.Table("orders")
-	if ord.ColumnStats("o_totalprice").Hist == nil {
+	if ord.ColumnStats("o_totalprice").Hist() == nil {
 		t.Fatal("missing histogram on orders.o_totalprice")
 	}
 }

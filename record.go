@@ -21,7 +21,10 @@ func (s *Session) record(ev trace.Event) {
 // TraceJSON returns the session's recorded interaction as a JSON trace,
 // replayable with ReplayTrace or cmd/replay.
 func (s *Session) TraceJSON(user string) ([]byte, error) {
-	tr := &trace.Trace{User: user, Events: s.recorded}
+	s.mu.Lock()
+	events := append([]trace.Event(nil), s.recorded...)
+	s.mu.Unlock()
+	tr := &trace.Trace{User: user, Events: events}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}

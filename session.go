@@ -1,7 +1,9 @@
 package specdb
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"specdb/internal/core"
@@ -21,31 +23,62 @@ type SessionConfig struct {
 	SelectionsOnly bool
 	// Lookahead is the cost model's future-query depth (default 3).
 	Lookahead int
+	// WaitForCompletion enables the paper's Section 7 extension: when Go
+	// arrives while a manipulation is almost finished and waiting is cheaper
+	// than losing it, the final query is delayed until the manipulation
+	// completes. The session clock advances by the wait.
+	WaitForCompletion bool
 }
 
 // Session is the programmatic equivalent of the paper's visual query
 // interface: the caller edits a query part by part, think-time passes, and
 // Go submits the final query. A Speculator watches every edit and prepares
 // the database in the background (on the simulated timeline).
+//
+// A Session is safe for concurrent use, though its operations serialize on an
+// internal lock; the intended concurrency model is many sessions — each with
+// its own deterministic clock — running against one shared DB (see
+// SessionManager).
 type Session struct {
-	db      *DB
+	db  *DB
+	ctx context.Context
+	mgr *SessionManager
+	id  int64
+
+	mu      sync.Mutex
 	sp      *core.Speculator
 	clock   *sim.Clock
 	pending *core.Job
+	closed  bool
 	// recorded holds the session's interaction for TraceJSON.
 	recorded []trace.Event
 }
 
-// NewSession opens a session at simulated time zero.
+// NewSession opens a standalone session at simulated time zero with its own
+// single-user profile. Use a SessionManager to open sessions that share one
+// learned profile.
 func (db *DB) NewSession(cfg SessionConfig) *Session {
-	s := &Session{db: db, clock: sim.NewClock()}
+	return db.NewSessionContext(context.Background(), cfg)
+}
+
+// NewSessionContext opens a standalone session whose operations observe ctx:
+// once ctx is canceled, any in-flight manipulation is canceled and every
+// subsequent session call fails with the context's error.
+func (db *DB) NewSessionContext(ctx context.Context, cfg SessionConfig) *Session {
+	return db.newSession(ctx, cfg, core.NewLearner(core.DefaultLearnerConfig()), core.DefaultConfig().NamePrefix, nil, 0)
+}
+
+func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.Learner, prefix string, mgr *SessionManager, id int64) *Session {
+	s := &Session{db: db, ctx: ctx, mgr: mgr, id: id, clock: sim.NewClock()}
 	if !cfg.DisableSpeculation {
 		c := core.DefaultConfig()
 		c.SelectionsOnly = cfg.SelectionsOnly
 		if cfg.Lookahead > 0 {
 			c.Lookahead = cfg.Lookahead
 		}
-		s.sp = core.NewSpeculator(db.eng, core.NewLearner(core.DefaultLearnerConfig()), c)
+		c.WaitForCompletion = cfg.WaitForCompletion
+		c.NamePrefix = prefix
+		s.sp = core.NewSpeculator(db.eng, learner, c)
 	}
 	return s
 }
@@ -53,30 +86,63 @@ func (db *DB) NewSession(cfg SessionConfig) *Session {
 // Now reports the session's position on the simulated timeline.
 func (s *Session) Now() time.Duration { return time.Duration(s.clock.Now()) }
 
-// Think advances simulated time: the user is reading, typing, or pondering.
-// Asynchronous manipulations that finish within the window complete.
-func (s *Session) Think(d time.Duration) {
-	target := s.clock.Now().Add(simDuration(d))
-	s.completeDue(target)
-	s.clock.AdvanceTo(target)
+// checkLive reports the context or closed error that invalidates the session,
+// canceling any in-flight manipulation on first detection. Callers hold s.mu.
+func (s *Session) checkLive() error {
+	if s.closed {
+		return fmt.Errorf("specdb: session is closed")
+	}
+	if err := s.ctx.Err(); err != nil {
+		if s.sp != nil && s.sp.CancelOutstanding() != nil {
+			s.pending = nil
+		}
+		return fmt.Errorf("specdb: session canceled: %w", err)
+	}
+	return nil
 }
 
-func (s *Session) completeDue(t sim.Time) {
+// Think advances simulated time: the user is reading, typing, or pondering.
+// Asynchronous manipulations that finish within the window complete; a
+// completion failure is returned (the clock still advances the full window).
+func (s *Session) Think(d time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLive(); err != nil {
+		return err
+	}
+	target := s.clock.Now().Add(simDuration(d))
+	err := s.completeDue(target)
+	s.clock.AdvanceTo(target)
+	return err
+}
+
+// completeDue finalizes pending manipulations due by t, advancing the clock
+// to each completion instant. Callers hold s.mu.
+func (s *Session) completeDue(t sim.Time) error {
 	for s.pending != nil && s.pending.CompletesAt <= t {
 		job := s.pending
-		s.clock.AdvanceTo(job.CompletesAt)
+		if job.CompletesAt > s.clock.Now() {
+			s.clock.AdvanceTo(job.CompletesAt)
+		}
 		next, err := s.sp.Complete(job, job.CompletesAt)
 		if err != nil {
-			// Completion can only fail on internal invariant violations;
-			// surface loudly rather than silently losing the job.
-			panic(fmt.Sprintf("specdb: completing manipulation: %v", err))
+			// The job is no longer outstanding either way; drop it so one
+			// poisoned completion cannot wedge the session forever.
+			s.pending = nil
+			return fmt.Errorf("specdb: completing manipulation: %w", err)
 		}
 		s.pending = next
 	}
+	return nil
 }
 
 // apply routes one interface event through the speculator.
 func (s *Session) apply(ev trace.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLive(); err != nil {
+		return err
+	}
 	if s.sp == nil {
 		return fmt.Errorf("specdb: session has speculation disabled; use DB.Exec for plain SQL")
 	}
@@ -143,29 +209,43 @@ func (s *Session) SetProjections(cols ...string) error {
 	return s.apply(trace.Event{Kind: trace.EvSetProjections, Projs: cols})
 }
 
-// Clear empties the canvas (a new exploration task).
+// Clear empties the canvas (a new exploration task). The speculator also
+// resets its formulation tracking: parts of the abandoned task do not train
+// the user profile.
 func (s *Session) Clear() error {
 	return s.apply(trace.Event{Kind: trace.EvClear})
 }
 
-// Go submits the final query: any incomplete manipulation is canceled, the
-// query runs on the prepared database (completed materializations rewrite
-// it), and the user profile learns from the formulation.
+// Go submits the final query: any incomplete manipulation is canceled (or,
+// with WaitForCompletion, briefly waited for), the query runs on the prepared
+// database (completed materializations rewrite it), and the user profile
+// learns from the formulation. The session clock advances by any wait, so
+// the timeline matches the charged result duration.
 func (s *Session) Go() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLive(); err != nil {
+		return nil, err
+	}
 	if s.sp == nil {
 		return nil, fmt.Errorf("specdb: session has speculation disabled")
 	}
 	res, out, err := s.sp.OnGo(s.clock.Now())
-	if err != nil {
-		return nil, err
-	}
-	s.record(trace.Event{Kind: trace.EvGo})
+	// Even on error the outcome's job bookkeeping is authoritative: a wait
+	// consumes the pending completion before the failure can occur.
 	if out.Canceled != nil {
 		s.pending = nil
 	}
 	if out.Issued != nil {
 		s.pending = out.Issued
 	}
+	if err != nil {
+		return nil, err
+	}
+	if out.Waited > 0 {
+		s.clock.Advance(out.Waited)
+	}
+	s.record(trace.Event{Kind: trace.EvGo})
 	return wrapResult(res), nil
 }
 
@@ -174,11 +254,19 @@ type Stats struct {
 	Issued, Completed   int
 	CanceledInvalidated int
 	CanceledAtGo        int
-	GarbageCollected    int
+	// WaitedAtGo counts final queries delayed until an almost-finished
+	// manipulation completed (the WaitForCompletion extension).
+	WaitedAtGo int
+	// Suspended counts issue opportunities skipped because the server was
+	// busy (the SuspendWhenBusy extension).
+	Suspended        int
+	GarbageCollected int
 }
 
 // Stats reports speculation activity so far.
 func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.sp == nil {
 		return Stats{}
 	}
@@ -188,15 +276,28 @@ func (s *Session) Stats() Stats {
 		Completed:           st.Completed,
 		CanceledInvalidated: st.CanceledInvalidated,
 		CanceledAtGo:        st.CanceledAtGo,
+		WaitedAtGo:          st.WaitedAtGo,
+		Suspended:           st.Suspended,
 		GarbageCollected:    st.GarbageCollected,
 	}
 }
 
-// Close releases everything the session's speculator still holds.
+// Close releases everything the session's speculator still holds and
+// deregisters the session from its manager. Closing twice is a no-op.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.mgr != nil {
+		s.mgr.remove(s.id)
+	}
 	if s.sp == nil {
 		return nil
 	}
+	s.pending = nil
 	return s.sp.Shutdown()
 }
 

@@ -1,0 +1,87 @@
+package specdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"specdb/internal/core"
+)
+
+// SessionManager opens and tracks concurrent sessions against one DB. All of
+// its sessions share a single user profile — concurrent users train one
+// Learner, the paper's multi-user deployment — while each session keeps its
+// own deterministic simulated clock and speculator state. Speculative objects
+// are namespaced per session ("spec_s<id>_..."), so concurrent manipulations
+// never collide in the shared catalog.
+//
+// A SessionManager is safe for concurrent use.
+type SessionManager struct {
+	db      *DB
+	learner *core.Learner
+
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	nextID   int64
+}
+
+// NewSessionManager creates a manager over db with a fresh shared profile.
+func (db *DB) NewSessionManager() *SessionManager {
+	return &SessionManager{
+		db:       db,
+		learner:  core.NewLearner(core.DefaultLearnerConfig()),
+		sessions: make(map[int64]*Session),
+	}
+}
+
+// Open starts a new session sharing the manager's learned profile.
+func (m *SessionManager) Open(cfg SessionConfig) *Session {
+	return m.OpenContext(context.Background(), cfg)
+}
+
+// OpenContext starts a new session bound to ctx: canceling ctx cancels the
+// session's in-flight manipulation and fails every subsequent call on it.
+func (m *SessionManager) OpenContext(ctx context.Context, cfg SessionConfig) *Session {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	m.mu.Unlock()
+	s := m.db.newSession(ctx, cfg, m.learner, fmt.Sprintf("spec_s%d", id), m, id)
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s
+}
+
+// OpenSessions reports how many sessions are currently open.
+func (m *SessionManager) OpenSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// remove deregisters a closed session.
+func (m *SessionManager) remove(id int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, id)
+}
+
+// CloseAll closes every open session, releasing all their speculative
+// objects, and returns the first error encountered.
+func (m *SessionManager) CloseAll() error {
+	// Snapshot first: Session.Close calls back into m.remove.
+	m.mu.Lock()
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	var first error
+	for _, s := range open {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

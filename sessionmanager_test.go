@@ -1,0 +1,307 @@
+package specdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tableSet snapshots the catalog's table names.
+func tableSet(db *DB) map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range db.Tables() {
+		out[n] = true
+	}
+	return out
+}
+
+// newTables returns catalog tables present now but not in before.
+func newTables(db *DB, before map[string]bool) []string {
+	var out []string
+	for _, n := range db.Tables() {
+		if !before[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestSessionManagerLifecycle(t *testing.T) {
+	db := getDB(t)
+	m := db.NewSessionManager()
+
+	s1 := m.Open(SessionConfig{})
+	s2 := m.Open(SessionConfig{})
+	s3 := m.Open(SessionConfig{DisableSpeculation: true})
+	if got := m.OpenSessions(); got != 3 {
+		t.Fatalf("OpenSessions = %d, want 3", got)
+	}
+	// All sessions train one shared multi-user profile.
+	if s1.sp.Learner() != m.learner || s2.sp.Learner() != m.learner {
+		t.Fatal("sessions do not share the manager's profile")
+	}
+	// ...but speculative objects are namespaced per session: the same edit in
+	// two sessions materializes under different names.
+	before := tableSet(db)
+	if err := s1.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddSelection("lineitem", "l_quantity", "=", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*Session{s1, s2} {
+		prefix := fmt.Sprintf("spec_s%d_", i+1)
+		found := false
+		for _, n := range newTables(db, before) {
+			if strings.HasPrefix(n, prefix) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("session %d created no table under %q: %v", i+1, prefix, newTables(db, before))
+		}
+		_ = s
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OpenSessions(); got != 2 {
+		t.Fatalf("OpenSessions after one close = %d, want 2", got)
+	}
+	if err := s1.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+	if got := m.OpenSessions(); got != 2 {
+		t.Fatalf("OpenSessions after double close = %d, want 2", got)
+	}
+	if err := s1.Think(time.Second); err == nil {
+		t.Fatal("closed session should reject Think")
+	}
+
+	if err := m.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OpenSessions(); got != 0 {
+		t.Fatalf("OpenSessions after CloseAll = %d, want 0", got)
+	}
+	if err := s3.AddRelation("orders"); err == nil {
+		t.Fatal("session closed by CloseAll should reject edits")
+	}
+	// Everything speculative was released.
+	if leaked := newTables(db, before); len(leaked) != 0 {
+		t.Fatalf("speculative tables leaked: %v", leaked)
+	}
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	db := getDB(t)
+	m := db.NewSessionManager()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := m.OpenContext(ctx, SessionConfig{})
+	defer s.Close()
+
+	before := tableSet(db)
+	if err := s.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.pending == nil {
+		t.Fatal("no manipulation in flight")
+	}
+	if len(newTables(db, before)) == 0 {
+		t.Fatal("in-flight materialization has no backing table")
+	}
+
+	cancel()
+	if err := s.Think(time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Think after cancel = %v, want context.Canceled", err)
+	}
+	// The in-flight manipulation was canceled and its table dropped.
+	if s.pending != nil {
+		t.Fatal("in-flight manipulation survived context cancellation")
+	}
+	if leaked := newTables(db, before); len(leaked) != 0 {
+		t.Fatalf("canceled manipulation leaked tables: %v", leaked)
+	}
+	if err := s.AddRelation("orders"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("edit after cancel = %v, want context.Canceled", err)
+	}
+	if _, err := s.Go(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Go after cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestGoWaitForCompletionAdvancesClock is a regression test: when GO waits
+// for an almost-finished manipulation, the wait is charged to the result AND
+// the session clock — previously the clock stayed put, so the session's
+// timeline drifted behind its accounted costs.
+func TestGoWaitForCompletionAdvancesClock(t *testing.T) {
+	db := getDB(t)
+	s := db.NewSession(SessionConfig{WaitForCompletion: true})
+	defer s.Close()
+
+	if err := s.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
+		t.Fatal(err)
+	}
+	job := s.pending
+	if job == nil {
+		t.Fatal("no manipulation in flight")
+	}
+	completesAt := time.Duration(job.CompletesAt)
+	// Stop thinking just before the manipulation finishes: GO should wait out
+	// the sliver rather than cancel.
+	if err := s.Think(completesAt - time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Go()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WaitedAtGo != 1 || st.CanceledAtGo != 0 {
+		t.Fatalf("stats %+v, want one wait and no cancels", st)
+	}
+	if s.Now() < completesAt {
+		t.Fatalf("session clock %v never reached the awaited completion %v", s.Now(), completesAt)
+	}
+	if res.RowCount == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// TestThinkSurfacesCompletionError is a regression test: a manipulation that
+// fails to complete used to panic the whole process; it must surface as an
+// error and leave the session usable.
+func TestThinkSurfacesCompletionError(t *testing.T) {
+	db := getDB(t)
+	s := db.NewSession(SessionConfig{})
+	defer s.Close()
+
+	before := tableSet(db)
+	if err := s.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.pending == nil {
+		t.Fatal("no manipulation in flight")
+	}
+	// Sabotage: drop the hidden speculative table out from under the
+	// speculator, so completion cannot register its view.
+	for _, n := range newTables(db, before) {
+		if _, err := db.Exec("DROP TABLE " + n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.Think(time.Hour)
+	if err == nil {
+		t.Fatal("completion against a dropped table should error")
+	}
+	if !strings.Contains(err.Error(), "completing manipulation") {
+		t.Fatalf("error %q does not identify the failed completion", err)
+	}
+	// The poisoned job is dropped; the session keeps working.
+	if s.pending != nil {
+		t.Fatal("failed completion left the job pending")
+	}
+	if err := s.Think(time.Second); err != nil {
+		t.Fatalf("session unusable after completion error: %v", err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSessionsStress drives many concurrent sessions — mixed
+// speculation on/off, overlapping relations — against one shared DB, and then
+// checks the shared substrate's invariants. Run under -race this is the
+// tentpole's safety net.
+func TestConcurrentSessionsStress(t *testing.T) {
+	db := getDB(t)
+	m := db.NewSessionManager()
+	before := tableSet(db)
+
+	const users = 8
+	errCh := make(chan error, users*8)
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 3 {
+				// A plain-SQL user: no speculation, direct queries on the
+				// shared engine while others speculate.
+				s := m.Open(SessionConfig{DisableSpeculation: true})
+				defer s.Close()
+				for k := 0; k < 3; k++ {
+					if _, err := db.Exec("SELECT * FROM supplier WHERE supplier.s_acctbal > 9000"); err != nil {
+						errCh <- err
+						return
+					}
+					if err := s.Think(time.Second); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				return
+			}
+			s := m.Open(SessionConfig{SelectionsOnly: i%2 == 0})
+			defer s.Close()
+			// Overlapping relations: everyone works on lineitem/orders.
+			if err := s.AddSelection("lineitem", "l_quantity", "=", 1+i); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Think(45 * time.Second); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey"); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Think(45 * time.Second); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := s.Go(); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Clear(); err != nil {
+				errCh <- err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if err := m.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OpenSessions(); got != 0 {
+		t.Fatalf("OpenSessions = %d after CloseAll", got)
+	}
+
+	// Shared-substrate invariants: no leaked speculative tables, no stuck
+	// jobs in the contention model, a consistent buffer pool.
+	if leaked := newTables(db, before); len(leaked) != 0 {
+		t.Fatalf("speculative tables leaked: %v", leaked)
+	}
+	if got := db.eng.ActiveJobs(); got != 0 {
+		t.Fatalf("ActiveJobs = %d after all sessions closed", got)
+	}
+	pool := db.eng.Pool
+	if pool.Resident() > pool.Capacity() {
+		t.Fatalf("buffer pool over capacity: %d resident, %d frames", pool.Resident(), pool.Capacity())
+	}
+	if got := pool.StagedCount(); got != 0 {
+		t.Fatalf("%d pages still staged after all sessions closed", got)
+	}
+}
