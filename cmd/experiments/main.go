@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (t51,t52,f4,f5,f6,f7,a1,a2,a3,a4,a5) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (t51,t52,f4,f5,f6,f7,a1,a2,a3,a4,a5) or 'all'; 'bench' (never part of 'all') writes a spec-on vs spec-off benchmark JSON")
 	users := flag.Int("users", 15, "trace corpus size")
 	seed := flag.Uint64("seed", 7, "corpus seed")
 	dataSeed := flag.Uint64("dataseed", 42, "dataset seed")
 	scalesFlag := flag.String("scales", "100MB,500MB,1GB", "dataset scales to run")
+	benchOut := flag.String("benchout", "BENCH_spec.json", "output path for -exp bench")
 	flag.Parse()
 
 	scales := strings.Split(*scalesFlag, ",")
@@ -82,6 +84,35 @@ func main() {
 	if run("a5") {
 		a5(traces, *dataSeed)
 	}
+	// bench runs only when named explicitly: it writes a file, so it must not
+	// ride along with -exp all.
+	if wanted["bench"] {
+		bench(traces, scales[0], *users, *seed, *dataSeed, *benchOut)
+	}
+}
+
+// bench writes the spec-on vs spec-off benchmark report (see BenchResult in
+// internal/harness for the schema) for the first requested scale.
+func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64, path string) {
+	header(fmt.Sprintf("BENCH(%s)  spec-on vs spec-off → %s", scale, path))
+	res, err := harness.RunBench(scale, traces, dataSeed)
+	if err != nil {
+		fatal(err)
+	}
+	res.Users = users
+	res.Seed = seed
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d queries: relative response time %.3f (improvement %.1f%%)\n",
+		res.Queries, res.RelativeResponseTime, res.ImprovementPct)
+	fmt.Printf("  hit rate %.2f   waste %.1fs   incomplete at GO %.0f%%\n",
+		res.HitRate, res.WasteS, res.IncompletePct)
 }
 
 func header(title string) {

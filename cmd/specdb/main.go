@@ -8,9 +8,14 @@
 //
 // Then type SQL (one statement per line), or one of the shell commands:
 //
-//	\tables      list tables
-//	\cold        cold-start the buffer pool
-//	\quit        exit
+//	\tables        list tables
+//	\cold          cold-start the buffer pool
+//	\metrics       dump the engine metrics registry as text
+//	\metrics json  dump the engine metrics registry as JSON
+//	\quit          exit
+//
+// EXPLAIN ANALYZE <select> executes the query with instrumented operators and
+// prints the plan with actual rows, simulated cost, and page I/O per node.
 package main
 
 import (
@@ -63,6 +68,15 @@ func main() {
 			} else {
 				fmt.Println("buffer pool emptied")
 			}
+		case line == `\metrics`:
+			fmt.Print(eng.MetricsSnapshot().Text())
+		case line == `\metrics json`:
+			out, err := eng.MetricsSnapshot().JSON()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(string(out))
+			}
 		default:
 			runStatement(eng, line)
 		}
@@ -74,6 +88,12 @@ func runStatement(eng *engine.Engine, src string) {
 	res, err := eng.Exec(src)
 	if err != nil {
 		fmt.Println("error:", err)
+		return
+	}
+	if res.Analyzed != "" {
+		fmt.Print(res.Analyzed)
+		fmt.Printf("%d row(s) in %v (simulated; %d page reads, %d tuples)\n",
+			res.RowCount, res.Duration, res.Work.PageReads, res.Work.Tuples)
 		return
 	}
 	if res.Plan != nil && res.Rows == nil && res.RowCount == 0 {

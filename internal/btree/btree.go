@@ -31,6 +31,7 @@ type BTree struct {
 	capacity int
 	height   int
 	entries  int64
+	splits   int64
 	pages    []storage.PageID // every page owned by the tree, for Drop/PageIDs
 }
 
@@ -75,6 +76,14 @@ func (t *BTree) Len() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.entries
+}
+
+// Splits reports the cumulative number of node splits (root splits included),
+// a build-cost signal surfaced through the engine's metrics registry.
+func (t *BTree) Splits() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.splits
 }
 
 // NumPages reports the number of pages the tree owns.
@@ -187,6 +196,7 @@ func (t *BTree) finish(id storage.PageID, buf []byte, n *node) ([]byte, storage.
 		t.pool.Unpin(id, false)
 		return nil, 0, err
 	}
+	t.splits++
 	t.pages = append(t.pages, rightID)
 
 	var sep []byte

@@ -68,6 +68,13 @@ func TestInsertAndFullScan(t *testing.T) {
 	if tree.Height() < 3 {
 		t.Fatalf("Height = %d; want a real multi-level tree", tree.Height())
 	}
+	// A multi-level tree only exists because nodes split. Every split adds one
+	// page and every root split adds one more (the new root), so a tree of
+	// height h built purely by insertion has NumPages == Splits + h.
+	if tree.Splits() != int64(tree.NumPages())-int64(tree.Height()) {
+		t.Fatalf("Splits = %d with %d pages at height %d",
+			tree.Splits(), tree.NumPages(), tree.Height())
+	}
 	got := collect(t, tree, Unbounded, Unbounded)
 	if int64(len(got)) != n {
 		t.Fatalf("scan saw %d entries, want %d", len(got), n)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"specdb/internal/obs"
 	"specdb/internal/sim"
 	"specdb/internal/storage"
 )
@@ -30,9 +31,36 @@ type Pool struct {
 	lru    *list.List // front = most recently used; holds unpinned candidates too
 	cap    int
 
-	hits   int64
-	misses int64
-	writes int64
+	hits    int64
+	misses  int64
+	writes  int64
+	fetches int64
+
+	// Mirror counters in an observability registry (nil until AttachMetrics).
+	// Purely observational: they never charge the meter or change eviction.
+	obsHits, obsMisses, obsWrites, obsFetches *obs.Counter
+}
+
+// Stats is a snapshot of the pool's cumulative traffic counters. The pool
+// maintains the invariant Hits + Misses == Fetches: every logical page fetch
+// (Get, or a Stage pre-fetch) is either served from a frame or from disk.
+type Stats struct {
+	// Hits are fetches served from a resident frame.
+	Hits int64
+	// Misses are fetches that went to disk (and were charged to the meter).
+	Misses int64
+	// Writes are dirty-page write-backs.
+	Writes int64
+	// Fetches is the total number of logical page fetches.
+	Fetches int64
+}
+
+// HitRatio is Hits/Fetches, or 0 before any fetch.
+func (s Stats) HitRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
 }
 
 type frame struct {
@@ -76,11 +104,33 @@ func (p *Pool) Resident() int {
 	return len(p.frames)
 }
 
-// Stats reports cumulative hits, misses, and write-backs.
-func (p *Pool) Stats() (hits, misses, writes int64) {
+// Stats reports the pool's cumulative traffic counters.
+func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.hits, p.misses, p.writes
+	return Stats{Hits: p.hits, Misses: p.misses, Writes: p.writes, Fetches: p.fetches}
+}
+
+// AttachMetrics mirrors the pool's counters into reg under the
+// "buffer.pool.*" names (see DESIGN.md §7). Attach before serving traffic:
+// the obs counters only record increments from that point on.
+func (p *Pool) AttachMetrics(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obsHits = reg.Counter("buffer.pool.hits")
+	p.obsMisses = reg.Counter("buffer.pool.misses")
+	p.obsWrites = reg.Counter("buffer.pool.writes")
+	p.obsFetches = reg.Counter("buffer.pool.fetches")
+}
+
+// hit records one fetch served from a resident frame. Callers hold p.mu.
+func (p *Pool) hit() {
+	p.hits++
+	p.fetches++
+	if p.obsHits != nil {
+		p.obsHits.Inc()
+		p.obsFetches.Inc()
+	}
 }
 
 // Get pins page id and returns its buffer. The caller must Unpin it.
@@ -88,7 +138,7 @@ func (p *Pool) Get(id storage.PageID) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
-		p.hits++
+		p.hit()
 		f.pins++
 		p.touch(f)
 		return f.buf, nil
@@ -163,7 +213,7 @@ func (p *Pool) Stage(id storage.PageID) error {
 			return err
 		}
 	} else {
-		p.hits++
+		p.hit()
 	}
 	f.sticky = true
 	return nil
@@ -244,6 +294,11 @@ func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
 			return nil, err
 		}
 		p.misses++
+		p.fetches++
+		if p.obsMisses != nil {
+			p.obsMisses.Inc()
+			p.obsFetches.Inc()
+		}
 		p.meter.ChargePageRead(1)
 	}
 	f.elem = p.lru.PushFront(f)
@@ -277,6 +332,9 @@ func (p *Pool) writeBack(f *frame) error {
 	}
 	f.dirty = false
 	p.writes++
+	if p.obsWrites != nil {
+		p.obsWrites.Inc()
+	}
 	p.meter.ChargePageWrite(1)
 	return nil
 }

@@ -3,6 +3,7 @@ package buffer
 import (
 	"testing"
 
+	"specdb/internal/obs"
 	"specdb/internal/sim"
 	"specdb/internal/storage"
 )
@@ -33,9 +34,9 @@ func TestPoolHitMiss(t *testing.T) {
 	}
 	p.Unpin(id, false)
 
-	hits, misses, _ := p.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 	if w := meter.Snapshot(); w.PageReads != 1 {
 		t.Fatalf("meter charged %d reads, want 1", w.PageReads)
@@ -214,9 +215,9 @@ func TestPoolStageResidentCountsHit(t *testing.T) {
 	if err := p.Stage(a); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := p.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 }
 
@@ -303,4 +304,60 @@ func TestPoolCapacityPanics(t *testing.T) {
 	}()
 	disk := storage.NewDiskManager(128)
 	NewPool(disk, 1, sim.NewMeter())
+}
+
+// TestPoolHitRatioAcrossEviction pins the hit/miss accounting through an
+// eviction cycle: re-fetching an evicted page is a fresh miss, a dirty victim
+// counts one write-back, and the attached obs counters mirror the struct
+// exactly.
+func TestPoolHitRatioAcrossEviction(t *testing.T) {
+	p, disk, _ := newTestPool(2)
+	reg := obs.NewRegistry()
+	p.AttachMetrics(reg)
+	a, b, c := disk.Allocate(), disk.Allocate(), disk.Allocate()
+
+	get := func(id storage.PageID, dirty bool) {
+		t.Helper()
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, dirty)
+	}
+	get(a, true)  // miss; a dirty
+	get(b, false) // miss
+	get(a, false) // hit, a MRU
+	get(c, false) // miss, evicts b
+	get(b, false) // miss again: b was evicted; evicts dirty a -> 1 write-back
+	get(c, false) // hit
+
+	st := p.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Fetches != 6 {
+		t.Fatalf("stats %+v, want hits=2 misses=4 fetches=6", st)
+	}
+	if st.Writes != 1 {
+		t.Fatalf("writes = %d, want 1 (dirty victim written back)", st.Writes)
+	}
+	if got, want := st.HitRatio(), 2.0/6.0; got != want {
+		t.Fatalf("HitRatio = %v, want %v", got, want)
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"buffer.pool.hits":    st.Hits,
+		"buffer.pool.misses":  st.Misses,
+		"buffer.pool.writes":  st.Writes,
+		"buffer.pool.fetches": st.Fetches,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestPoolHitRatioEmpty pins the zero-fetch corner: no division by zero.
+func TestPoolHitRatioEmpty(t *testing.T) {
+	var s Stats
+	if got := s.HitRatio(); got != 0 {
+		t.Fatalf("HitRatio on empty stats = %v, want 0", got)
+	}
 }

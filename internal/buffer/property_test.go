@@ -143,9 +143,13 @@ func TestPoolStatsConsistency(t *testing.T) {
 		pool.Unpin(id, false)
 		gets++
 	}
-	hits, misses, _ := pool.Stats()
+	st := pool.Stats()
+	hits, misses := st.Hits, st.Misses
 	if hits+misses != gets {
 		t.Fatalf("hits %d + misses %d != gets %d", hits, misses, gets)
+	}
+	if st.Fetches != gets {
+		t.Fatalf("fetches %d != gets %d", st.Fetches, gets)
 	}
 	if misses < 4 { // at least the first touches must miss
 		t.Fatalf("misses %d implausibly low", misses)

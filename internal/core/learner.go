@@ -162,6 +162,38 @@ func (l *Learner) ObserveFormulationDuration(seconds float64) {
 	l.thinkLogM2 += delta * (x - l.thinkLogMean)
 }
 
+// ProfileSnapshot is a point-in-time view of the Learner's global estimates,
+// published to the metrics registry after each observed formulation so the
+// evolving user profile is visible from outside.
+type ProfileSnapshot struct {
+	// SelectionSurvival and JoinSurvival are the kind-level f⊆ estimates.
+	SelectionSurvival float64
+	JoinSurvival      float64
+	// SelectionRetention and JoinRetention are the inter-query persistence
+	// estimates.
+	SelectionRetention float64
+	JoinRetention      float64
+	// ThinkMedianSeconds is the fitted think-time lognormal's median e^mu.
+	ThinkMedianSeconds float64
+	// Formulations is the number of observed formulation durations.
+	Formulations int64
+}
+
+// ProfileSnapshot reads the current global estimates.
+func (l *Learner) ProfileSnapshot() ProfileSnapshot {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	mu, _ := l.thinkParams()
+	return ProfileSnapshot{
+		SelectionSurvival:  l.selSurvival.estimate(l.cfg.SelectionSurvivalPrior, l.cfg.PriorStrength),
+		JoinSurvival:       l.joinSurvival.estimate(l.cfg.JoinSurvivalPrior, l.cfg.PriorStrength),
+		SelectionRetention: l.selRetention.estimate(l.cfg.SelectionRetentionPrior, l.cfg.PriorStrength),
+		JoinRetention:      l.joinRetention.estimate(l.cfg.JoinRetentionPrior, l.cfg.PriorStrength),
+		ThinkMedianSeconds: math.Exp(mu),
+		Formulations:       int64(l.thinkN),
+	}
+}
+
 // SelectionSurvival estimates P(selection survives to the final query),
 // blending the per-column estimate with the kind-level fallback.
 func (l *Learner) SelectionSurvival(s qgraph.Selection) float64 {

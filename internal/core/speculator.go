@@ -6,6 +6,7 @@ import (
 
 	"specdb/internal/catalog"
 	"specdb/internal/engine"
+	"specdb/internal/obs"
 	"specdb/internal/plan"
 	"specdb/internal/qgraph"
 	"specdb/internal/sim"
@@ -96,6 +97,19 @@ type Stats struct {
 	// GarbageCollected counts completed materializations dropped because
 	// the partial query stopped containing them.
 	GarbageCollected int
+	// CanceledOnClose counts jobs canceled by CancelOutstanding or Shutdown
+	// (session teardown) rather than by an interface event. At quiesce
+	// Issued == Completed + CanceledInvalidated + CanceledAtGo + CanceledOnClose.
+	CanceledOnClose int
+	// Hits counts final queries whose plan used at least one completed
+	// speculative materialization; Misses counts the rest. Hits+Misses is
+	// the number of GO events answered.
+	Hits   int
+	Misses int
+	// Waste is simulated manipulation time that never served a query: the
+	// elapsed run time of canceled jobs plus the full cost of completed
+	// materializations that were garbage-collected unused.
+	Waste sim.Duration
 }
 
 // Job is one asynchronous manipulation in flight. The engine executed it
@@ -114,6 +128,9 @@ type Job struct {
 	// jobID is the engine contention-model registration, held from issue
 	// until completion or cancellation.
 	jobID int64
+
+	// span traces the issue→completion/cancellation window.
+	span *obs.ActiveSpan
 }
 
 // EventOutcome reports what an interface event made the Speculator do.
@@ -156,10 +173,18 @@ type Speculator struct {
 	outstanding *Job
 	// completed materializations by graph key → speculative table name.
 	completed map[string]string
+	// completedCost remembers each completed materialization's build cost by
+	// graph key, so garbage collection can charge it to Stats.Waste.
+	completedCost map[string]sim.Duration
 	// stagedRels tracks data-staging results for garbage collection.
 	stagedRels map[string]bool
 
 	stats Stats
+
+	// Mirror counters in the engine's metrics registry (shared across every
+	// speculator on the engine, so multi-user runs aggregate).
+	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
+	obsCanceled, obsGC, obsWasteNs              *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -179,12 +204,21 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 			RiskAversion:         cfg.RiskAversion,
 			CompressionThreshold: cfg.CompressionThreshold,
 		},
-		cfg:        cfg,
-		partial:    qgraph.New(),
-		seenSels:   make(map[string]qgraph.Selection),
-		seenJoins:  make(map[string]qgraph.Join),
-		completed:  make(map[string]string),
-		stagedRels: make(map[string]bool),
+		cfg:           cfg,
+		partial:       qgraph.New(),
+		seenSels:      make(map[string]qgraph.Selection),
+		seenJoins:     make(map[string]qgraph.Join),
+		completed:     make(map[string]string),
+		completedCost: make(map[string]sim.Duration),
+		stagedRels:    make(map[string]bool),
+
+		obsIssued:    eng.Metrics().Counter("spec.issued"),
+		obsCompleted: eng.Metrics().Counter("spec.completed"),
+		obsHits:      eng.Metrics().Counter("spec.hits"),
+		obsMisses:    eng.Metrics().Counter("spec.misses"),
+		obsCanceled:  eng.Metrics().Counter("spec.canceled"),
+		obsGC:        eng.Metrics().Counter("spec.garbage_collected"),
+		obsWasteNs:   eng.Metrics().Counter("spec.waste_ns"),
 	}
 }
 
@@ -216,7 +250,7 @@ func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error
 
 	// Convention 1: cancel a manipulation whose benefit disappeared.
 	if sp.outstanding != nil && !sp.stillUseful(sp.outstanding.Manip) {
-		sp.cancel(sp.outstanding)
+		sp.cancelAt(sp.outstanding, now, "canceled_invalidated")
 		sp.stats.CanceledInvalidated++
 		out.Canceled = sp.outstanding
 		sp.outstanding = nil
@@ -269,7 +303,16 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 	case ManipStage:
 		sp.stagedRels[job.Manip.Rel] = true
 	}
+	if job.Manip.Kind == ManipMaterialize {
+		sp.completedCost[job.Manip.Graph.Key()] = job.CompletesAt.Sub(job.IssuedAt)
+	}
 	sp.stats.Completed++
+	sp.obsCompleted.Inc()
+	if job.span != nil {
+		job.span.Annotate("outcome", "completed")
+		job.span.End(job.CompletesAt)
+		job.span = nil
+	}
 	// Keep preparing: the slot is free and the user is still thinking (or
 	// viewing results — either way the canvas indicates what comes next).
 	return sp.maybeIssue(now)
@@ -303,7 +346,7 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 			out.Waited = waited
 			sp.stats.WaitedAtGo++
 		} else {
-			sp.cancel(job)
+			sp.cancelAt(job, now, "canceled_at_go")
 			sp.stats.CanceledAtGo++
 			out.Canceled = job
 			sp.outstanding = nil
@@ -323,6 +366,7 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 		return nil, out, err
 	}
 	res.Duration += waited // the user waited for the manipulation first
+	sp.recordHit(res.Plan)
 
 	// Train the Learner.
 	seenSels := make([]qgraph.Selection, 0, len(sp.seenSels))
@@ -340,6 +384,7 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	if sp.formStarted {
 		sp.learner.ObserveFormulationDuration(now.Sub(sp.formStart).Seconds())
 	}
+	sp.publishProfile()
 	sp.prevFinal = final
 	sp.seenSels = make(map[string]qgraph.Selection)
 	sp.seenJoins = make(map[string]qgraph.Join)
@@ -428,6 +473,14 @@ func (sp *Speculator) collectGarbage() error {
 		}
 		delete(sp.completed, key)
 		sp.stats.GarbageCollected++
+		sp.obsGC.Inc()
+		// A build cost still in completedCost means no final query ever read
+		// the view: the whole materialization was wasted work.
+		if c, ok := sp.completedCost[key]; ok {
+			sp.stats.Waste += c
+			sp.obsWasteNs.Add(int64(c))
+			delete(sp.completedCost, key)
+		}
 	}
 	for rel := range sp.stagedRels {
 		if !sp.partial.HasRelation(rel) {
@@ -584,7 +637,79 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 	// a session's own manipulation must not inflate the cost of the very
 	// engine work that created it.
 	job.jobID = sp.eng.BeginJob()
+	job.span = sp.eng.Tracer().Start("manip."+m.Kind.String(), now, 0,
+		obs.Attr{Key: "key", Value: m.Key()})
+	if job.tableName != "" {
+		job.span.Annotate("table", job.tableName)
+	}
+	sp.obsIssued.Inc()
 	return job, nil
+}
+
+// cancelAt cancels job at simulated instant at, charging its elapsed run time
+// to Stats.Waste and closing its trace span. at == 0 means the owner has no
+// timeline (session teardown): the full job duration is charged and the span
+// closes at its issue instant. Call-site counters (CanceledInvalidated,
+// CanceledAtGo, CanceledOnClose) stay with the callers.
+func (sp *Speculator) cancelAt(job *Job, at sim.Time, outcome string) {
+	sp.cancel(job)
+	elapsed := job.CompletesAt.Sub(job.IssuedAt)
+	end := job.IssuedAt
+	if at > 0 {
+		end = at
+		if e := at.Sub(job.IssuedAt); e >= 0 && e < elapsed {
+			elapsed = e
+		}
+	}
+	sp.stats.Waste += elapsed
+	sp.obsWasteNs.Add(int64(elapsed))
+	sp.obsCanceled.Inc()
+	if job.span != nil {
+		job.span.Annotate("outcome", outcome)
+		job.span.End(end)
+		job.span = nil
+	}
+}
+
+// recordHit classifies one answered GO: a hit if the final plan read at least
+// one completed speculative materialization. Views that served a query are
+// marked paid-for, so later garbage collection does not charge their build
+// cost as waste.
+func (sp *Speculator) recordHit(node plan.Node) {
+	specTables := make(map[string]string, len(sp.completed)) // table → graph key
+	for key, table := range sp.completed {
+		specTables[table] = key
+	}
+	hit := false
+	if node != nil {
+		plan.Walk(node, func(n plan.Node) {
+			if a, ok := n.(*plan.TableAccess); ok {
+				if key, ok := specTables[a.Table.Name]; ok {
+					hit = true
+					delete(sp.completedCost, key)
+				}
+			}
+		})
+	}
+	if hit {
+		sp.stats.Hits++
+		sp.obsHits.Inc()
+	} else {
+		sp.stats.Misses++
+		sp.obsMisses.Inc()
+	}
+}
+
+// publishProfile pushes the Learner's current global estimates into the
+// engine's metrics registry as gauges.
+func (sp *Speculator) publishProfile() {
+	ps := sp.learner.ProfileSnapshot()
+	m := sp.eng.Metrics()
+	m.Gauge("learner.selection_survival").Set(ps.SelectionSurvival)
+	m.Gauge("learner.join_survival").Set(ps.JoinSurvival)
+	m.Gauge("learner.selection_retention").Set(ps.SelectionRetention)
+	m.Gauge("learner.join_retention").Set(ps.JoinRetention)
+	m.Gauge("learner.think_median_s").Set(ps.ThinkMedianSeconds)
 }
 
 // cancel undoes a job's hidden side effects.
@@ -615,7 +740,8 @@ func (sp *Speculator) CancelOutstanding() *Job {
 		return nil
 	}
 	job := sp.outstanding
-	sp.cancel(job)
+	sp.cancelAt(job, 0, "canceled_on_close")
+	sp.stats.CanceledOnClose++
 	sp.outstanding = nil
 	return job
 }
@@ -623,7 +749,8 @@ func (sp *Speculator) CancelOutstanding() *Job {
 // Shutdown drops everything the Speculator still owns (end of session).
 func (sp *Speculator) Shutdown() error {
 	if sp.outstanding != nil {
-		sp.cancel(sp.outstanding)
+		sp.cancelAt(sp.outstanding, 0, "canceled_on_close")
+		sp.stats.CanceledOnClose++
 		sp.outstanding = nil
 	}
 	for key, table := range sp.completed {

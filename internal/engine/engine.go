@@ -19,6 +19,7 @@ import (
 	"specdb/internal/buffer"
 	"specdb/internal/catalog"
 	"specdb/internal/exec"
+	"specdb/internal/obs"
 	"specdb/internal/plan"
 	"specdb/internal/qgraph"
 	"specdb/internal/sim"
@@ -65,6 +66,9 @@ type Result struct {
 	Duration sim.Duration
 	// Plan is the physical plan, when one was produced.
 	Plan plan.Node
+	// Analyzed is the rendered EXPLAIN ANALYZE tree (per-node actuals);
+	// set only for EXPLAIN ANALYZE statements.
+	Analyzed string
 }
 
 // Engine is the database server. It is safe for concurrent sessions: a
@@ -82,6 +86,14 @@ type Engine struct {
 	cfg      Config
 	meter    *sim.Meter
 	useViews atomic.Bool
+
+	// Observability (never charges the meter; see internal/obs).
+	metrics      *obs.Registry
+	tracer       *obs.Tracer
+	obsStmts     *obs.Counter
+	obsQueries   *obs.Counter
+	obsQueryRows *obs.Counter
+	obsStmtDur   *obs.Histogram
 
 	// stmtMu serializes measured statements so each statement's meter delta
 	// is exactly its own work.
@@ -121,7 +133,14 @@ func New(cfg Config) *Engine {
 		cfg:     cfg,
 		meter:   meter,
 		jobs:    make(map[int64]struct{}),
+		metrics: obs.NewRegistry(),
+		tracer:  obs.NewTracer(0),
 	}
+	pool.AttachMetrics(e.metrics)
+	e.obsStmts = e.metrics.Counter("engine.statements")
+	e.obsQueries = e.metrics.Counter("engine.queries")
+	e.obsQueryRows = e.metrics.Counter("engine.query.rows")
+	e.obsStmtDur = e.metrics.Histogram("engine.statement.duration_ns", statementDurationBounds)
 	e.useViews.Store(cfg.UseViews)
 	return e
 }
@@ -184,6 +203,10 @@ func (e *Engine) measure(fn func() error) (sim.Work, sim.Duration, error) {
 	if n := e.ActiveJobs(); e.cfg.ContentionFactor > 0 && n > 0 {
 		d = sim.Duration(float64(d) * (1 + e.cfg.ContentionFactor*float64(n)))
 	}
+	if err == nil {
+		e.obsStmts.Inc()
+		e.obsStmtDur.Observe(int64(d))
+	}
 	return work, d, err
 }
 
@@ -207,6 +230,9 @@ func (e *Engine) Exec(src string) (*Result, error) {
 		q, err := plan.Bind(e.Catalog, s.Query)
 		if err != nil {
 			return nil, err
+		}
+		if s.Analyze {
+			return e.ExplainAnalyze(q)
 		}
 		node, err := plan.Optimize(e.Catalog, q, e.planOptions())
 		if err != nil {
@@ -256,6 +282,48 @@ func (e *Engine) RunQuery(q *plan.Query) (*Result, error) {
 	res.RowCount = int64(len(res.Rows))
 	res.Work = work
 	res.Duration = d
+	e.obsQueries.Inc()
+	e.obsQueryRows.Add(res.RowCount)
+	return res, nil
+}
+
+// ExplainAnalyze optimizes and executes a bound query with instrumented
+// operators, returning the rendered plan with per-node actuals in
+// Result.Analyzed. The query's rows are drained (and counted) but not
+// returned — the plan tree is the output. Execution is measured exactly like
+// RunQuery: the profiler only snapshots the meter, it never charges it, so
+// an EXPLAIN ANALYZE costs the same simulated time as the bare query.
+func (e *Engine) ExplainAnalyze(q *plan.Query) (*Result, error) {
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
+	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	prof := exec.NewProfiler(e.meter)
+	ctx := e.execContext()
+	prof.Attach(ctx)
+	res := &Result{Plan: node, Schema: node.Schema()}
+	work, d, err := e.measure(func() error {
+		it, err := node.Build(ctx)
+		if err != nil {
+			return err
+		}
+		n, err := exec.Count(it)
+		if err != nil {
+			return err
+		}
+		res.RowCount = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Work = work
+	res.Duration = d
+	res.Analyzed = plan.ExplainAnalyze(node, prof, e.cfg.Rates)
+	e.obsQueries.Inc()
+	e.obsQueryRows.Add(res.RowCount)
 	return res, nil
 }
 

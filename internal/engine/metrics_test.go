@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecExplainAnalyze runs EXPLAIN ANALYZE through the SQL front door and
+// checks the rendered actuals, and that instrumentation leaves the measured
+// duration exactly what a bare run of the same query reports.
+func TestExecExplainAnalyze(t *testing.T) {
+	const query = "SELECT * FROM R, S WHERE R.a = S.a AND R.c < 5"
+
+	bareEng := newTestEngine(t, 200, Config{})
+	bare, err := bareEng.Exec(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := newTestEngine(t, 200, Config{})
+	res, err := eng.Exec("EXPLAIN ANALYZE " + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analyzed == "" {
+		t.Fatal("EXPLAIN ANALYZE returned no rendering")
+	}
+	if !strings.Contains(res.Analyzed, "(actual rows=") {
+		t.Fatalf("rendering lacks actuals:\n%s", res.Analyzed)
+	}
+	if res.RowCount != bare.RowCount {
+		t.Fatalf("analyzed RowCount %d != bare %d", res.RowCount, bare.RowCount)
+	}
+	// The determinism contract: profiling must not change what the meter
+	// charges, so both fresh engines measure the identical simulated duration.
+	if res.Duration != bare.Duration {
+		t.Fatalf("instrumented duration %v != bare %v", res.Duration, bare.Duration)
+	}
+	if res.Work != bare.Work {
+		t.Fatalf("instrumented work %+v != bare %+v", res.Work, bare.Work)
+	}
+}
+
+func TestExplainAnalyzeBadQuery(t *testing.T) {
+	eng := newTestEngine(t, 20, Config{})
+	if _, err := eng.Exec("EXPLAIN ANALYZE SELECT * FROM ghost"); err == nil {
+		t.Fatal("EXPLAIN ANALYZE on a missing table should fail")
+	}
+}
+
+// TestMetricsSnapshot checks the engine-level metric surface: statement
+// counters and duration histogram advance, derived gauges reflect catalog and
+// pool state, and the pool's mirrored counters stay coherent.
+func TestMetricsSnapshot(t *testing.T) {
+	eng := newTestEngine(t, 200, Config{})
+	if eng.Metrics() == nil || eng.Tracer() == nil {
+		t.Fatal("registry or tracer missing")
+	}
+	if _, err := eng.Exec("CREATE INDEX ON R (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("SELECT * FROM R WHERE R.a = 7"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.MetricsSnapshot()
+	if snap.Counters["engine.statements"] < 2 {
+		t.Fatalf("engine.statements = %d, want >= 2", snap.Counters["engine.statements"])
+	}
+	if snap.Counters["engine.queries"] < 1 || snap.Counters["engine.query.rows"] < 1 {
+		t.Fatalf("query counters: %d queries, %d rows",
+			snap.Counters["engine.queries"], snap.Counters["engine.query.rows"])
+	}
+	h, ok := snap.Histograms["engine.statement.duration_ns"]
+	if !ok || h.Count < 2 || h.Sum <= 0 {
+		t.Fatalf("duration histogram: %+v", h)
+	}
+	if snap.Gauges["btree.indexes"] != 1 {
+		t.Fatalf("btree.indexes = %v, want 1", snap.Gauges["btree.indexes"])
+	}
+	if snap.Gauges["btree.height.max"] < 1 || snap.Gauges["btree.pages"] < 1 {
+		t.Fatalf("btree gauges: %+v", snap.Gauges)
+	}
+	if snap.Gauges["catalog.tables"] != 3 {
+		t.Fatalf("catalog.tables = %v, want 3 (R,S,W)", snap.Gauges["catalog.tables"])
+	}
+	if snap.Gauges["buffer.pool.capacity"] != 256 {
+		t.Fatalf("buffer.pool.capacity = %v", snap.Gauges["buffer.pool.capacity"])
+	}
+	hits, misses, fetches := snap.Counters["buffer.pool.hits"],
+		snap.Counters["buffer.pool.misses"], snap.Counters["buffer.pool.fetches"]
+	if fetches == 0 || hits+misses != fetches {
+		t.Fatalf("pool counters incoherent: hits %d + misses %d != fetches %d", hits, misses, fetches)
+	}
+}

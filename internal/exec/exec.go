@@ -19,6 +19,21 @@ type Context struct {
 	// inputs to disk (charged as page I/O), like the era-appropriate
 	// GRACE hash join of the paper's testbed DBMS. 0 disables spilling.
 	WorkMemBytes int64
+	// Observe, when non-nil, may wrap each operator iterator as the plan
+	// is built (EXPLAIN ANALYZE). node is the plan node that produced it —
+	// typed any because exec cannot import plan. The wrapper must preserve
+	// the iterator's behaviour exactly; it exists only to record actuals.
+	Observe func(node any, it Iterator) Iterator
+}
+
+// Instrument passes it through ctx.Observe if set; plan-node Build methods
+// call this on their finished iterator so EXPLAIN ANALYZE can attribute rows
+// and work to the node that produced them.
+func (c *Context) Instrument(node any, it Iterator) Iterator {
+	if c.Observe == nil {
+		return it
+	}
+	return c.Observe(node, it)
 }
 
 // NewContext returns a context charging to meter.

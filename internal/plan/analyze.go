@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"specdb/internal/exec"
+	"specdb/internal/sim"
+)
+
+// Walk visits n and every descendant in pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	switch t := n.(type) {
+	case *JoinNode:
+		Walk(t.Left, fn)
+		Walk(t.Right, fn)
+	case *ProjectNode:
+		Walk(t.Child, fn)
+	}
+}
+
+// ExplainAnalyze renders a plan tree with per-node actuals recorded by an
+// exec.Profiler during an instrumented execution: actual rows produced, the
+// simulated cost of the node's inclusive subtree (its meter delta priced at
+// rates), and the page I/O that happened inside it. Nodes the profiler never
+// saw — the fused inner side of an index nested-loop join, whose lookups are
+// part of the join operator — render their estimates only.
+func ExplainAnalyze(n Node, prof *exec.Profiler, rates sim.CostRates) string {
+	var b strings.Builder
+	analyzeNode(&b, n, prof, rates, 0)
+	return b.String()
+}
+
+func analyzeNode(b *strings.Builder, n Node, prof *exec.Profiler, rates sim.CostRates, depth int) {
+	pad(b, depth)
+	b.WriteString(n.header())
+	fmt.Fprintf(b, "  (rows=%.0f cost=%v)", n.Rows(), n.Cost())
+	if st := prof.Stats(n); st != nil {
+		fmt.Fprintf(b, " (actual rows=%d cost=%v io=%dr/%dw)",
+			st.Rows, st.Work.Cost(rates), st.Work.PageReads, st.Work.PageWrites)
+	} else {
+		b.WriteString(" (actual fused)")
+	}
+	b.WriteByte('\n')
+	switch t := n.(type) {
+	case *JoinNode:
+		analyzeNode(b, t.Left, prof, rates, depth+1)
+		analyzeNode(b, t.Right, prof, rates, depth+1)
+	case *ProjectNode:
+		analyzeNode(b, t.Child, prof, rates, depth+1)
+	}
+}

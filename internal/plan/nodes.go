@@ -23,6 +23,9 @@ type Node interface {
 	Build(ctx *exec.Context) (exec.Iterator, error)
 
 	explain(b *strings.Builder, depth int)
+	// header is the operator line without estimates — shared by Explain
+	// and ExplainAnalyze renderings.
+	header() string
 }
 
 // PredSpec is a selection predicate in plan form, with a qualified column
@@ -130,25 +133,30 @@ func (a *TableAccess) Build(ctx *exec.Context) (exec.Iterator, error) {
 		}
 		it = exec.NewColFilter(ctx, it, preds)
 	}
-	return it, nil
+	return ctx.Instrument(a, it), nil
 }
 
-func (a *TableAccess) explain(b *strings.Builder, depth int) {
-	pad(b, depth)
+func (a *TableAccess) header() string {
+	var b strings.Builder
 	switch a.Method {
 	case AccessSeq:
-		fmt.Fprintf(b, "SeqScan %s", a.Table.Name)
+		fmt.Fprintf(&b, "SeqScan %s", a.Table.Name)
 	case AccessIndex:
-		fmt.Fprintf(b, "IndexScan %s on %s", a.Table.Name, a.IndexCol)
+		fmt.Fprintf(&b, "IndexScan %s on %s", a.Table.Name, a.IndexCol)
 	}
 	if len(a.Filters) > 0 {
 		parts := make([]string, len(a.Filters))
 		for i, f := range a.Filters {
 			parts[i] = f.String()
 		}
-		fmt.Fprintf(b, " filter[%s]", strings.Join(parts, " AND "))
+		fmt.Fprintf(&b, " filter[%s]", strings.Join(parts, " AND "))
 	}
-	fmt.Fprintf(b, "  (rows=%.0f cost=%v)\n", a.rows, a.cost)
+	return b.String()
+}
+
+func (a *TableAccess) explain(b *strings.Builder, depth int) {
+	pad(b, depth)
+	fmt.Fprintf(b, "%s  (rows=%.0f cost=%v)\n", a.header(), a.rows, a.cost)
 }
 
 // JoinMethod distinguishes physical join operators.
@@ -262,20 +270,25 @@ func (j *JoinNode) Build(ctx *exec.Context) (exec.Iterator, error) {
 		}
 		it = exec.NewColFilter(ctx, it, preds)
 	}
-	return it, nil
+	return ctx.Instrument(j, it), nil
 }
 
-func (j *JoinNode) explain(b *strings.Builder, depth int) {
-	pad(b, depth)
+func (j *JoinNode) header() string {
+	var b strings.Builder
 	b.WriteString(j.Method.String())
 	if len(j.Edges) > 0 {
 		parts := make([]string, len(j.Edges))
 		for i, e := range j.Edges {
 			parts[i] = e.LeftCol + " = " + e.RightCol
 		}
-		fmt.Fprintf(b, " (%s)", strings.Join(parts, " AND "))
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, " AND "))
 	}
-	fmt.Fprintf(b, "  (rows=%.0f cost=%v)\n", j.rows, j.cost)
+	return b.String()
+}
+
+func (j *JoinNode) explain(b *strings.Builder, depth int) {
+	pad(b, depth)
+	fmt.Fprintf(b, "%s  (rows=%.0f cost=%v)\n", j.header(), j.rows, j.cost)
 	j.Left.explain(b, depth+1)
 	j.Right.explain(b, depth+1)
 }
@@ -304,12 +317,20 @@ func (p *ProjectNode) Build(ctx *exec.Context) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewProject(ctx, child, p.Cols)
+	it, err := exec.NewProject(ctx, child, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Instrument(p, it), nil
+}
+
+func (p *ProjectNode) header() string {
+	return fmt.Sprintf("Project [%s]", strings.Join(p.Cols, ", "))
 }
 
 func (p *ProjectNode) explain(b *strings.Builder, depth int) {
 	pad(b, depth)
-	fmt.Fprintf(b, "Project [%s]  (rows=%.0f cost=%v)\n", strings.Join(p.Cols, ", "), p.Rows(), p.cost)
+	fmt.Fprintf(b, "%s  (rows=%.0f cost=%v)\n", p.header(), p.Rows(), p.cost)
 	p.Child.explain(b, depth+1)
 }
 

@@ -42,7 +42,17 @@ func (c Condition) String() string {
 	if c.IsJoin() {
 		return fmt.Sprintf("%s %s %s", c.Left, c.Op, *c.RightCol)
 	}
-	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.RightConst)
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, renderConst(*c.RightConst))
+}
+
+// renderConst formats a constant as a SQL literal the parser accepts back:
+// string values are quoted with embedded quotes doubled, everything else uses
+// the value's own rendering.
+func renderConst(v tuple.Value) string {
+	if v.Kind == tuple.KindString {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.String()
 }
 
 // SelectStmt is a conjunctive query, optionally materializing INTO a table.
@@ -108,9 +118,12 @@ type DropTableStmt struct {
 
 func (*DropTableStmt) stmt() {}
 
-// ExplainStmt wraps a query whose plan should be printed, not executed.
+// ExplainStmt wraps a query whose plan should be printed. With Analyze set
+// (EXPLAIN ANALYZE) the query is additionally executed with instrumented
+// operators and the rendered plan carries per-node actuals.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}

@@ -93,11 +93,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
+		analyze := false
+		if p.keyword("analyze") {
+			analyze = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	case p.keyword("create"):
 		return p.parseCreate()
 	case p.keyword("drop"):

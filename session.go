@@ -261,6 +261,17 @@ type Stats struct {
 	// busy (the SuspendWhenBusy extension).
 	Suspended        int
 	GarbageCollected int
+	// CanceledOnClose counts manipulations canceled by session teardown.
+	// Once a session is closed,
+	// Issued == Completed + CanceledInvalidated + CanceledAtGo + CanceledOnClose.
+	CanceledOnClose int
+	// Hits counts final queries answered using at least one completed
+	// speculative materialization; Misses counts the rest.
+	Hits   int
+	Misses int
+	// Waste is simulated manipulation time that never served a query
+	// (canceled jobs' run time plus garbage-collected unused builds).
+	Waste time.Duration
 }
 
 // Stats reports speculation activity so far.
@@ -279,8 +290,16 @@ func (s *Session) Stats() Stats {
 		WaitedAtGo:          st.WaitedAtGo,
 		Suspended:           st.Suspended,
 		GarbageCollected:    st.GarbageCollected,
+		CanceledOnClose:     st.CanceledOnClose,
+		Hits:                st.Hits,
+		Misses:              st.Misses,
+		Waste:               time.Duration(st.Waste),
 	}
 }
+
+// ID reports the session's manager-assigned identifier (0 for standalone
+// sessions).
+func (s *Session) ID() int64 { return s.id }
 
 // Close releases everything the session's speculator still holds and
 // deregisters the session from its manager. Closing twice is a no-op.

@@ -60,6 +60,25 @@ func (m *SessionManager) OpenSessions() int {
 	return len(m.sessions)
 }
 
+// Stats reports the speculation counters of every currently open session,
+// keyed by session ID. Closed sessions are absent; snapshot before closing if
+// their counters matter.
+func (m *SessionManager) Stats() map[int64]Stats {
+	m.mu.Lock()
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	// Collect outside m.mu: Session.Stats takes the session lock, and a
+	// session closing concurrently calls back into m.remove.
+	out := make(map[int64]Stats, len(open))
+	for _, s := range open {
+		out[s.ID()] = s.Stats()
+	}
+	return out
+}
+
 // remove deregisters a closed session.
 func (m *SessionManager) remove(id int64) {
 	m.mu.Lock()

@@ -222,8 +222,10 @@ func TestConcurrentSessionsStress(t *testing.T) {
 	db := getDB(t)
 	m := db.NewSessionManager()
 	before := tableSet(db)
+	metricsBefore := db.eng.Metrics().Snapshot()
 
 	const users = 8
+	sessions := make([]*Session, users) // left open; CloseAll tears them down
 	errCh := make(chan error, users*8)
 	var wg sync.WaitGroup
 	for i := 0; i < users; i++ {
@@ -234,7 +236,7 @@ func TestConcurrentSessionsStress(t *testing.T) {
 				// A plain-SQL user: no speculation, direct queries on the
 				// shared engine while others speculate.
 				s := m.Open(SessionConfig{DisableSpeculation: true})
-				defer s.Close()
+				sessions[i] = s
 				for k := 0; k < 3; k++ {
 					if _, err := db.Exec("SELECT * FROM supplier WHERE supplier.s_acctbal > 9000"); err != nil {
 						errCh <- err
@@ -248,7 +250,7 @@ func TestConcurrentSessionsStress(t *testing.T) {
 				return
 			}
 			s := m.Open(SessionConfig{SelectionsOnly: i%2 == 0})
-			defer s.Close()
+			sessions[i] = s
 			// Overlapping relations: everyone works on lineitem/orders.
 			if err := s.AddSelection("lineitem", "l_quantity", "=", 1+i); err != nil {
 				errCh <- err
@@ -282,11 +284,52 @@ func TestConcurrentSessionsStress(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Manager-level stats cover every session that is still open.
+	if got, want := len(m.Stats()), m.OpenSessions(); got != want {
+		t.Fatalf("SessionManager.Stats() has %d entries, %d sessions open", got, want)
+	}
+
 	if err := m.CloseAll(); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.OpenSessions(); got != 0 {
 		t.Fatalf("OpenSessions = %d after CloseAll", got)
+	}
+
+	// Metrics coherence at quiesce. Counters are monotonic: nothing observed
+	// before the run may have decreased, and the stress run itself must have
+	// registered statements.
+	metricsAfter := db.eng.Metrics().Snapshot()
+	for name, v := range metricsBefore.Counters {
+		if metricsAfter.Counters[name] < v {
+			t.Errorf("counter %s went backwards: %d -> %d", name, v, metricsAfter.Counters[name])
+		}
+	}
+	if metricsAfter.Counters["engine.statements"] <= metricsBefore.Counters["engine.statements"] {
+		t.Error("engine.statements did not advance across the stress run")
+	}
+
+	// Buffer-pool accounting: every fetch was either a hit or a miss.
+	ps := db.eng.Pool.Stats()
+	if ps.Hits+ps.Misses != ps.Fetches {
+		t.Errorf("pool stats incoherent: hits %d + misses %d != fetches %d", ps.Hits, ps.Misses, ps.Fetches)
+	}
+
+	// Speculator lifecycle: with every session closed, each issued job reached
+	// exactly one terminal state.
+	for i, s := range sessions {
+		if s == nil || i%4 == 3 {
+			continue
+		}
+		st := s.Stats()
+		terminal := st.Completed + st.CanceledInvalidated + st.CanceledAtGo + st.CanceledOnClose
+		if st.Issued != terminal {
+			t.Errorf("session %d: issued %d != completed %d + invalidated %d + at-go %d + on-close %d",
+				i, st.Issued, st.Completed, st.CanceledInvalidated, st.CanceledAtGo, st.CanceledOnClose)
+		}
+		if st.GarbageCollected > st.Completed {
+			t.Errorf("session %d: GC'd %d > completed %d", i, st.GarbageCollected, st.Completed)
+		}
 	}
 
 	// Shared-substrate invariants: no leaked speculative tables, no stuck

@@ -89,6 +89,9 @@ type Result struct {
 	Duration time.Duration
 	// Plan is the physical plan as indented text ("" when not planned).
 	Plan string
+	// Analyzed is the EXPLAIN ANALYZE rendering — the plan annotated with
+	// actual rows, simulated cost, and page I/O per node ("" otherwise).
+	Analyzed string
 }
 
 func wrapResult(r *engine.Result) *Result {
@@ -115,6 +118,7 @@ func wrapResult(r *engine.Result) *Result {
 	if r.Plan != nil {
 		out.Plan = plan.Explain(r.Plan)
 	}
+	out.Analyzed = r.Analyzed
 	return out
 }
 
@@ -131,6 +135,37 @@ func (db *DB) Exec(sql string) (*Result, error) {
 
 // ColdStart empties the buffer pool (a cold restart).
 func (db *DB) ColdStart() error { return db.eng.ColdStart() }
+
+// PoolStats is a snapshot of cumulative buffer-pool traffic. The pool
+// guarantees Hits + Misses == Fetches.
+type PoolStats struct {
+	Hits    int64
+	Misses  int64
+	Writes  int64
+	Fetches int64
+	// HitRatio is Hits/Fetches (0 before any fetch).
+	HitRatio float64
+}
+
+// PoolStats reports the buffer pool's traffic counters since Open.
+func (db *DB) PoolStats() PoolStats {
+	st := db.eng.Pool.Stats()
+	return PoolStats{
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		Writes:   st.Writes,
+		Fetches:  st.Fetches,
+		HitRatio: st.HitRatio(),
+	}
+}
+
+// MetricsText renders every engine metric — buffer-pool traffic, statement
+// counts and durations, speculation lifecycle counters, learner gauges — as a
+// sorted one-metric-per-line dump (see DESIGN.md §7).
+func (db *DB) MetricsText() string { return db.eng.MetricsSnapshot().Text() }
+
+// MetricsJSON renders the same snapshot as indented JSON.
+func (db *DB) MetricsJSON() ([]byte, error) { return db.eng.MetricsSnapshot().JSON() }
 
 // Tables lists the tables currently in the catalog.
 func (db *DB) Tables() []string { return db.eng.Catalog.TableNames() }

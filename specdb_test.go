@@ -1,6 +1,7 @@
 package specdb
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -243,5 +244,50 @@ func TestGenerateTraces(t *testing.T) {
 	}
 	if sum.Queries < 30 {
 		t.Fatalf("generated trace too short: %d queries", sum.Queries)
+	}
+}
+
+// TestObservabilitySurface exercises the public metrics API: pool stats,
+// text/JSON metric dumps, and EXPLAIN ANALYZE through DB.Exec.
+func TestObservabilitySurface(t *testing.T) {
+	db := getDB(t)
+	if _, err := db.Exec("SELECT * FROM orders WHERE orders.o_totalprice > 1000"); err != nil {
+		t.Fatal(err)
+	}
+
+	ps := db.PoolStats()
+	if ps.Fetches == 0 || ps.Hits+ps.Misses != ps.Fetches {
+		t.Fatalf("pool stats incoherent: %+v", ps)
+	}
+	if ps.HitRatio < 0 || ps.HitRatio > 1 {
+		t.Fatalf("hit ratio out of range: %v", ps.HitRatio)
+	}
+
+	text := db.MetricsText()
+	for _, want := range []string{"buffer.pool.fetches", "engine.statements", "catalog.tables"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, text)
+		}
+	}
+	raw, err := db.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if parsed.Counters["engine.statements"] == 0 {
+		t.Fatal("engine.statements missing from JSON dump")
+	}
+
+	res, err := db.Exec("EXPLAIN ANALYZE SELECT * FROM orders WHERE orders.o_totalprice > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analyzed == "" || !strings.Contains(res.Analyzed, "(actual rows=") {
+		t.Fatalf("EXPLAIN ANALYZE rendering: %q", res.Analyzed)
 	}
 }
