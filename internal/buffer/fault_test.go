@@ -1,0 +1,144 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"specdb/internal/fault"
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// newFaultPool builds a small pool over a fault-wrapped disk.
+func newFaultPool(capacity int, cfg fault.Config) (*Pool, *storage.DiskManager, *fault.Injector) {
+	inner := storage.NewDiskManager(128)
+	inj := fault.NewInjector(cfg)
+	p := NewPool(fault.WrapDisk(inner, inj), capacity, sim.NewMeter())
+	p.SetFaultInjector(inj)
+	return p, inner, inj
+}
+
+// writeThrough stores a recognizable payload on n pages via the pool, then
+// evicts everything so the content (and its checksum) reaches disk.
+func writeThrough(t *testing.T, p *Pool, disk *storage.DiskManager, n int) []storage.PageID {
+	t.Helper()
+	ids := make([]storage.PageID, n)
+	for i := range ids {
+		ids[i] = disk.Allocate()
+		buf, err := p.Get(ids[i])
+		if err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+		buf[0], buf[1] = byte(i), byte(i>>8)
+		p.Unpin(ids[i], true)
+	}
+	if err := p.EvictAll(); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	return ids
+}
+
+// checkReadable fetches every page repeatedly and verifies its payload; every
+// read must succeed despite injected faults.
+func checkReadable(t *testing.T, p *Pool, ids []storage.PageID, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for i, id := range ids {
+			buf, err := p.Get(id)
+			if err != nil {
+				t.Fatalf("round %d page %d: %v", r, i, err)
+			}
+			if buf[0] != byte(i) || buf[1] != byte(i>>8) {
+				t.Fatalf("round %d page %d: payload corrupted: % x", r, i, buf[:2])
+			}
+			p.Unpin(id, false)
+		}
+		if err := p.EvictAll(); err != nil {
+			t.Fatalf("round %d evict: %v", r, err)
+		}
+	}
+}
+
+func TestPoolRetriesInjectedReadAndWriteErrors(t *testing.T) {
+	p, disk, _ := newFaultPool(4, fault.Config{Seed: 21, ReadErrorRate: 0.3, WriteErrorRate: 0.3})
+	ids := writeThrough(t, p, disk, 12)
+	checkReadable(t, p, ids, 8)
+	if p.IORetries() == 0 {
+		t.Fatal("faults at 30% never forced a retry")
+	}
+	if p.Misuses() != 0 {
+		t.Fatalf("misuses %d during clean usage", p.Misuses())
+	}
+}
+
+func TestPoolDetectsAndRidesOutInjectedCorruption(t *testing.T) {
+	p, disk, _ := newFaultPool(4, fault.Config{Seed: 22, CorruptionRate: 0.4})
+	reg := obs.NewRegistry()
+	p.AttachMetrics(reg)
+	ids := writeThrough(t, p, disk, 12)
+	checkReadable(t, p, ids, 8)
+	if p.DetectedCorruptions() == 0 {
+		t.Fatal("corruption at 40% never detected — checksums not verifying")
+	}
+	if v := reg.Counter("fault.detected.corruptions").Value(); v != p.DetectedCorruptions() {
+		t.Fatalf("metric %d != accessor %d", v, p.DetectedCorruptions())
+	}
+}
+
+func TestPoolSurvivesFrameExhaustion(t *testing.T) {
+	p, disk, inj := newFaultPool(4, fault.Config{Seed: 23, FrameExhaustionRate: 0.5})
+	reg := obs.NewRegistry()
+	inj.AttachMetrics(reg)
+	ids := writeThrough(t, p, disk, 12)
+	checkReadable(t, p, ids, 8)
+	if reg.Counter("fault.injected.frame_exhaustions").Value() == 0 {
+		t.Fatal("exhaustion at 50% never fired")
+	}
+}
+
+// TestPersistentCorruptionSurfaces: corruption on the disk itself (not an
+// injected transient) exhausts the retry budget and surfaces as an error
+// naming the page — detection works even when riding it out cannot.
+func TestPersistentCorruptionSurfaces(t *testing.T) {
+	p, disk, _ := newFaultPool(2, fault.Config{Seed: 24, SlowIORate: 0.0001})
+	ids := writeThrough(t, p, disk, 3)
+
+	buf := make([]byte, 128)
+	if err := disk.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if err := disk.Write(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Get(ids[0])
+	if err == nil {
+		t.Fatal("persistently corrupted page read succeeded")
+	}
+	if !strings.Contains(err.Error(), "unreadable") {
+		t.Fatalf("error %q does not describe the exhausted retries", err)
+	}
+	if p.DetectedCorruptions() == 0 {
+		t.Fatal("corruption not counted")
+	}
+	// The pool is still usable for other pages.
+	if _, err := p.Get(ids[1]); err != nil {
+		t.Fatalf("pool unusable after surfaced corruption: %v", err)
+	}
+	p.Unpin(ids[1], false)
+}
+
+// TestRealDiskErrorsNotMasked: non-transient storage errors must surface
+// immediately, not be retried into oblivion.
+func TestRealDiskErrorsNotMasked(t *testing.T) {
+	p, _, _ := newFaultPool(2, fault.Config{Seed: 25, ReadErrorRate: 0.2})
+	if _, err := p.Get(storage.PageID(9999)); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	} else if fault.IsTransient(err) {
+		t.Fatalf("real storage error classified transient: %v", err)
+	}
+	if p.IORetries() != 0 {
+		t.Fatalf("non-transient error consumed %d retries", p.IORetries())
+	}
+}

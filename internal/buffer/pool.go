@@ -9,8 +9,10 @@ package buffer
 import (
 	"container/list"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
+	"specdb/internal/fault"
 	"specdb/internal/obs"
 	"specdb/internal/sim"
 	"specdb/internal/storage"
@@ -23,7 +25,7 @@ import (
 // statement serialization — only one measured statement mutates pages at a
 // time.
 type Pool struct {
-	disk *storage.DiskManager
+	disk storage.Disk
 
 	mu     sync.Mutex
 	meter  *sim.Meter
@@ -36,9 +38,28 @@ type Pool struct {
 	writes  int64
 	fetches int64
 
+	// sums holds the CRC32 of the last content written back to disk for each
+	// page, verified on the next fetch so silent corruption between the pool
+	// and the disk is detected, not executed. Checksumming is pure CPU — it
+	// never charges the meter — so fault-free runs stay byte-identical.
+	sums map[storage.PageID]uint32
+
+	// inj injects transient admission faults and slow I/O (nil = none).
+	inj *fault.Injector
+
+	// Pin-discipline misuse (Unpin of a non-resident or unpinned page) is
+	// recorded instead of corrupting pin counts: the offending call becomes a
+	// deterministic no-op, the first error is retained for tests/diagnostics.
+	misuses   int64
+	misuseErr error
+
+	ioRetries  int64 // transient read/write faults absorbed by retry
+	corruption int64 // checksum mismatches detected on fetch
+
 	// Mirror counters in an observability registry (nil until AttachMetrics).
 	// Purely observational: they never charge the meter or change eviction.
-	obsHits, obsMisses, obsWrites, obsFetches *obs.Counter
+	obsHits, obsMisses, obsWrites, obsFetches  *obs.Counter
+	obsMisuses, obsRetries, obsDetectedCorrupt *obs.Counter
 }
 
 // Stats is a snapshot of the pool's cumulative traffic counters. The pool
@@ -73,8 +94,11 @@ type frame struct {
 }
 
 // NewPool returns a pool of capacity frames over disk, charging I/O to meter.
-func NewPool(disk *storage.DiskManager, capacity int, meter *sim.Meter) *Pool {
+func NewPool(disk storage.Disk, capacity int, meter *sim.Meter) *Pool {
 	if capacity < 2 {
+		// Programmer invariant: capacity comes from engine.Config/harness
+		// constants, never from user input, and LRU needs a victim candidate
+		// besides the page being admitted.
 		panic("buffer: pool needs at least 2 frames")
 	}
 	return &Pool{
@@ -83,7 +107,18 @@ func NewPool(disk *storage.DiskManager, capacity int, meter *sim.Meter) *Pool {
 		frames: make(map[storage.PageID]*frame, capacity),
 		lru:    list.New(),
 		cap:    capacity,
+		sums:   make(map[storage.PageID]uint32),
 	}
+}
+
+// SetFaultInjector points the pool at inj for admission faults (transient
+// frame exhaustion) and slow-I/O latency charges. Disk read/write faults are
+// injected by wrapping the disk itself (fault.WrapDisk); the pool only needs
+// the injector for decisions that live above the disk boundary.
+func (p *Pool) SetFaultInjector(inj *fault.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inj = inj
 }
 
 // SetMeter redirects I/O charging to m. The harness points this at the meter
@@ -121,6 +156,39 @@ func (p *Pool) AttachMetrics(reg *obs.Registry) {
 	p.obsMisses = reg.Counter("buffer.pool.misses")
 	p.obsWrites = reg.Counter("buffer.pool.writes")
 	p.obsFetches = reg.Counter("buffer.pool.fetches")
+	p.obsMisuses = reg.Counter("buffer.pool.misuses")
+	p.obsRetries = reg.Counter("buffer.pool.io_retries")
+	p.obsDetectedCorrupt = reg.Counter("fault.detected.corruptions")
+}
+
+// Misuses reports how many pin-discipline violations were recorded.
+func (p *Pool) Misuses() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misuses
+}
+
+// MisuseError returns the first recorded pin-discipline violation, or nil.
+func (p *Pool) MisuseError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misuseErr
+}
+
+// IORetries reports how many transient I/O faults the pool absorbed by
+// retrying (including checksum-detected corruption re-reads).
+func (p *Pool) IORetries() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ioRetries
+}
+
+// DetectedCorruptions reports how many checksum mismatches were caught on
+// fetch.
+func (p *Pool) DetectedCorruptions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.corruption
 }
 
 // hit records one fetch served from a resident frame. Callers hold p.mu.
@@ -167,21 +235,37 @@ func (p *Pool) New() (storage.PageID, []byte, error) {
 }
 
 // Unpin releases one pin on page id, marking it dirty if the caller wrote to
-// the buffer. Unpinning a page that is not resident or not pinned panics —
-// both indicate pin-discipline bugs that would silently corrupt accounting.
+// the buffer. Unpinning a page that is not resident or not pinned is a
+// pin-discipline bug; rather than panicking (which would take down every
+// concurrent session) or silently decrementing (which would corrupt pin
+// counts and let a pinned page be evicted), the violation is recorded and the
+// call becomes a deterministic no-op. See Misuses/MisuseError.
 func (p *Pool) Unpin(id storage.PageID, dirty bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok {
-		panic(fmt.Sprintf("buffer: unpin of non-resident page %d", id))
+		p.recordMisuse(fmt.Errorf("buffer: unpin of non-resident page %d", id))
+		return
 	}
 	if f.pins <= 0 {
-		panic(fmt.Sprintf("buffer: unpin of unpinned page %d", id))
+		p.recordMisuse(fmt.Errorf("buffer: unpin of unpinned page %d", id))
+		return
 	}
 	f.pins--
 	if dirty {
 		f.dirty = true
+	}
+}
+
+// recordMisuse notes a pin-discipline violation. Callers hold p.mu.
+func (p *Pool) recordMisuse(err error) {
+	p.misuses++
+	if p.misuseErr == nil {
+		p.misuseErr = err
+	}
+	if p.obsMisuses != nil {
+		p.obsMisuses.Inc()
 	}
 }
 
@@ -197,7 +281,15 @@ func (p *Pool) Free(id storage.PageID) error {
 		p.lru.Remove(f.elem)
 		delete(p.frames, id)
 	}
-	return p.disk.Free(id)
+	delete(p.sums, id)
+	// A double Free surfaces here as the disk's "free of unallocated page"
+	// error — returned, not panicked, and also recorded as misuse so stress
+	// tests can assert none happened.
+	if err := p.disk.Free(id); err != nil {
+		p.recordMisuse(err)
+		return err
+	}
+	return nil
 }
 
 // Stage pre-fetches page id into the pool and marks it sticky so it survives
@@ -280,9 +372,39 @@ func (p *Pool) EvictAll() error {
 	return nil
 }
 
+// maxIORetries bounds how many times one logical page I/O is retried after a
+// transient injected fault (each retry redraws the fault decision). At the
+// acceptance-sweep ceiling of 5% per-op fault rate, eight retries leave a
+// ~4e-11 chance of surfacing a transient fault per fetch — statistically
+// never for pinned seeds. Real storage errors are never retried.
+const maxIORetries = 8
+
 // admit loads page id into a frame, evicting if necessary. If read is false
 // the frame is left zeroed (freshly allocated page).
+//
+// Fault handling: a transient injected read error or a checksum mismatch
+// (corrupted read) is retried up to maxIORetries times, each retry charging
+// one extra simulated page read — retries cost time, exactly like a real
+// disk's. An injected frame-exhaustion fault surfaces as a transient error
+// for the caller's retry loop. All of this is dead code on the fault-free
+// path: no injector means no extra draws, charges, or checks beyond the
+// checksum compare, which is meter-neutral CPU.
 func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
+	for attempt := 0; ; attempt++ {
+		fe := p.inj.FrameExhaustion(id)
+		if fe == nil {
+			break
+		}
+		if attempt >= maxIORetries {
+			return nil, fmt.Errorf("buffer: no frame for page %d after %d retries: %w", id, maxIORetries, fe)
+		}
+		// Waiting out transient frame pressure costs simulated time.
+		p.meter.ChargePageRead(1)
+		p.ioRetries++
+		if p.obsRetries != nil {
+			p.obsRetries.Inc()
+		}
+	}
 	if len(p.frames) >= p.cap {
 		if err := p.evictOne(); err != nil {
 			return nil, err
@@ -290,7 +412,7 @@ func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
 	}
 	f := &frame{id: id, buf: make([]byte, p.disk.PageSize())}
 	if read {
-		if err := p.disk.Read(id, f.buf); err != nil {
+		if err := p.readVerified(id, f.buf); err != nil {
 			return nil, err
 		}
 		p.misses++
@@ -300,10 +422,48 @@ func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
 			p.obsFetches.Inc()
 		}
 		p.meter.ChargePageRead(1)
+		if extra, slow := p.inj.SlowIO(id); slow {
+			p.meter.ChargePageRead(int64(extra))
+		}
 	}
 	f.elem = p.lru.PushFront(f)
 	p.frames[id] = f
 	return f, nil
+}
+
+// readVerified reads page id into buf, verifying its checksum when one is on
+// record and retrying transient faults with bounded attempts. Callers hold
+// p.mu.
+func (p *Pool) readVerified(id storage.PageID, buf []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxIORetries; attempt++ {
+		if attempt > 0 {
+			// The failed attempt consumed disk time; charge it like a read.
+			p.meter.ChargePageRead(1)
+			p.ioRetries++
+			if p.obsRetries != nil {
+				p.obsRetries.Inc()
+			}
+		}
+		err := p.disk.Read(id, buf)
+		if err != nil {
+			if !fault.IsTransient(err) {
+				return err // real storage error: never mask it
+			}
+			lastErr = err
+			continue
+		}
+		if sum, ok := p.sums[id]; ok && crc32.ChecksumIEEE(buf) != sum {
+			p.corruption++
+			if p.obsDetectedCorrupt != nil {
+				p.obsDetectedCorrupt.Inc()
+			}
+			lastErr = &fault.Error{Kind: fault.Corruption, Op: "verify", Page: id}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("buffer: page %d unreadable after %d retries: %w", id, maxIORetries, lastErr)
 }
 
 // evictOne removes the least recently used unpinned, non-sticky page.
@@ -327,16 +487,35 @@ func (p *Pool) writeBack(f *frame) error {
 	if !f.dirty {
 		return nil
 	}
-	if err := p.disk.Write(f.id, f.buf); err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt <= maxIORetries; attempt++ {
+		if attempt > 0 {
+			p.meter.ChargePageWrite(1) // failed attempt still consumed disk time
+			p.ioRetries++
+			if p.obsRetries != nil {
+				p.obsRetries.Inc()
+			}
+		}
+		err := p.disk.Write(f.id, f.buf)
+		if err != nil {
+			if !fault.IsTransient(err) {
+				return err // real storage error: never mask it
+			}
+			lastErr = err
+			continue
+		}
+		// Record the checksum of what reached disk so the next fetch can
+		// detect corruption in between.
+		p.sums[f.id] = crc32.ChecksumIEEE(f.buf)
+		f.dirty = false
+		p.writes++
+		if p.obsWrites != nil {
+			p.obsWrites.Inc()
+		}
+		p.meter.ChargePageWrite(1)
+		return nil
 	}
-	f.dirty = false
-	p.writes++
-	if p.obsWrites != nil {
-		p.obsWrites.Inc()
-	}
-	p.meter.ChargePageWrite(1)
-	return nil
+	return fmt.Errorf("buffer: page %d unwritable after %d retries: %w", f.id, maxIORetries, lastErr)
 }
 
 func (p *Pool) touch(f *frame) { p.lru.MoveToFront(f.elem) }

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"strings"
 	"testing"
 
 	"specdb/internal/obs"
@@ -130,29 +131,65 @@ func TestPoolAllPinnedFails(t *testing.T) {
 	}
 }
 
-func TestPoolUnpinPanics(t *testing.T) {
+// TestPoolUnpinMisuseRecorded is a regression test for pin-discipline
+// violations: Unpin of a non-resident or unpinned page used to panic the
+// whole process (and before that, silently corrupted pin counts). It must be
+// a deterministic recorded no-op: the pin count stays intact, the misuse is
+// counted, and the first error is retained with the offending page.
+func TestPoolUnpinMisuseRecorded(t *testing.T) {
 	p, disk, _ := newTestPool(2)
+	reg := obs.NewRegistry()
+	p.AttachMetrics(reg)
 	id := disk.Allocate()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("unpin of non-resident page did not panic")
-			}
-		}()
-		p.Unpin(id, false)
-	}()
+
+	p.Unpin(id, false) // non-resident: recorded, not panicked
+	if got := p.Misuses(); got != 1 {
+		t.Fatalf("Misuses = %d after non-resident unpin, want 1", got)
+	}
+	if err := p.MisuseError(); err == nil || !strings.Contains(err.Error(), "non-resident") {
+		t.Fatalf("MisuseError = %v, want non-resident unpin error", err)
+	}
+
 	if _, err := p.Get(id); err != nil {
 		t.Fatal(err)
 	}
 	p.Unpin(id, false)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("double unpin did not panic")
-			}
-		}()
-		p.Unpin(id, false)
-	}()
+	p.Unpin(id, false) // double unpin: recorded no-op, pins stay at 0
+	if got := p.Misuses(); got != 2 {
+		t.Fatalf("Misuses = %d after double unpin, want 2", got)
+	}
+	// The no-op must not have driven pins negative: a single Get/Unpin pair
+	// still leaves the page evictable, and Free (pins == 0) succeeds.
+	if err := p.Free(id); err != nil {
+		t.Fatalf("Free after recorded misuse: %v", err)
+	}
+	if got := reg.Snapshot().Counters["buffer.pool.misuses"]; got != 2 {
+		t.Fatalf("buffer.pool.misuses = %d, want 2", got)
+	}
+	// The retained first error still names the first violation.
+	if err := p.MisuseError(); err == nil || !strings.Contains(err.Error(), "non-resident") {
+		t.Fatalf("MisuseError = %v, want the first recorded violation", err)
+	}
+}
+
+// TestPoolDoubleFreeRecorded: freeing a page twice must surface the disk's
+// error and be recorded as misuse, not corrupt pool state.
+func TestPoolDoubleFreeRecorded(t *testing.T) {
+	p, _, _ := newTestPool(2)
+	id, _, err := p.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id, false)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err == nil {
+		t.Fatal("double free did not error")
+	}
+	if got := p.Misuses(); got != 1 {
+		t.Fatalf("Misuses = %d after double free, want 1", got)
+	}
 }
 
 func TestPoolNew(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"specdb/internal/catalog"
 	"specdb/internal/engine"
+	"specdb/internal/fault"
 	"specdb/internal/obs"
 	"specdb/internal/plan"
 	"specdb/internal/qgraph"
@@ -57,6 +58,22 @@ type Config struct {
 	// that many other jobs are active on the server — the paper's Section 7
 	// load-aware proposal for multi-user settings. 0 disables suspension.
 	SuspendWhenBusy int
+
+	// Failure containment (DESIGN.md §8). Speculation is best-effort: a
+	// failed manipulation must never fail the session. MaxManipAttempts
+	// bounds how often one manipulation (by key) may fail — at issue or at
+	// completion — before it is abandoned for the rest of the session
+	// (default 3). RetryBackoff is the sim-time pause after a failure before
+	// the speculator issues anything again, doubling per consecutive failure
+	// of the same manipulation up to 8x (default 2s).
+	MaxManipAttempts int
+	RetryBackoff     sim.Duration
+	// BreakerFailures consecutive failures trip the per-session circuit
+	// breaker: speculation suspends entirely, then after BreakerCooldown of
+	// sim time one half-open probe decides whether it resumes. Defaults 3
+	// and 30s.
+	BreakerFailures int
+	BreakerCooldown sim.Duration
 }
 
 // DefaultConfig is the paper's main experimental configuration.
@@ -101,6 +118,18 @@ type Stats struct {
 	// (session teardown) rather than by an interface event. At quiesce
 	// Issued == Completed + CanceledInvalidated + CanceledAtGo + CanceledOnClose.
 	CanceledOnClose int
+	// Failure containment (DESIGN.md §8). Failed counts contained
+	// manipulation failures (issue- or completion-time); Aborted counts
+	// issued jobs rolled back after a failed completion — a terminal state,
+	// so at quiesce Issued == Completed + CanceledInvalidated + CanceledAtGo
+	// + CanceledOnClose + Aborted. Abandoned counts manipulation keys given
+	// up after MaxManipAttempts failures. BreakerTrips/BreakerResumes count
+	// this session's circuit breaker opening and closing again.
+	Failed         int
+	Aborted        int
+	Abandoned      int
+	BreakerTrips   int
+	BreakerResumes int
 	// Hits counts final queries whose plan used at least one completed
 	// speculative materialization; Misses counts the rest. Hits+Misses is
 	// the number of GO events answered.
@@ -181,10 +210,21 @@ type Speculator struct {
 
 	stats Stats
 
+	// Failure containment state (DESIGN.md §8): per-key consecutive failure
+	// counts, keys abandoned after MaxManipAttempts, the sim-time before
+	// which nothing new is issued (backoff), and the per-session circuit
+	// breaker. All empty/zero on the fault-free path, where they change
+	// nothing.
+	attempts  map[string]int
+	abandoned map[string]bool
+	retryAt   sim.Time
+	breaker   *fault.Breaker
+
 	// Mirror counters in the engine's metrics registry (shared across every
 	// speculator on the engine, so multi-user runs aggregate).
 	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
 	obsCanceled, obsGC, obsWasteNs              *obs.Counter
+	obsFailed, obsAborted, obsAbandoned         *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -192,6 +232,17 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 	if cfg.NamePrefix == "" {
 		cfg.NamePrefix = "spec"
 	}
+	if cfg.MaxManipAttempts <= 0 {
+		cfg.MaxManipAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Second
+	}
+	breaker := fault.NewBreaker(fault.BreakerConfig{
+		Failures: cfg.BreakerFailures,
+		Cooldown: cfg.BreakerCooldown,
+	})
+	breaker.AttachMetrics(eng.Metrics())
 	return &Speculator{
 		eng:     eng,
 		learner: learner,
@@ -211,6 +262,9 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		completed:     make(map[string]string),
 		completedCost: make(map[string]sim.Duration),
 		stagedRels:    make(map[string]bool),
+		attempts:      make(map[string]int),
+		abandoned:     make(map[string]bool),
+		breaker:       breaker,
 
 		obsIssued:    eng.Metrics().Counter("spec.issued"),
 		obsCompleted: eng.Metrics().Counter("spec.completed"),
@@ -219,8 +273,14 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		obsCanceled:  eng.Metrics().Counter("spec.canceled"),
 		obsGC:        eng.Metrics().Counter("spec.garbage_collected"),
 		obsWasteNs:   eng.Metrics().Counter("spec.waste_ns"),
+		obsFailed:    eng.Metrics().Counter("spec.failed"),
+		obsAborted:   eng.Metrics().Counter("spec.aborted"),
+		obsAbandoned: eng.Metrics().Counter("spec.abandoned"),
 	}
 }
+
+// Breaker exposes the per-session circuit breaker (for tests/diagnostics).
+func (sp *Speculator) Breaker() *fault.Breaker { return sp.breaker }
 
 // Stats reports session counters.
 func (sp *Speculator) Stats() Stats { return sp.stats }
@@ -273,41 +333,31 @@ func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error
 
 // Complete finalizes a job at its completion time, making its results
 // visible to the optimizer, and — the slot now being free — may issue the
-// next manipulation for the current partial query.
+// next manipulation for the current partial query. Speculation is
+// best-effort: a finalization failure is contained (the job's hidden side
+// effects are rolled back, the failure recorded against its key and the
+// breaker), never surfaced to the session.
 func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 	if sp.outstanding != job {
+		// Programmer invariant (the owner schedules exactly one completion per
+		// issued job), not a containable I/O failure.
 		return nil, fmt.Errorf("core: completing a job that is not outstanding")
 	}
 	sp.outstanding = nil
 	sp.eng.EndJob(job.jobID)
-	switch job.Manip.Kind {
-	case ManipMaterialize:
-		if err := sp.eng.Catalog.RegisterView(job.tableName, job.Manip.Graph, sp.cfg.Forced); err != nil {
-			return nil, err
-		}
-		sp.completed[job.Manip.Graph.Key()] = job.tableName
-	case ManipIndex:
-		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
-		if err != nil {
-			return nil, err
-		}
-		t.SetIndex(job.Manip.Col, job.index)
-	case ManipHistogram:
-		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
-		if err != nil {
-			return nil, err
-		}
-		if cs := t.ColumnStats(job.Manip.Col); cs != nil {
-			cs.SetHist(job.histogram)
-		}
-	case ManipStage:
-		sp.stagedRels[job.Manip.Rel] = true
+	if err := sp.finalize(job); err != nil {
+		sp.abort(job, now, err)
+		return sp.maybeIssue(now)
 	}
 	if job.Manip.Kind == ManipMaterialize {
 		sp.completedCost[job.Manip.Graph.Key()] = job.CompletesAt.Sub(job.IssuedAt)
 	}
 	sp.stats.Completed++
 	sp.obsCompleted.Inc()
+	delete(sp.attempts, job.Manip.Key())
+	if sp.breaker.Success() {
+		sp.stats.BreakerResumes++
+	}
 	if job.span != nil {
 		job.span.Annotate("outcome", "completed")
 		job.span.End(job.CompletesAt)
@@ -316,6 +366,85 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 	// Keep preparing: the slot is free and the user is still thinking (or
 	// viewing results — either way the canvas indicates what comes next).
 	return sp.maybeIssue(now)
+}
+
+// finalize publishes a job's hidden side effects.
+func (sp *Speculator) finalize(job *Job) error {
+	switch job.Manip.Kind {
+	case ManipMaterialize:
+		if err := sp.eng.Catalog.RegisterView(job.tableName, job.Manip.Graph, sp.cfg.Forced); err != nil {
+			return err
+		}
+		sp.completed[job.Manip.Graph.Key()] = job.tableName
+	case ManipIndex:
+		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
+		if err != nil {
+			return err
+		}
+		t.SetIndex(job.Manip.Col, job.index)
+	case ManipHistogram:
+		t, err := sp.eng.Catalog.Table(job.Manip.Rel)
+		if err != nil {
+			return err
+		}
+		if cs := t.ColumnStats(job.Manip.Col); cs != nil {
+			cs.SetHist(job.histogram)
+		}
+	case ManipStage:
+		sp.stagedRels[job.Manip.Rel] = true
+	}
+	return nil
+}
+
+// abort contains a completion-time failure: the job's hidden side effects are
+// rolled back exactly as a cancellation's would be (orphaned pages freed,
+// partial catalog entries dropped — the Learner is never touched), its full
+// run time is charged to Waste, and the failure counts against the
+// manipulation's retry budget and the session breaker.
+func (sp *Speculator) abort(job *Job, now sim.Time, cause error) {
+	sp.undo(job)
+	elapsed := job.CompletesAt.Sub(job.IssuedAt)
+	sp.stats.Waste += elapsed
+	sp.obsWasteNs.Add(int64(elapsed))
+	sp.stats.Aborted++
+	sp.obsAborted.Inc()
+	if job.span != nil {
+		job.span.Annotate("outcome", "aborted")
+		job.span.Annotate("error", cause.Error())
+		job.span.End(now)
+		job.span = nil
+	}
+	sp.noteFailure(job.Manip.Key(), now, cause)
+}
+
+// noteFailure records one contained manipulation failure: backoff before the
+// next issue (doubling per consecutive failure of the same key, capped at
+// 8x), abandonment after MaxManipAttempts, and a breaker strike. A span marks
+// the failure on the session timeline.
+func (sp *Speculator) noteFailure(key string, now sim.Time, cause error) {
+	sp.stats.Failed++
+	sp.obsFailed.Inc()
+	n := sp.attempts[key] + 1
+	sp.attempts[key] = n
+	backoff := sp.cfg.RetryBackoff
+	for i := 1; i < n && i < 4; i++ {
+		backoff *= 2
+	}
+	if t := now.Add(backoff); t > sp.retryAt {
+		sp.retryAt = t
+	}
+	if n >= sp.cfg.MaxManipAttempts && !sp.abandoned[key] {
+		sp.abandoned[key] = true
+		sp.stats.Abandoned++
+		sp.obsAbandoned.Inc()
+	}
+	if sp.breaker.Failure(now) {
+		sp.stats.BreakerTrips++
+	}
+	s := sp.eng.Tracer().Start("manip.failed", now, 0,
+		obs.Attr{Key: "key", Value: key},
+		obs.Attr{Key: "error", Value: cause.Error()})
+	s.End(now)
 }
 
 // OnGo handles the final query: any in-flight manipulation is canceled
@@ -500,6 +629,11 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 		sp.stats.Suspended++
 		return nil, nil
 	}
+	// Failure containment: honor the post-failure backoff. A no-op on the
+	// fault-free path (retryAt stays 0).
+	if now < sp.retryAt {
+		return nil, nil
+	}
 	elapsed := 0.0
 	if sp.formStarted {
 		elapsed = now.Sub(sp.formStart).Seconds()
@@ -508,6 +642,9 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 	var best *Manipulation
 	for i := range candidates {
 		m := &candidates[i]
+		if sp.abandoned[m.Key()] {
+			continue
+		}
 		if err := sp.cm.Score(m, elapsed); err != nil {
 			return nil, err
 		}
@@ -521,9 +658,21 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 	if best == nil {
 		return nil, nil
 	}
+	// Circuit breaker: consult it only once a candidate is actually worth
+	// issuing, so an admitted half-open probe always corresponds to a real
+	// job (a probe consumed with nothing to issue would wedge the breaker
+	// half-open forever). Unconditional on the fault-free path (closed).
+	if !sp.breaker.Allow(now) {
+		return nil, nil
+	}
 	job, err := sp.issue(*best, now)
 	if err != nil {
-		return nil, err
+		// Best-effort: an issue-time failure (I/O fault under the eager
+		// execution) is contained — never surfaced to the session. The job
+		// was not issued, so lifecycle accounting is untouched; issue()
+		// already rolled back its partial side effects.
+		sp.noteFailure(best.Key(), now, err)
+		return nil, nil
 	}
 	sp.outstanding = job
 	sp.stats.Issued++
@@ -653,6 +802,9 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 // CanceledAtGo, CanceledOnClose) stay with the callers.
 func (sp *Speculator) cancelAt(job *Job, at sim.Time, outcome string) {
 	sp.cancel(job)
+	// A canceled half-open probe resolves nothing: re-open the breaker so a
+	// later probe gets its turn (no-op unless half-open).
+	sp.breaker.Canceled(at)
 	elapsed := job.CompletesAt.Sub(job.IssuedAt)
 	end := job.IssuedAt
 	if at > 0 {
@@ -712,9 +864,16 @@ func (sp *Speculator) publishProfile() {
 	m.Gauge("learner.think_median_s").Set(ps.ThinkMedianSeconds)
 }
 
-// cancel undoes a job's hidden side effects.
+// cancel deregisters a job from the contention model and undoes its hidden
+// side effects.
 func (sp *Speculator) cancel(job *Job) {
 	sp.eng.EndJob(job.jobID)
+	sp.undo(job)
+}
+
+// undo reverts a job's hidden side effects (shared by cancellation and by
+// completion-failure rollback, where EndJob has already run).
+func (sp *Speculator) undo(job *Job) {
 	switch job.Manip.Kind {
 	case ManipMaterialize:
 		// The table was never registered as a view; drop it. Its buffer-pool

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,7 @@ import (
 	"specdb/internal/buffer"
 	"specdb/internal/catalog"
 	"specdb/internal/exec"
+	"specdb/internal/fault"
 	"specdb/internal/obs"
 	"specdb/internal/plan"
 	"specdb/internal/qgraph"
@@ -50,6 +52,10 @@ type Config struct {
 	// to disk (charged as page I/O). 0 defaults to a quarter of the buffer
 	// pool, the classic rule of thumb for the era's work-area sizing.
 	WorkMemBytes int64
+	// Fault configures deterministic fault injection (DESIGN.md §8). The
+	// zero value injects nothing and leaves the engine byte-identical to an
+	// uninstrumented one.
+	Fault fault.Config
 }
 
 // Result reports one executed statement.
@@ -79,7 +85,7 @@ type Result struct {
 // in-flight jobs on a statement's duration — is modeled by the contention
 // factor over the registered-job count, not by physical overlap.
 type Engine struct {
-	Disk    *storage.DiskManager
+	Disk    storage.Disk
 	Pool    *buffer.Pool
 	Catalog *catalog.Catalog
 
@@ -87,13 +93,19 @@ type Engine struct {
 	meter    *sim.Meter
 	useViews atomic.Bool
 
+	// injector drives deterministic fault injection (nil = fault-free).
+	injector *fault.Injector
+
 	// Observability (never charges the meter; see internal/obs).
 	metrics      *obs.Registry
 	tracer       *obs.Tracer
+	panicLog     *obs.PanicLog
 	obsStmts     *obs.Counter
 	obsQueries   *obs.Counter
 	obsQueryRows *obs.Counter
 	obsStmtDur   *obs.Histogram
+	obsPanics    *obs.Counter
+	obsReplans   *obs.Counter
 
 	// stmtMu serializes measured statements so each statement's meter delta
 	// is exactly its own work.
@@ -120,29 +132,61 @@ func New(cfg Config) *Engine {
 	if cfg.HistogramBuckets == 0 {
 		cfg.HistogramBuckets = 20
 	}
-	disk := storage.NewDiskManager(cfg.PageSize)
+	inj := fault.NewInjector(cfg.Fault) // nil when cfg.Fault injects nothing
+	disk := fault.WrapDisk(storage.NewDiskManager(cfg.PageSize), inj)
 	meter := sim.NewMeter()
 	pool := buffer.NewPool(disk, cfg.BufferPoolPages, meter)
+	pool.SetFaultInjector(inj)
 	if cfg.WorkMemBytes == 0 {
 		cfg.WorkMemBytes = int64(cfg.BufferPoolPages) * int64(disk.PageSize()) / 4
 	}
 	e := &Engine{
-		Disk:    disk,
-		Pool:    pool,
-		Catalog: catalog.New(pool),
-		cfg:     cfg,
-		meter:   meter,
-		jobs:    make(map[int64]struct{}),
-		metrics: obs.NewRegistry(),
-		tracer:  obs.NewTracer(0),
+		Disk:     disk,
+		Pool:     pool,
+		Catalog:  catalog.New(pool),
+		cfg:      cfg,
+		meter:    meter,
+		injector: inj,
+		jobs:     make(map[int64]struct{}),
+		metrics:  obs.NewRegistry(),
+		tracer:   obs.NewTracer(0),
+		panicLog: obs.NewPanicLog(0),
 	}
 	pool.AttachMetrics(e.metrics)
+	inj.AttachMetrics(e.metrics)
 	e.obsStmts = e.metrics.Counter("engine.statements")
 	e.obsQueries = e.metrics.Counter("engine.queries")
 	e.obsQueryRows = e.metrics.Counter("engine.query.rows")
 	e.obsStmtDur = e.metrics.Histogram("engine.statement.duration_ns", statementDurationBounds)
+	e.obsPanics = e.metrics.Counter("recovered_panics")
+	e.obsReplans = e.metrics.Counter("engine.replans")
 	e.useViews.Store(cfg.UseViews)
 	return e
+}
+
+// FaultInjector exposes the engine's injector (nil on fault-free engines).
+func (e *Engine) FaultInjector() *fault.Injector { return e.injector }
+
+// PanicLog exposes the recovered-panic ring for diagnostics and tests.
+func (e *Engine) PanicLog() *obs.PanicLog { return e.panicLog }
+
+// RecordPanic converts a recovered panic value into an error, counting it
+// under the recovered_panics metric and capturing the stack. Sessions call
+// it from their own recovery boundaries; the engine's statement entry points
+// use recoverTo.
+func (e *Engine) RecordPanic(op string, v any) error {
+	e.panicLog.Record(op, v, debug.Stack())
+	e.obsPanics.Inc()
+	return fmt.Errorf("engine: internal error in %s: %v", op, v)
+}
+
+// recoverTo is deferred at every statement entry point: an internal bug
+// (panic) becomes a returned error with its stack preserved in the panic
+// log, instead of killing every session sharing the engine.
+func (e *Engine) recoverTo(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = e.RecordPanic(op, r)
+	}
 }
 
 // Rates reports the engine's cost rates.
@@ -210,8 +254,18 @@ func (e *Engine) measure(fn func() error) (sim.Work, sim.Duration, error) {
 	return work, d, err
 }
 
+// recoverResult is recoverTo for the (*Result, error) entry points: a
+// recovered panic also drops the partial result.
+func (e *Engine) recoverResult(op string, res **Result, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		*err = e.RecordPanic(op, r)
+	}
+}
+
 // Exec parses and executes one SQL statement.
-func (e *Engine) Exec(src string) (*Result, error) {
+func (e *Engine) Exec(src string) (res *Result, err error) {
+	defer e.recoverResult("Exec", &res, &err)
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -256,13 +310,46 @@ func (e *Engine) Exec(src string) (*Result, error) {
 // RunQuery optimizes and executes a bound query, returning its rows. The
 // statement lock is held across optimization AND execution, so a concurrent
 // DropTable cannot invalidate the chosen plan before it runs.
-func (e *Engine) RunQuery(q *plan.Query) (*Result, error) {
+//
+// Graceful degradation (DESIGN.md §8): if execution fails and the chosen plan
+// read any derived object — a materialized view's backing table or an index —
+// the query is transparently replanned against base tables with sequential
+// access only and retried once. Speculative objects are an accelerator, never
+// a correctness dependency, so a corrupted or vanished view must not fail the
+// user's query. The original error surfaces only if the degraded plan fails
+// too (or none of the plan was derived).
+func (e *Engine) RunQuery(q *plan.Query) (res *Result, err error) {
+	defer e.recoverResult("RunQuery", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
 	if err != nil {
 		return nil, err
 	}
+	res, err = e.runPlanLocked(node)
+	if err == nil {
+		return res, nil
+	}
+	if !e.planReadsDerived(node) {
+		return nil, err
+	}
+	opts := e.planOptions()
+	opts.AvoidViews, opts.AvoidIndexes = true, true
+	degraded, replanErr := plan.Optimize(e.Catalog, q, opts)
+	if replanErr != nil {
+		return nil, err // surface the original failure
+	}
+	e.obsReplans.Inc()
+	res, replanErr = e.runPlanLocked(degraded)
+	if replanErr != nil {
+		return nil, err // surface the original failure
+	}
+	return res, nil
+}
+
+// runPlanLocked executes one physical plan under the statement lock,
+// measuring its work.
+func (e *Engine) runPlanLocked(node plan.Node) (*Result, error) {
 	res := &Result{Plan: node, Schema: node.Schema()}
 	work, d, err := e.measure(func() error {
 		it, err := node.Build(e.execContext())
@@ -287,13 +374,29 @@ func (e *Engine) RunQuery(q *plan.Query) (*Result, error) {
 	return res, nil
 }
 
+// planReadsDerived reports whether node reads anything beyond plain
+// sequential scans of base tables: a materialized view's backing table or an
+// index access path (including the inner side of an index nested-loop join).
+func (e *Engine) planReadsDerived(node plan.Node) bool {
+	derived := false
+	plan.Walk(node, func(n plan.Node) {
+		if a, ok := n.(*plan.TableAccess); ok {
+			if a.Method == plan.AccessIndex || e.Catalog.View(a.Table.Name) != nil {
+				derived = true
+			}
+		}
+	})
+	return derived
+}
+
 // ExplainAnalyze optimizes and executes a bound query with instrumented
 // operators, returning the rendered plan with per-node actuals in
 // Result.Analyzed. The query's rows are drained (and counted) but not
 // returned — the plan tree is the output. Execution is measured exactly like
 // RunQuery: the profiler only snapshots the meter, it never charges it, so
 // an EXPLAIN ANALYZE costs the same simulated time as the bare query.
-func (e *Engine) ExplainAnalyze(q *plan.Query) (*Result, error) {
+func (e *Engine) ExplainAnalyze(q *plan.Query) (res *Result, err error) {
+	defer e.recoverResult("ExplainAnalyze", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	node, err := plan.Optimize(e.Catalog, q, e.planOptions())
@@ -303,7 +406,7 @@ func (e *Engine) ExplainAnalyze(q *plan.Query) (*Result, error) {
 	prof := exec.NewProfiler(e.meter)
 	ctx := e.execContext()
 	prof.Attach(ctx)
-	res := &Result{Plan: node, Schema: node.Schema()}
+	res = &Result{Plan: node, Schema: node.Schema()}
 	work, d, err := e.measure(func() error {
 		it, err := node.Build(ctx)
 		if err != nil {
@@ -359,7 +462,8 @@ func (e *Engine) Materialize(name string, g *qgraph.Graph, forced bool) (*Result
 	return e.materializeQuery(name, q, g, forced)
 }
 
-func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, forced bool) (*Result, error) {
+func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, forced bool) (res *Result, err error) {
+	defer e.recoverResult("Materialize", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	if e.Catalog.HasTable(name) {
@@ -369,7 +473,7 @@ func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, f
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: node}
+	res = &Result{Plan: node}
 	work, d, err := e.measure(func() error {
 		table, err := e.Catalog.CreateTable(name, node.Schema())
 		if err != nil {
@@ -429,7 +533,8 @@ func (e *Engine) FreshName(prefix string) string {
 }
 
 // CreateIndex builds a B+-tree index on table.column by scanning the table.
-func (e *Engine) CreateIndex(table, column string) (*Result, error) {
+func (e *Engine) CreateIndex(table, column string) (res *Result, err error) {
+	defer e.recoverResult("CreateIndex", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
@@ -443,7 +548,7 @@ func (e *Engine) CreateIndex(table, column string) (*Result, error) {
 	if t.Index(column) != nil {
 		return nil, fmt.Errorf("engine: index on %s.%s already exists", table, column)
 	}
-	res := &Result{}
+	res = &Result{}
 	work, d, err := e.measure(func() error {
 		tree, err := btree.New(e.Pool, e.Disk.PageSize())
 		if err != nil {
@@ -502,14 +607,15 @@ func (e *Engine) DropIndex(table, column string) error {
 
 // CreateHistogram builds an equi-depth histogram on table.column, improving
 // the optimizer's selectivity estimates (Section 3.2: histogram creation).
-func (e *Engine) CreateHistogram(table, column string) (*Result, error) {
+func (e *Engine) CreateHistogram(table, column string) (res *Result, err error) {
+	defer e.recoverResult("CreateHistogram", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res = &Result{}
 	work, d, err := e.measure(func() error {
 		values, err := catalog.ColumnValues(t, column)
 		if err != nil {
@@ -553,14 +659,15 @@ func (e *Engine) DropHistogram(table, column string) error {
 // data-staging manipulation (Section 3.2), implementable here because we own
 // the buffer pool. Staging at most half the pool is allowed, to leave room
 // for query execution.
-func (e *Engine) Stage(table string) (*Result, error) {
+func (e *Engine) Stage(table string) (res *Result, err error) {
+	defer e.recoverResult("Stage", &res, &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res = &Result{}
 	work, d, err := e.measure(func() error {
 		// The staging budget is half the pool ACROSS ALL staged tables —
 		// otherwise repeated staging pins the whole pool and starves query
@@ -601,7 +708,8 @@ func (e *Engine) Unstage(table string) error {
 // DropTable removes a table (and any view it backs), freeing storage. It
 // takes the statement lock so a drop never races an executing query that
 // planned against the table.
-func (e *Engine) DropTable(name string) error {
+func (e *Engine) DropTable(name string) (err error) {
+	defer e.recoverTo("DropTable", &err)
 	e.stmtMu.Lock()
 	defer e.stmtMu.Unlock()
 	t, err := e.Catalog.Table(name)

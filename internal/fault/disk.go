@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"specdb/internal/storage"
+)
+
+// Disk wraps a storage.Disk and applies the injector's read/write decisions
+// at the I/O boundary. Allocate/Free/metadata pass through untouched: the
+// failure model covers data-path I/O, not allocation bookkeeping (which in
+// the simulated disk is pure in-memory bookkeeping).
+type Disk struct {
+	inner storage.Disk
+	inj   *Injector
+}
+
+// WrapDisk interposes inj between the caller and inner. With a nil injector
+// it returns inner unchanged, so the fault-free path has zero wrapping cost.
+func WrapDisk(inner storage.Disk, inj *Injector) storage.Disk {
+	if inj == nil {
+		return inner
+	}
+	return &Disk{inner: inner, inj: inj}
+}
+
+// PageSize reports the wrapped disk's page size.
+func (d *Disk) PageSize() int { return d.inner.PageSize() }
+
+// Allocate passes through to the wrapped disk.
+func (d *Disk) Allocate() storage.PageID { return d.inner.Allocate() }
+
+// Read performs the read, then applies one injector decision: fail with a
+// transient read error, corrupt the returned buffer (XOR can never be a
+// no-op, so checksum verification always catches it), or pass through clean.
+// The underlying read happens first so the disk's physical counters move the
+// same way a real flaky disk's would.
+func (d *Disk) Read(id storage.PageID, buf []byte) error {
+	if err := d.inner.Read(id, buf); err != nil {
+		return err
+	}
+	switch fe := d.inj.ReadFault(id); {
+	case fe == nil:
+		return nil
+	case fe.Kind == Corruption:
+		buf[0] ^= 0xA5
+		buf[len(buf)-1] ^= 0x5A
+		return nil
+	default:
+		return fe
+	}
+}
+
+// Write applies one injector decision before the write: an injected write
+// error means the bytes never reach the disk.
+func (d *Disk) Write(id storage.PageID, buf []byte) error {
+	if fe := d.inj.WriteFault(id); fe != nil {
+		return fe
+	}
+	return d.inner.Write(id, buf)
+}
+
+// Free passes through to the wrapped disk.
+func (d *Disk) Free(id storage.PageID) error { return d.inner.Free(id) }
+
+// Allocated passes through to the wrapped disk.
+func (d *Disk) Allocated() int { return d.inner.Allocated() }
+
+// Stats passes through to the wrapped disk.
+func (d *Disk) Stats() (reads, writes int64) { return d.inner.Stats() }

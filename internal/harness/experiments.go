@@ -74,6 +74,8 @@ func BucketSpecFor(scaleName string, multiUser bool) BucketSpec {
 // computes the per-bucket aggregate and extreme improvements.
 func BucketImprovements(normal, spec []QueryTiming, bs BucketSpec) []Bucket {
 	if len(normal) != len(spec) {
+		// Programmer invariant: both slices come from replaying the same
+		// trace, so a length mismatch means the harness itself is broken.
 		panic("harness: unpaired timings")
 	}
 	nb := int(math.Ceil((bs.Hi - bs.Lo) / bs.Width))

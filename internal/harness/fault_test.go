@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"specdb/internal/core"
+	"specdb/internal/fault"
+)
+
+// mixedFaults returns a configuration exercising every injected fault kind.
+func mixedFaults(seed uint64) fault.Config {
+	return fault.Config{
+		Seed:                seed,
+		ReadErrorRate:       0.03,
+		WriteErrorRate:      0.03,
+		CorruptionRate:      0.01,
+		SlowIORate:          0.02,
+		FrameExhaustionRate: 0.02,
+	}
+}
+
+// timingsKey serializes paired timings (simulated durations and result
+// cardinalities) for byte-exact comparison.
+func timingsKey(ts []QueryTiming) string {
+	out := ""
+	for _, qt := range ts {
+		out += fmt.Sprintf("%d/%d:%.9f:%d;", qt.TraceIdx, qt.QueryIdx, qt.Seconds, qt.Rows)
+	}
+	return out
+}
+
+// TestFaultRunDeterministic: two executions of the same fault-injected
+// workload with the same seed are byte-identical — timings, cardinalities,
+// and speculation accounting.
+func TestFaultRunDeterministic(t *testing.T) {
+	traces := tinyTraces(t, 1)
+	run := func() (string, string) {
+		env := tinyEnv(t, EnvConfig{Fault: mixedFaults(99)})
+		pr, err := RunPaired(env, traces, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return timingsKey(pr.Normal) + "|" + timingsKey(pr.Spec), fmt.Sprintf("%+v", pr.Stats)
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("fault-injected timings diverged across identical runs:\n%s\nvs\n%s", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("speculation stats diverged:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+// TestDisarmedInjectorByteIdentical: an engine carrying a fully-instrumented
+// injector (wrapped disk, checksum verification) that never fires is
+// byte-identical to an uninstrumented engine — the observability and fault
+// plumbing must cost nothing on the fault-free path.
+func TestDisarmedInjectorByteIdentical(t *testing.T) {
+	traces := tinyTraces(t, 1)
+	run := func(cfg fault.Config, disarm bool) string {
+		env := tinyEnv(t, EnvConfig{Fault: cfg})
+		if disarm {
+			env.Eng.FaultInjector().SetArmed(false)
+		}
+		pr, err := RunPaired(env, traces, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return timingsKey(pr.Normal) + "|" + timingsKey(pr.Spec) + "|" + fmt.Sprintf("%+v", pr.Stats)
+	}
+	baseline := run(fault.Config{}, false)
+	gated := run(mixedFaults(7), true)
+	if baseline != gated {
+		t.Fatalf("instrumented-but-disarmed run diverged from uninstrumented baseline:\n%s\nvs\n%s", baseline, gated)
+	}
+}
+
+// TestFaultSweepResultsUnchanged sweeps read- and write-dominant fault mixes
+// over increasing rates: every query must succeed and return exactly the
+// fault-free answer. Durations may differ (retries cost simulated time);
+// answers may not.
+func TestFaultSweepResultsUnchanged(t *testing.T) {
+	traces := tinyTraces(t, 1)
+	clean, err := RunPaired(tinyEnv(t, EnvConfig{}), traces, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.01, 0.03, 0.05} {
+		for _, mode := range []string{"read", "write"} {
+			cfg := fault.Config{Seed: 1000 + uint64(rate*1000)}
+			switch mode {
+			case "read":
+				cfg.ReadErrorRate = rate
+				cfg.CorruptionRate = rate / 2
+			case "write":
+				cfg.WriteErrorRate = rate
+				cfg.FrameExhaustionRate = rate / 2
+			}
+			env := tinyEnv(t, EnvConfig{Fault: cfg})
+			pr, err := RunPaired(env, traces, core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s faults at %.0f%%: user-visible failure: %v", mode, rate*100, err)
+			}
+			if len(pr.Spec) != len(clean.Spec) {
+				t.Fatalf("%s@%.2f: %d queries, clean ran %d", mode, rate, len(pr.Spec), len(clean.Spec))
+			}
+			for i := range pr.Spec {
+				if pr.Spec[i].Rows != clean.Spec[i].Rows || pr.Normal[i].Rows != clean.Normal[i].Rows {
+					t.Fatalf("%s@%.2f query %d: rows %d/%d, clean %d/%d", mode, rate, i,
+						pr.Normal[i].Rows, pr.Spec[i].Rows, clean.Normal[i].Rows, clean.Spec[i].Rows)
+				}
+			}
+		}
+	}
+}

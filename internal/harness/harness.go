@@ -11,6 +11,7 @@ import (
 
 	"specdb/internal/core"
 	"specdb/internal/engine"
+	"specdb/internal/fault"
 	"specdb/internal/plan"
 	"specdb/internal/qgraph"
 	"specdb/internal/sim"
@@ -48,6 +49,10 @@ type EnvConfig struct {
 	PrematerializeViews bool
 	// UseViews lets the optimizer consider optional views.
 	UseViews bool
+	// Fault configures deterministic fault injection (zero value: none).
+	// Faults are enabled only after the dataset loads, so every environment
+	// starts from identical on-disk state regardless of fault rates.
+	Fault fault.Config
 }
 
 // NewEnv loads a dataset (and optionally the view battery) into a fresh
@@ -60,7 +65,12 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		BufferPoolPages:  cfg.BufferPoolPages,
 		UseViews:         cfg.UseViews,
 		ContentionFactor: cfg.ContentionFactor,
+		Fault:            cfg.Fault,
 	})
+	// Hold faults until the environment is fully built, so every fault rate
+	// starts the measured workload from the same prepared database.
+	eng.FaultInjector().SetArmed(false)
+	defer eng.FaultInjector().SetArmed(true)
 	if err := tpch.Load(eng, cfg.Scale, cfg.Seed); err != nil {
 		return nil, err
 	}

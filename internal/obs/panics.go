@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PanicRecord captures one recovered panic: where it happened, what was
+// panicked, and the goroutine stack at recovery time.
+type PanicRecord struct {
+	Op    string // the statement/session boundary that recovered it
+	Value string // the panic value, stringified
+	Stack string
+}
+
+// PanicLog is a bounded ring of recovered panics. Recovery boundaries
+// (engine statement entry points, session methods) record here so internal
+// bugs that were converted into errors stay diagnosable. Like the rest of
+// the package it never touches the sim meter or clock.
+type PanicLog struct {
+	mu    sync.Mutex
+	cap   int
+	total int64
+	recs  []PanicRecord // ring; recs[(start+i)%cap] is i-th oldest
+	start int
+}
+
+// NewPanicLog returns a log retaining the most recent capacity records
+// (0 means 64).
+func NewPanicLog(capacity int) *PanicLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &PanicLog{cap: capacity}
+}
+
+// Record stores one recovered panic.
+func (l *PanicLog) Record(op string, value any, stack []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	rec := PanicRecord{Op: op, Value: fmt.Sprint(value), Stack: string(stack)}
+	if len(l.recs) < l.cap {
+		l.recs = append(l.recs, rec)
+		return
+	}
+	l.recs[l.start] = rec
+	l.start = (l.start + 1) % l.cap
+}
+
+// Total reports how many panics were ever recorded (including evicted ones).
+func (l *PanicLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Records returns the retained panics, oldest first.
+func (l *PanicLog) Records() []PanicRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PanicRecord, 0, len(l.recs))
+	for i := 0; i < len(l.recs); i++ {
+		out = append(out, l.recs[(l.start+i)%len(l.recs)])
+	}
+	return out
+}

@@ -23,6 +23,14 @@ type Options struct {
 	// WorkMemBytes is the per-join memory budget (spill threshold); see
 	// exec.Context.WorkMemBytes.
 	WorkMemBytes int64
+	// AvoidViews plans against base tables only, ignoring even forced views.
+	// The engine sets it when transparently replanning a query whose
+	// view-backed plan failed to execute (DESIGN.md §8): correctness never
+	// depends on speculative objects.
+	AvoidViews bool
+	// AvoidIndexes disables index access paths and index-nested-loop joins,
+	// for the same degraded replan path.
+	AvoidIndexes bool
 }
 
 // maxDPUnits bounds the dynamic-programming join search. The paper's
@@ -35,7 +43,7 @@ const maxDPUnits = 12
 // ordering and access-path selection, and returns the overall cheapest plan
 // topped with the query's projection.
 func Optimize(cat *catalog.Catalog, q *Query, opt Options) (Node, error) {
-	covers := enumerateCovers(cat, q.Graph, opt.UseViews)
+	covers := enumerateCovers(cat, q.Graph, opt.UseViews, opt.AvoidViews)
 	var best Node
 	for _, cover := range covers {
 		node, err := planCover(cat, q, cover, opt)
@@ -56,7 +64,11 @@ func Optimize(cat *catalog.Catalog, q *Query, opt Options) (Node, error) {
 // empty cover (base relations only) is always included unless forced views
 // exist, in which case every cover must include the greedy-disjoint forced
 // set (query-rewriting semantics).
-func enumerateCovers(cat *catalog.Catalog, g *qgraph.Graph, useViews bool) [][]*catalog.MatView {
+func enumerateCovers(cat *catalog.Catalog, g *qgraph.Graph, useViews, avoidViews bool) [][]*catalog.MatView {
+	if avoidViews {
+		// Degraded replan: base relations only, forced or not.
+		return [][]*catalog.MatView{nil}
+	}
 	matching := cat.MatchingViews(g)
 	var forced, optional []*catalog.MatView
 	for _, v := range matching {
@@ -204,6 +216,9 @@ func planCover(cat *catalog.Catalog, q *Query, cover []*catalog.MatView, opt Opt
 	for i, u := range units {
 		best := Node(seqAccesses[i])
 		for pi, f := range u.filters {
+			if opt.AvoidIndexes {
+				break
+			}
 			stored := seqAccesses[i].storedCol(f.Col)
 			if u.table.Index(stored) == nil || f.Op == tuple.CmpNE {
 				continue
@@ -223,7 +238,7 @@ func planCover(cat *catalog.Catalog, q *Query, cover []*catalog.MatView, opt Opt
 		bestAccess[i] = best
 	}
 
-	joined, err := joinSearch(coster, units, bestAccess, seqAccesses, edges)
+	joined, err := joinSearch(coster, units, bestAccess, seqAccesses, edges, opt.AvoidIndexes)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +301,7 @@ func makeUnits(cat *catalog.Catalog, g *qgraph.Graph, cover []*catalog.MatView) 
 
 // joinSearch runs subset dynamic programming over units connected by edges,
 // then folds disconnected components with cross joins.
-func joinSearch(coster *Coster, units []unit, bestAccess []Node, seqAccesses []*TableAccess, edges []crossEdge) (Node, error) {
+func joinSearch(coster *Coster, units []unit, bestAccess []Node, seqAccesses []*TableAccess, edges []crossEdge, avoidIndexNL bool) (Node, error) {
 	n := len(units)
 	if n == 1 {
 		return bestAccess[0], nil
@@ -328,7 +343,7 @@ func joinSearch(coster *Coster, units []unit, bestAccess []Node, seqAccesses []*
 			if len(between) == 0 {
 				continue
 			}
-			cands, err := joinCandidates(coster, l, r, sub, rest, between, units, seqAccesses)
+			cands, err := joinCandidates(coster, l, r, sub, rest, between, units, seqAccesses, avoidIndexNL)
 			if err != nil {
 				return nil, err
 			}
@@ -367,7 +382,7 @@ func joinSearch(coster *Coster, units []unit, bestAccess []Node, seqAccesses []*
 
 // joinCandidates generates physical joins for one split. l covers subset sub,
 // r covers rest; between edges are oriented sub→rest.
-func joinCandidates(coster *Coster, l, r Node, sub, rest int, between []crossEdge, units []unit, seqAccesses []*TableAccess) ([]Node, error) {
+func joinCandidates(coster *Coster, l, r Node, sub, rest int, between []crossEdge, units []unit, seqAccesses []*TableAccess, avoidIndexNL bool) ([]Node, error) {
 	specs := make([]JoinEdgeSpec, len(between))
 	for i, e := range between {
 		specs[i] = JoinEdgeSpec{LeftCol: e.aCol, RightCol: e.bCol}
@@ -396,7 +411,7 @@ func joinCandidates(coster *Coster, l, r Node, sub, rest int, between []crossEdg
 	// Index nested loops: possible when one side is a single unit whose
 	// table has an index on its endpoint of some edge. Try both directions.
 	tryIndexNL := func(outer Node, innerMask int, edgesOriented []JoinEdgeSpec) error {
-		if popcount(innerMask) != 1 {
+		if avoidIndexNL || popcount(innerMask) != 1 {
 			return nil
 		}
 		ui := trailingBit(innerMask)

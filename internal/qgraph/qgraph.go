@@ -46,7 +46,9 @@ type Join struct {
 }
 
 // NewJoin builds a normalized join edge. Joining a relation to itself panics:
-// the interface model excludes self-joins.
+// the interface model excludes self-joins, and every input boundary (session
+// AddJoin/RemoveJoin, trace.Validate) screens for them first, so reaching
+// this panic means internal code constructed an impossible edge.
 func NewJoin(rel1, col1, rel2, col2 string) Join {
 	if rel1 == rel2 {
 		panic("qgraph: self-join on " + rel1)

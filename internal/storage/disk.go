@@ -13,6 +13,19 @@ import (
 // mean "none".
 type PageID int64
 
+// Disk is the page-store contract the buffer pool (and everything above it)
+// depends on. *DiskManager is the real implementation; fault.Disk wraps any
+// Disk to inject deterministic I/O errors between the pool and the store.
+type Disk interface {
+	PageSize() int
+	Allocate() PageID
+	Read(id PageID, buf []byte) error
+	Write(id PageID, buf []byte) error
+	Free(id PageID) error
+	Allocated() int
+	Stats() (reads, writes int64)
+}
+
 // DefaultPageSize matches the 8 KB pages of the paper's testbed DBMS.
 const DefaultPageSize = 8192
 
@@ -36,6 +49,9 @@ func NewDiskManager(pageSize int) *DiskManager {
 		pageSize = DefaultPageSize
 	}
 	if pageSize < 64 {
+		// Programmer invariant, not input validation: the page size comes from
+		// engine.Config at construction time, never from user input or I/O, and
+		// a sub-64-byte page cannot hold even a slotted-page header.
 		panic("storage: page size too small")
 	}
 	return &DiskManager{

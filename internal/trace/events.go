@@ -105,7 +105,9 @@ type JoinJSON struct {
 	RightCol string `json:"rcol"`
 }
 
-// ToJoin decodes the wire form.
+// ToJoin decodes the wire form. Self-joins panic in qgraph.NewJoin; external
+// input is screened by Trace.Validate (and sessions by validateJoin) before
+// reaching here.
 func (j JoinJSON) ToJoin() qgraph.Join {
 	return qgraph.NewJoin(j.LeftRel, j.LeftCol, j.RightRel, j.RightCol)
 }
@@ -170,6 +172,11 @@ func (t *Trace) Validate() error {
 		case EvAddJoin, EvRemoveJoin:
 			if e.Join == nil {
 				return fmt.Errorf("trace: event %d (%s) missing join", i, e.Kind)
+			}
+			// Screen here so replaying an externally-authored trace cannot
+			// reach qgraph.NewJoin's programmer-invariant panic.
+			if e.Join.LeftRel == e.Join.RightRel {
+				return fmt.Errorf("trace: event %d joins %q to itself", i, e.Join.LeftRel)
 			}
 		case EvAddRelation, EvRemoveRelation:
 			if e.Rel == "" {

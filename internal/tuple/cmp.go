@@ -53,6 +53,8 @@ func (op CmpOp) Eval(a, b Value) bool {
 	case CmpGE:
 		return c >= 0
 	default:
+		// Programmer invariant: CmpOp values come from ParseOp or the
+		// package constants, both exhaustively handled above.
 		panic("tuple: eval of invalid CmpOp")
 	}
 }

@@ -112,6 +112,8 @@ func EncodeKey(dst []byte, v Value) []byte {
 	case KindString:
 		return append(dst, v.S...)
 	default:
+		// Programmer invariant: index keys are typed by the catalog, and
+		// every kind the catalog can produce is handled above.
 		panic("tuple: cannot key-encode kind " + v.Kind.String())
 	}
 }

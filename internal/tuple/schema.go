@@ -24,6 +24,8 @@ func NewSchema(cols ...Column) *Schema {
 	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
 	for i, c := range cols {
 		if _, dup := s.byName[c.Name]; dup {
+			// Programmer invariant: schemas are built from catalog
+			// definitions and planner projections, which dedupe columns.
 			panic("tuple: duplicate column " + c.Name)
 		}
 		s.byName[c.Name] = i

@@ -91,6 +91,9 @@ func (v Value) Compare(o Value) int {
 	if v.Kind == KindString && o.Kind == KindString {
 		return strings.Compare(v.S, o.S)
 	}
+	// Programmer invariant: the planner type-checks every comparison
+	// (plan.BindGraph rejects incomparable kinds) before execution, so an
+	// incomparable pair here means a plan bypassed binding.
 	panic(fmt.Sprintf("tuple: incomparable kinds %v and %v", v.Kind, o.Kind))
 }
 

@@ -101,17 +101,31 @@ func (s *Session) checkLive() error {
 	return nil
 }
 
+// recoverTo converts a panic escaping a session call — an internal bug —
+// into a returned error. The stack is preserved in the engine's panic log
+// and counted under the recovered_panics metric; the session stays usable.
+func (s *Session) recoverTo(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = s.db.eng.RecordPanic("session."+op, r)
+	}
+}
+
 // Think advances simulated time: the user is reading, typing, or pondering.
-// Asynchronous manipulations that finish within the window complete; a
-// completion failure is returned (the clock still advances the full window).
-func (s *Session) Think(d time.Duration) error {
+// Asynchronous manipulations that finish within the window complete;
+// completion failures are contained by the speculator (the job is rolled
+// back and retried or abandoned), never surfaced here.
+func (s *Session) Think(d time.Duration) (err error) {
+	defer s.recoverTo("Think", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkLive(); err != nil {
 		return err
 	}
+	if d < 0 {
+		return fmt.Errorf("specdb: negative think time %v", d)
+	}
 	target := s.clock.Now().Add(simDuration(d))
-	err := s.completeDue(target)
+	err = s.completeDue(target)
 	s.clock.AdvanceTo(target)
 	return err
 }
@@ -137,7 +151,8 @@ func (s *Session) completeDue(t sim.Time) error {
 }
 
 // apply routes one interface event through the speculator.
-func (s *Session) apply(ev trace.Event) error {
+func (s *Session) apply(ev trace.Event) (err error) {
+	defer s.recoverTo("apply", &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkLive(); err != nil {
@@ -183,14 +198,29 @@ func (s *Session) RemoveSelection(rel, col, op string, value any) error {
 
 // AddJoin places an equi-join edge between two relations.
 func (s *Session) AddJoin(rel1, col1, rel2, col2 string) error {
+	if err := validateJoin(rel1, rel2); err != nil {
+		return err
+	}
 	jj := trace.FromJoin(qgraph.NewJoin(rel1, col1, rel2, col2))
 	return s.apply(trace.Event{Kind: trace.EvAddJoin, Join: &jj})
 }
 
 // RemoveJoin removes a join edge.
 func (s *Session) RemoveJoin(rel1, col1, rel2, col2 string) error {
+	if err := validateJoin(rel1, rel2); err != nil {
+		return err
+	}
 	jj := trace.FromJoin(qgraph.NewJoin(rel1, col1, rel2, col2))
 	return s.apply(trace.Event{Kind: trace.EvRemoveJoin, Join: &jj})
+}
+
+// validateJoin screens user input before qgraph.NewJoin, whose self-join
+// panic is a programmer invariant, not input validation.
+func validateJoin(rel1, rel2 string) error {
+	if rel1 == rel2 {
+		return fmt.Errorf("specdb: self-join of %q is not supported", rel1)
+	}
+	return nil
 }
 
 // AddRelation places a bare relation on the canvas.
@@ -221,7 +251,12 @@ func (s *Session) Clear() error {
 // database (completed materializations rewrite it), and the user profile
 // learns from the formulation. The session clock advances by any wait, so
 // the timeline matches the charged result duration.
-func (s *Session) Go() (*Result, error) {
+func (s *Session) Go() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, s.db.eng.RecordPanic("session.Go", r)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkLive(); err != nil {
@@ -230,7 +265,7 @@ func (s *Session) Go() (*Result, error) {
 	if s.sp == nil {
 		return nil, fmt.Errorf("specdb: session has speculation disabled")
 	}
-	res, out, err := s.sp.OnGo(s.clock.Now())
+	eres, out, err := s.sp.OnGo(s.clock.Now())
 	// Even on error the outcome's job bookkeeping is authoritative: a wait
 	// consumes the pending completion before the failure can occur.
 	if out.Canceled != nil {
@@ -246,7 +281,7 @@ func (s *Session) Go() (*Result, error) {
 		s.clock.Advance(out.Waited)
 	}
 	s.record(trace.Event{Kind: trace.EvGo})
-	return wrapResult(res), nil
+	return wrapResult(eres), nil
 }
 
 // Stats reports the session's speculation counters.
@@ -263,8 +298,22 @@ type Stats struct {
 	GarbageCollected int
 	// CanceledOnClose counts manipulations canceled by session teardown.
 	// Once a session is closed,
-	// Issued == Completed + CanceledInvalidated + CanceledAtGo + CanceledOnClose.
+	// Issued == Completed + CanceledInvalidated + CanceledAtGo +
+	//           CanceledOnClose + Aborted.
 	CanceledOnClose int
+	// Failed counts individual manipulation failures (issue- or
+	// completion-time); a manipulation may fail several times across
+	// retries. Aborted counts issued jobs whose completion failed and was
+	// rolled back; Abandoned counts manipulation keys given up for the
+	// session after repeated failures.
+	Failed    int
+	Aborted   int
+	Abandoned int
+	// BreakerTrips / BreakerResumes count the session circuit breaker
+	// suspending speculation after repeated failures and resuming it after
+	// a successful half-open probe.
+	BreakerTrips   int
+	BreakerResumes int
 	// Hits counts final queries answered using at least one completed
 	// speculative materialization; Misses counts the rest.
 	Hits   int
@@ -291,6 +340,11 @@ func (s *Session) Stats() Stats {
 		Suspended:           st.Suspended,
 		GarbageCollected:    st.GarbageCollected,
 		CanceledOnClose:     st.CanceledOnClose,
+		Failed:              st.Failed,
+		Aborted:             st.Aborted,
+		Abandoned:           st.Abandoned,
+		BreakerTrips:        st.BreakerTrips,
+		BreakerResumes:      st.BreakerResumes,
 		Hits:                st.Hits,
 		Misses:              st.Misses,
 		Waste:               time.Duration(st.Waste),

@@ -173,10 +173,11 @@ func TestGoWaitForCompletionAdvancesClock(t *testing.T) {
 	}
 }
 
-// TestThinkSurfacesCompletionError is a regression test: a manipulation that
-// fails to complete used to panic the whole process; it must surface as an
-// error and leave the session usable.
-func TestThinkSurfacesCompletionError(t *testing.T) {
+// TestThinkContainsCompletionFailure: a manipulation that fails to complete
+// used to panic the whole process, then to surface as a Think error. Now it
+// is contained: the job is aborted (rolled back, counted), the session stays
+// usable, and the user never sees the failure.
+func TestThinkContainsCompletionFailure(t *testing.T) {
 	db := getDB(t)
 	s := db.NewSession(SessionConfig{})
 	defer s.Close()
@@ -195,19 +196,51 @@ func TestThinkSurfacesCompletionError(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	err := s.Think(time.Hour)
-	if err == nil {
-		t.Fatal("completion against a dropped table should error")
+	if err := s.Think(time.Hour); err != nil {
+		t.Fatalf("contained completion failure leaked to the user: %v", err)
 	}
-	if !strings.Contains(err.Error(), "completing manipulation") {
-		t.Fatalf("error %q does not identify the failed completion", err)
+	st := s.Stats()
+	if st.Aborted < 1 {
+		t.Fatalf("failed completion not recorded as aborted: %+v", st)
 	}
-	// The poisoned job is dropped; the session keeps working.
-	if s.pending != nil {
-		t.Fatal("failed completion left the job pending")
+	if st.Failed < 1 {
+		t.Fatalf("failed completion not counted as a failure: %+v", st)
 	}
+	// The session keeps working and can run the final query.
 	if err := s.Think(time.Second); err != nil {
-		t.Fatalf("session unusable after completion error: %v", err)
+		t.Fatalf("session unusable after contained failure: %v", err)
+	}
+	res, err := s.Go()
+	if err != nil {
+		t.Fatalf("Go after contained failure: %v", err)
+	}
+	if res.RowCount == 0 {
+		t.Fatal("empty result after contained failure")
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddJoinRejectsSelfJoin: a self-join is user input, so it must come back
+// as an error, not trip qgraph's programmer-invariant panic.
+func TestAddJoinRejectsSelfJoin(t *testing.T) {
+	db := getDB(t)
+	s := db.NewSession(SessionConfig{})
+	defer s.Close()
+	err := s.AddJoin("lineitem", "l_orderkey", "lineitem", "l_orderkey")
+	if err == nil {
+		t.Fatal("self-join accepted")
+	}
+	if !strings.Contains(err.Error(), "self-join") {
+		t.Fatalf("error %q does not identify the self-join", err)
+	}
+	if err := s.RemoveJoin("orders", "o_orderkey", "orders", "o_orderkey"); err == nil {
+		t.Fatal("self-join remove accepted")
+	}
+	// The session survives the rejection.
+	if err := s.AddSelection("lineitem", "l_quantity", "<", 10); err != nil {
+		t.Fatal(err)
 	}
 	if err := s.Clear(); err != nil {
 		t.Fatal(err)
@@ -322,10 +355,10 @@ func TestConcurrentSessionsStress(t *testing.T) {
 			continue
 		}
 		st := s.Stats()
-		terminal := st.Completed + st.CanceledInvalidated + st.CanceledAtGo + st.CanceledOnClose
+		terminal := st.Completed + st.CanceledInvalidated + st.CanceledAtGo + st.CanceledOnClose + st.Aborted
 		if st.Issued != terminal {
-			t.Errorf("session %d: issued %d != completed %d + invalidated %d + at-go %d + on-close %d",
-				i, st.Issued, st.Completed, st.CanceledInvalidated, st.CanceledAtGo, st.CanceledOnClose)
+			t.Errorf("session %d: issued %d != completed %d + invalidated %d + at-go %d + on-close %d + aborted %d",
+				i, st.Issued, st.Completed, st.CanceledInvalidated, st.CanceledAtGo, st.CanceledOnClose, st.Aborted)
 		}
 		if st.GarbageCollected > st.Completed {
 			t.Errorf("session %d: GC'd %d > completed %d", i, st.GarbageCollected, st.Completed)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"specdb/internal/engine"
+	"specdb/internal/fault"
 	"specdb/internal/plan"
 	"specdb/internal/sim"
 	"specdb/internal/tpch"
@@ -47,6 +48,48 @@ type Options struct {
 	// UseOptionalViews lets the optimizer consider non-forced materialized
 	// views (query-materialization semantics).
 	UseOptionalViews bool
+	// Fault configures deterministic fault injection (disabled at the zero
+	// value). With faults enabled the engine degrades gracefully — retries,
+	// aborts speculation, replans around bad derived objects — but never
+	// fails a user query for an injected fault (see DESIGN.md §8).
+	Fault FaultConfig
+}
+
+// FaultConfig sets per-operation fault-injection probabilities (the public
+// mirror of the internal injector's configuration). Rates are in [0, 1]; the
+// zero value disables injection entirely. With equal seeds and equal
+// operation sequences, two runs inject identical faults.
+type FaultConfig struct {
+	// Seed seeds the injector's private PRNG.
+	Seed uint64
+	// ReadErrorRate is the probability that a disk read fails transiently.
+	ReadErrorRate float64
+	// WriteErrorRate is the probability that a disk write fails transiently.
+	WriteErrorRate float64
+	// CorruptionRate is the probability that a disk read returns a corrupted
+	// page, to be caught by the buffer pool's checksums.
+	CorruptionRate float64
+	// SlowIORate is the probability that a page miss costs
+	// SlowIOPenaltyPages extra simulated page reads.
+	SlowIORate float64
+	// SlowIOPenaltyPages is the extra read charge for a slow I/O
+	// (default 4 when SlowIORate > 0).
+	SlowIOPenaltyPages int
+	// FrameExhaustionRate is the probability that a buffer-pool admission
+	// transiently finds no free frame.
+	FrameExhaustionRate float64
+}
+
+func (c FaultConfig) internal() fault.Config {
+	return fault.Config{
+		Seed:                c.Seed,
+		ReadErrorRate:       c.ReadErrorRate,
+		WriteErrorRate:      c.WriteErrorRate,
+		CorruptionRate:      c.CorruptionRate,
+		SlowIORate:          c.SlowIORate,
+		SlowIOPenaltyPages:  c.SlowIOPenaltyPages,
+		FrameExhaustionRate: c.FrameExhaustionRate,
+	}
 }
 
 // DB is a database instance with a speculative query processor attached.
@@ -63,6 +106,7 @@ func Open(opts Options) *DB {
 	return &DB{eng: engine.New(engine.Config{
 		BufferPoolPages: pool,
 		UseViews:        opts.UseOptionalViews,
+		Fault:           opts.Fault.internal(),
 	})}
 }
 
