@@ -1,0 +1,122 @@
+// Command speclint runs the repository's invariant lint suite (internal/lint)
+// over the module and exits nonzero on any finding. It is a CI gate alongside
+// build/vet/race/coverage (DESIGN.md §9).
+//
+// Usage:
+//
+//	go run ./cmd/speclint [-json] [-C dir] [./...]
+//
+// The only supported pattern is ./... (the whole module); naming individual
+// package directories relative to the module root also works.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"specdb/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	chdir := flag.String("C", ".", "module directory to lint")
+	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: speclint [-json] [-C dir] [-rules r1,r2] [./...]\n\nrules:\n")
+		for _, r := range lint.AllRules() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.Name(), r.Doc())
+		}
+	}
+	flag.Parse()
+
+	root, err := lint.FindModuleRoot(*chdir)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*lint.Package
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadModule()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+			path := loader.ModPath
+			if rel != "." {
+				path = loader.ModPath + "/" + rel
+			}
+			p, err := loader.Load(path)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	rules := lint.AllRules()
+	if *rulesFlag != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*rulesFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var subset []lint.Rule
+		for _, r := range rules {
+			if want[r.Name()] {
+				subset = append(subset, r)
+			}
+		}
+		if len(subset) == 0 {
+			fatal(fmt.Errorf("speclint: -rules %q matches no rule", *rulesFlag))
+		}
+		rules = subset
+	}
+
+	diags := lint.Run(rules, pkgs)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "speclint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -419,7 +419,9 @@ func writeNode(buf []byte, n *node) {
 		off += copy(buf[off:], scratch)
 	}
 	if off > len(buf) {
-		panic("btree: node overflowed its page") // capacity check failed upstream
+		// invariant: insert/split checks capacity before writing, so an
+		// overflow here means the serializer and the capacity check disagree.
+		panic("btree: node overflowed its page")
 	}
 }
 

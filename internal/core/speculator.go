@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"specdb/internal/catalog"
@@ -225,6 +226,7 @@ type Speculator struct {
 	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
 	obsCanceled, obsGC, obsWasteNs              *obs.Counter
 	obsFailed, obsAborted, obsAbandoned         *obs.Counter
+	obsUndoFailures                             *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -276,6 +278,8 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		obsFailed:    eng.Metrics().Counter("spec.failed"),
 		obsAborted:   eng.Metrics().Counter("spec.aborted"),
 		obsAbandoned: eng.Metrics().Counter("spec.abandoned"),
+
+		obsUndoFailures: eng.Metrics().Counter("spec.undo_failures"),
 	}
 }
 
@@ -497,14 +501,17 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	res.Duration += waited // the user waited for the manipulation first
 	sp.recordHit(res.Plan)
 
-	// Train the Learner.
+	// Train the Learner. The survival counters decay exponentially, so the
+	// observation order matters — flatten the seen sets in sorted key order,
+	// not map order, or the learned estimates (and every downstream benefit
+	// score) drift between otherwise identical runs.
 	seenSels := make([]qgraph.Selection, 0, len(sp.seenSels))
-	for _, s := range sp.seenSels {
-		seenSels = append(seenSels, s)
+	for _, key := range sortedKeys(sp.seenSels) {
+		seenSels = append(seenSels, sp.seenSels[key])
 	}
 	seenJoins := make([]qgraph.Join, 0, len(sp.seenJoins))
-	for _, j := range sp.seenJoins {
-		seenJoins = append(seenJoins, j)
+	for _, key := range sortedKeys(sp.seenJoins) {
+		seenJoins = append(seenJoins, sp.seenJoins[key])
 	}
 	sp.learner.ObserveFormulation(seenSels, seenJoins, final)
 	if sp.prevFinal != nil {
@@ -592,7 +599,12 @@ func (sp *Speculator) stillUseful(m Manipulation) bool {
 // collectGarbage drops completed materializations and staged relations the
 // partial query no longer contains.
 func (sp *Speculator) collectGarbage() error {
-	for key, table := range sp.completed {
+	// DropTable/Unstage mutate shared engine state (catalog, buffer pool), so
+	// the call order must not depend on map iteration order: the engine is
+	// reused across traces and a different drop order leaves a different LRU
+	// state behind, making paired runs non-reproducible.
+	for _, key := range sortedKeys(sp.completed) {
+		table := sp.completed[key]
 		v := sp.eng.Catalog.View(table)
 		if v != nil && sp.partial.Contains(v.Graph) {
 			continue
@@ -611,7 +623,7 @@ func (sp *Speculator) collectGarbage() error {
 			delete(sp.completedCost, key)
 		}
 	}
-	for rel := range sp.stagedRels {
+	for _, rel := range sortedKeys(sp.stagedRels) {
 		if !sp.partial.HasRelation(rel) {
 			if err := sp.eng.Unstage(rel); err != nil {
 				return err
@@ -620,6 +632,17 @@ func (sp *Speculator) collectGarbage() error {
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order so that engine-mutating
+// teardown loops run in a reproducible sequence.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // maybeIssue enumerates and scores the manipulation space and issues the
@@ -877,8 +900,12 @@ func (sp *Speculator) undo(job *Job) {
 	switch job.Manip.Kind {
 	case ManipMaterialize:
 		// The table was never registered as a view; drop it. Its buffer-pool
-		// footprint remains, as a really-canceled job's would.
-		_ = sp.eng.DropTable(job.tableName)
+		// footprint remains, as a really-canceled job's would. Undo is
+		// best-effort — a failure leaves garbage, never corruption — but it
+		// must not vanish silently: count it so the fault matrix can see it.
+		if err := sp.eng.DropTable(job.tableName); err != nil {
+			sp.obsUndoFailures.Inc()
+		}
 	case ManipIndex:
 		if job.index != nil {
 			_ = job.index.Tree.Drop()
@@ -886,7 +913,9 @@ func (sp *Speculator) undo(job *Job) {
 	case ManipHistogram:
 		// The histogram object simply becomes garbage.
 	case ManipStage:
-		_ = sp.eng.Unstage(job.Manip.Rel)
+		if err := sp.eng.Unstage(job.Manip.Rel); err != nil {
+			sp.obsUndoFailures.Inc()
+		}
 	}
 }
 
@@ -912,13 +941,13 @@ func (sp *Speculator) Shutdown() error {
 		sp.stats.CanceledOnClose++
 		sp.outstanding = nil
 	}
-	for key, table := range sp.completed {
-		if err := sp.eng.DropTable(table); err != nil {
+	for _, key := range sortedKeys(sp.completed) {
+		if err := sp.eng.DropTable(sp.completed[key]); err != nil {
 			return err
 		}
 		delete(sp.completed, key)
 	}
-	for rel := range sp.stagedRels {
+	for _, rel := range sortedKeys(sp.stagedRels) {
 		if err := sp.eng.Unstage(rel); err != nil {
 			return err
 		}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repository's reproducibility contract: engine
+// packages may not consult wall-clock time, ambient randomness, or the
+// process environment, and may not let Go's randomized map-iteration order
+// leak into anything a caller can observe. Same-seed runs must be
+// byte-identical (DESIGN.md §1, §9) — the whole evaluation measures
+// speculation benefit as a deterministic delta on the simulated clock.
+//
+// internal/sim is exempt: it owns the simulated clock and the sanctioned
+// seeded PRNG (sim.NewRand / sim.NewRandStream).
+type Determinism struct{}
+
+func (Determinism) Name() string { return "determinism" }
+func (Determinism) Doc() string {
+	return "engine packages must not use wall-clock time, ambient randomness, os.Getenv, or observable map-iteration order"
+}
+
+// forbiddenTime are the wall-clock entry points in package time. Types
+// (time.Duration, time.Time) remain usable; only reading the real clock or
+// arming real timers is forbidden.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"After": true, "Tick": true, "Sleep": true,
+}
+
+var forbiddenOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+func (r Determinism) Check(pkg *Package) []Diagnostic {
+	if pkg.isToolOrDemo() || pkg.pathIn("internal/sim") || pkg.pathIn("internal/lint") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, diag(pkg, r.Name(), imp,
+					"import of %s: use the seeded sim.Rand (internal/sim/rand.go) so generated streams are stable across Go releases", path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					out = append(out, diag(pkg, r.Name(), call,
+						"call to time.%s: engine code runs on the simulated clock (sim.Clock), never the wall clock", fn.Name()))
+				}
+			case "os":
+				if forbiddenOS[fn.Name()] {
+					out = append(out, diag(pkg, r.Name(), call,
+						"call to os.%s: engine behavior must not depend on the process environment", fn.Name()))
+				}
+			}
+			return true
+		})
+		// Map-range order checks need the enclosing function for
+		// return-value analysis.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, r.checkMapRanges(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// checkMapRanges flags `for ... := range m` loops over maps whose body makes
+// iteration order observable: emitting output, or appending to a slice the
+// function returns without sorting it afterwards. The sanctioned pattern is
+// to collect keys, sort, then iterate the sorted slice.
+func (r Determinism) checkMapRanges(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if emit := firstEmission(pkg, rng.Body); emit != nil {
+			out = append(out, diag(pkg, r.Name(), rng,
+				"map iteration emits output in nondeterministic order; collect and sort keys first"))
+			return true
+		}
+		for _, obj := range unsortedReturnedAppends(pkg, fd, rng) {
+			out = append(out, diag(pkg, r.Name(), rng,
+				"map iteration appends to returned slice %q without a subsequent sort", obj.Name()))
+		}
+		return true
+	})
+	return out
+}
+
+// ioWriterType is io.Writer, built structurally so the rule does not need
+// package io on the import graph of the package under analysis.
+var ioWriterType = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		),
+		false)),
+}, nil).Complete()
+
+// firstEmission returns the first call in body that writes user-visible
+// output: fmt printing, or Write/WriteString/... on an io.Writer-ish value.
+func firstEmission(pkg *Package, body ast.Node) ast.Node {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			found = call
+			return false
+		}
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					recv := s.Recv()
+					if types.Implements(recv, ioWriterType) ||
+						types.Implements(types.NewPointer(recv), ioWriterType) {
+						found = call
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unsortedReturnedAppends returns the objects of slice variables that the
+// range body appends to, that the enclosing function returns, and that no
+// call after the loop sorts.
+func unsortedReturnedAppends(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) []types.Object {
+	appended := map[types.Object]ast.Node{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pkg.Info.Uses[id] != nil && pkg.Info.Uses[id].Pkg() != nil {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Uses[lhs]
+			if obj == nil {
+				obj = pkg.Info.Defs[lhs]
+			}
+			if obj != nil {
+				appended[obj] = as
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return nil
+	}
+
+	var out []types.Object
+	for obj := range appended {
+		if !returnsObject(pkg, fd, obj) || sortedAfter(pkg, fd, rng, obj) {
+			continue
+		}
+		out = append(out, obj)
+	}
+	// Deterministic diagnostic order for maps of findings — the linter holds
+	// itself to its own rule.
+	sortObjects(out)
+	return out
+}
+
+// returnsObject reports whether fd returns obj: obj appears in a return
+// statement, or obj is a named result (covered by a bare return).
+func returnsObject(pkg *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if pkg.Info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, lexically after the loop, obj is passed to a
+// sort.* or slices.Sort* call inside fd.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p := fn.Pkg().Path()
+		if p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeFunc resolves the *types.Func a call invokes, for both package-level
+// functions (pkg.F, F) and methods (x.M). Returns nil for builtins,
+// conversions, and indirect calls through function values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func sortObjects(objs []types.Object) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j].Pos() < objs[j-1].Pos(); j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck enforces error hygiene on the APIs whose errors carry invariant
+// signals: buffer.Pool (pin/flush/eviction failures surface fault injection
+// and misuse), fault (injector/breaker state), and engine (statement
+// execution, degraded replans). A silently dropped error from these packages
+// can mask a containment failure that the fault matrix would otherwise
+// catch.
+type ErrCheck struct{}
+
+func (ErrCheck) Name() string { return "errcheck" }
+func (ErrCheck) Doc() string {
+	return "errors from buffer, fault, and engine APIs must not be discarded"
+}
+
+func (r ErrCheck) Check(pkg *Package) []Diagnostic {
+	if pkg.isToolOrDemo() || pkg.pathIn("internal/lint") {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		out = append(out, diag(pkg, r.Name(), call,
+			"%s error from %s.%s: these errors carry fault/invariant signals and must be handled",
+			how, fn.Pkg().Name(), fn.Name()))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn := guardedErrCall(pkg, call); fn != nil {
+						report(call, fn, "discarded")
+					}
+				}
+			case *ast.GoStmt:
+				if fn := guardedErrCall(pkg, n.Call); fn != nil {
+					report(n.Call, fn, "discarded (go)")
+				}
+			case *ast.DeferStmt:
+				if fn := guardedErrCall(pkg, n.Call); fn != nil {
+					report(n.Call, fn, "discarded (defer)")
+				}
+			case *ast.AssignStmt:
+				// v, _ := f()  or  _ = f(): the error result lands in a
+				// blank identifier.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := guardedErrCall(pkg, call)
+				if fn == nil {
+					return true
+				}
+				// The error is the last result; with a single-value
+				// assignment of a multi-result call, LHS positions align
+				// with result positions.
+				last := len(n.Lhs) - 1
+				if id, ok := n.Lhs[last].(*ast.Ident); ok && id.Name == "_" {
+					report(call, fn, "blank-assigned")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedErrCall reports the callee if call invokes a function or method
+// declared in internal/buffer, internal/fault, or internal/engine whose last
+// result is an error.
+func guardedErrCall(pkg *Package, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	mod := moduleOf(pkg.Path)
+	switch fn.Pkg().Path() {
+	case mod + "/internal/buffer", mod + "/internal/fault", mod + "/internal/engine":
+	default:
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,199 @@
+// Package lint implements speclint, the repository's custom static-analysis
+// suite. It enforces the invariants the paper's evaluation depends on —
+// same-seed runs must be byte-identical, every I/O must be charged through
+// the metered buffer pool, panics fire only at documented invariant sites,
+// lock discipline on the shared substrate, and observability must stay
+// byte-invisible — at analysis time instead of hoping after-the-fact tests
+// catch a regression (DESIGN.md §9).
+//
+// The suite is stdlib-only (go/ast + go/parser + go/types + go/importer); it
+// deliberately adds no module dependencies. Each invariant is a self-contained
+// Rule; cmd/speclint runs all of them over the module and exits nonzero on
+// any finding.
+//
+// Escape hatch: a `//speclint:allow <rule> -- <reason>` comment on the
+// offending line, or on the line directly above it, suppresses that rule
+// there. A directive without a reason, or naming an unknown rule, is itself
+// a finding — annotations must say why the pattern is intended.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule name, a position, and a message.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one self-contained invariant check. Check inspects a single
+// type-checked package and returns its findings; the Runner handles
+// suppression directives and ordering.
+type Rule interface {
+	// Name is the short identifier used in output and in allow directives.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Check reports every violation in pkg. Implementations scope
+	// themselves: a rule that does not apply to pkg returns nil.
+	Check(pkg *Package) []Diagnostic
+}
+
+// AllRules returns the full suite in a fixed order.
+func AllRules() []Rule {
+	return []Rule{
+		Determinism{},
+		Metering{},
+		PanicDiscipline{},
+		LockDiscipline{},
+		ObsPurity{},
+		ErrCheck{},
+	}
+}
+
+// allowDirective is the comment prefix of the escape hatch.
+const allowDirective = "speclint:allow"
+
+// allowSite records one parsed //speclint:allow directive.
+type allowSite struct {
+	rules  []string
+	reason string
+	pos    token.Position
+}
+
+// parseAllows extracts every allow directive in pkg, keyed by file and line.
+func parseAllows(pkg *Package) map[string]map[int][]allowSite {
+	out := map[string]map[int][]allowSite{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				var site allowSite
+				site.pos = pkg.Fset.Position(c.Pos())
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					site.rules = strings.Split(rest[:i], ",")
+					site.reason = strings.TrimSpace(rest[i:])
+					site.reason = strings.TrimLeft(site.reason, "-— :")
+				} else if rest != "" {
+					site.rules = strings.Split(rest, ",")
+				}
+				byLine := out[site.pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowSite{}
+					out[site.pos.Filename] = byLine
+				}
+				byLine[site.pos.Line] = append(byLine[site.pos.Line], site)
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every rule to every package, drops findings covered by allow
+// directives, validates the directives themselves, and returns the remaining
+// findings sorted by file, line, column, and rule.
+func Run(rules []Rule, pkgs []*Package) []Diagnostic {
+	known := map[string]bool{}
+	for _, r := range rules {
+		known[r.Name()] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := parseAllows(pkg)
+		used := map[*allowSite]bool{}
+		for _, r := range rules {
+			for _, d := range r.Check(pkg) {
+				if site := matchAllow(allows, r.Name(), d); site != nil {
+					used[site] = true
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		// The escape hatch has its own hygiene: a directive must carry a
+		// reason and name only rules that exist.
+		for _, byLine := range allows {
+			for _, sites := range byLine {
+				for i := range sites {
+					s := &sites[i]
+					if s.reason == "" {
+						out = append(out, Diagnostic{
+							Rule: "speclint", File: s.pos.Filename, Line: s.pos.Line, Col: s.pos.Column,
+							Message: "allow directive missing a reason (write //speclint:allow <rule> -- <why>)",
+						})
+					}
+					for _, name := range s.rules {
+						if !known[name] {
+							out = append(out, Diagnostic{
+								Rule: "speclint", File: s.pos.Filename, Line: s.pos.Line, Col: s.pos.Column,
+								Message: fmt.Sprintf("allow directive names unknown rule %q", name),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// matchAllow reports the directive suppressing d, if any: a directive covers
+// its own line and the line directly below it (annotate above the offending
+// line, or trail it on the same line).
+func matchAllow(allows map[string]map[int][]allowSite, rule string, d Diagnostic) *allowSite {
+	byLine := allows[d.File]
+	if byLine == nil {
+		return nil
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for i := range byLine[line] {
+			s := &byLine[line][i]
+			for _, name := range s.rules {
+				if name == rule {
+					return s
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// diag builds a Diagnostic for node n in pkg.
+func diag(pkg *Package, rule string, n ast.Node, format string, args ...any) Diagnostic {
+	pos := pkg.Fset.Position(n.Pos())
+	return Diagnostic{
+		Rule: rule, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,123 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specdb/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sharedLoader caches type-checked stdlib and module packages across the
+// fixture subtests; LoadDir never caches fixture roots, so fixtures that
+// mimic real package paths (the obs one) cannot poison it.
+var sharedLoader *lint.Loader
+
+func loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		root, err := lint.FindModuleRoot(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := lint.NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// golden runs one rule over one fixture package and compares the rendered
+// findings (with testdata/src-relative paths) against testdata/golden.
+func golden(t *testing.T, rule lint.Rule, logical, goldenName string) {
+	t.Helper()
+	l := loader(t)
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(logical))
+	pkg, err := l.LoadDir(dir, logical)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", logical, err)
+	}
+	diags := lint.Run([]lint.Rule{rule}, []*lint.Package{pkg})
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		if rel, err := filepath.Rel(srcRoot, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "golden", goldenName+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	golden(t, lint.Determinism{}, "specdb/internal/fixdet", "determinism")
+}
+
+func TestAllowSuppressionGolden(t *testing.T) {
+	golden(t, lint.Determinism{}, "specdb/internal/fixallow", "allow")
+}
+
+func TestMeteringGolden(t *testing.T) {
+	golden(t, lint.Metering{}, "specdb/internal/fixmet", "metering")
+}
+
+func TestPanicsGolden(t *testing.T) {
+	golden(t, lint.PanicDiscipline{}, "specdb/internal/fixpan", "panics")
+}
+
+func TestLocksGolden(t *testing.T) {
+	golden(t, lint.LockDiscipline{}, "specdb/internal/fixlock", "locks")
+}
+
+func TestObsPurityGolden(t *testing.T) {
+	golden(t, lint.ObsPurity{}, "specdb/internal/obs", "obspurity")
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	golden(t, lint.ErrCheck{}, "specdb/internal/fixerr", "errcheck")
+}
+
+// TestRuleNamesStable pins the rule names: allow directives in the tree
+// reference them, so renaming one silently disables suppressions.
+func TestRuleNamesStable(t *testing.T) {
+	want := []string{"determinism", "metering", "panics", "locks", "obspurity", "errcheck"}
+	rules := lint.AllRules()
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name() != want[i] {
+			t.Errorf("rule %d: got %q, want %q", i, r.Name(), want[i])
+		}
+		if r.Doc() == "" {
+			t.Errorf("rule %q has no doc line", r.Name())
+		}
+	}
+}

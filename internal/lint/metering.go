@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Metering enforces the charged-I/O contract: every page that moves between
+// the simulated disk and the engine must move through the buffer pool, which
+// charges the sim.Meter (DESIGN.md §1). Calling storage.Disk data-path
+// methods (Read/Write/Allocate/Free) anywhere else would produce I/O the
+// cost model never sees, silently skewing every measured improvement. Real
+// os.File I/O is banned from engine packages outright — the engine's disk is
+// simulated.
+//
+// internal/buffer and internal/fault are the sanctioned layers between the
+// pool and the store; internal/storage is the store itself.
+type Metering struct{}
+
+func (Metering) Name() string { return "metering" }
+func (Metering) Doc() string {
+	return "disk data-path calls only inside buffer/fault/storage; no os file I/O in engine packages"
+}
+
+// diskDataPath are the storage.Disk methods that move or allocate pages.
+// PageSize/Allocated/Stats are pure bookkeeping reads and stay callable.
+var diskDataPath = map[string]bool{"Read": true, "Write": true, "Allocate": true, "Free": true}
+
+// forbiddenOSIO are package-level os entry points that touch the real
+// filesystem.
+var forbiddenOSIO = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "CreateTemp": true,
+	"Truncate": true, "Link": true, "Symlink": true,
+}
+
+func (r Metering) Check(pkg *Package) []Diagnostic {
+	if pkg.isToolOrDemo() || pkg.pathIn("internal/lint") ||
+		pkg.pathIn("internal/buffer") || pkg.pathIn("internal/fault") || pkg.pathIn("internal/storage") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					if diskDataPath[sel.Sel.Name] && isDiskType(pkg, s.Recv()) {
+						out = append(out, diag(pkg, r.Name(), call,
+							"direct %s.%s bypasses the charged buffer pool; go through buffer.Pool so the sim.Meter sees the I/O",
+							types.TypeString(s.Recv(), types.RelativeTo(pkg.Pkg)), sel.Sel.Name))
+					}
+					if named, ok := derefNamed(s.Recv()); ok &&
+						named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File" {
+						out = append(out, diag(pkg, r.Name(), call,
+							"os.File.%s: engine packages run on the simulated disk, not the real filesystem", sel.Sel.Name))
+					}
+				}
+			}
+			if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "os" && forbiddenOSIO[fn.Name()] {
+				out = append(out, diag(pkg, r.Name(), call,
+					"call to os.%s: engine packages run on the simulated disk, not the real filesystem", fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isDiskType reports whether t is the storage.Disk interface or one of its
+// implementations (storage.DiskManager, fault.Disk), possibly behind a
+// pointer.
+func isDiskType(pkg *Package, t types.Type) bool {
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	mod := moduleOf(pkg.Path)
+	switch obj.Pkg().Path() {
+	case mod + "/internal/storage":
+		return obj.Name() == "Disk" || obj.Name() == "DiskManager"
+	case mod + "/internal/fault":
+		return obj.Name() == "Disk"
+	}
+	return false
+}
+
+// derefNamed unwraps pointers and reports the named type underneath.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ObsPurity keeps observability byte-invisible (DESIGN.md §7): recording a
+// metric or span must never charge the sim.Meter or move the simulated
+// clock, or instrumented and uninstrumented runs would diverge and every
+// baseline comparison in the evaluation would be void. internal/obs may use
+// sim's *types* (sim.Time timestamps on spans) but must never call its
+// mutating APIs.
+type ObsPurity struct{}
+
+func (ObsPurity) Name() string { return "obspurity" }
+func (ObsPurity) Doc() string {
+	return "internal/obs never charges the sim meter or advances the sim clock"
+}
+
+// forbiddenSimCalls are sim package functions/methods that change simulation
+// state: meter charges, clock movement, event scheduling.
+var forbiddenSimCalls = map[string]bool{
+	"Advance": true, "AdvanceTo": true, "Schedule": true,
+	"Run": true, "RunUntil": true, "Wait": true, "Sleep": true,
+}
+
+func (r ObsPurity) Check(pkg *Package) []Diagnostic {
+	if !pkg.pathIn("internal/obs") {
+		return nil
+	}
+	mod := moduleOf(pkg.Path)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != mod+"/internal/sim" {
+				return true
+			}
+			if strings.HasPrefix(fn.Name(), "Charge") || forbiddenSimCalls[fn.Name()] {
+				out = append(out, diag(pkg, r.Name(), call,
+					"obs calls sim.%s: metrics must stay byte-invisible and never charge the meter or move the clock", fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}

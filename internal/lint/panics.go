@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicDiscipline enforces the panic policy from PR 3's audit: a panic is
+// only legitimate at a documented programmer-invariant site — a state the
+// code itself guarantees unreachable, where continuing would corrupt the
+// simulation. Every `panic(...)` must therefore carry an adjacent comment
+// containing "invariant" (same line, or within the three lines above, which
+// covers multi-line explanations and short guard clauses under a documented
+// condition). Anything that can actually fire on bad input must return an
+// error instead.
+type PanicDiscipline struct{}
+
+func (PanicDiscipline) Name() string { return "panics" }
+func (PanicDiscipline) Doc() string {
+	return "every panic site carries an adjacent invariant comment; bad input returns errors"
+}
+
+// panicCommentWindow is how many lines above a panic its justifying comment
+// may end.
+const panicCommentWindow = 3
+
+func (r PanicDiscipline) Check(pkg *Package) []Diagnostic {
+	if pkg.isToolOrDemo() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		// Collect the last line of every comment in the file, with its text.
+		type commentLine struct {
+			line int
+			text string
+		}
+		var comments []commentLine
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				end := pkg.Fset.Position(c.End())
+				comments = append(comments, commentLine{end.Line, c.Text})
+			}
+		}
+		hasInvariantNear := func(line int) bool {
+			for _, c := range comments {
+				if c.line >= line-panicCommentWindow && c.line <= line &&
+					strings.Contains(strings.ToLower(c.text), "invariant") {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A locally shadowed `panic` is not the builtin.
+			if obj := pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+				return true
+			}
+			line := pkg.Fset.Position(call.Pos()).Line
+			if !hasInvariantNear(line) {
+				out = append(out, diag(pkg, r.Name(), call,
+					"panic without an adjacent // invariant: comment; document why this state is unreachable or return an error"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"specdb/internal/lint"
+)
+
+// TestSpeclintCleanOnRepo is the self-check gate: the full rule suite over
+// the whole module must produce zero findings. Any new violation — an
+// unannotated panic, a bypassed meter, a leaked map order — fails this test
+// (and the dedicated CI step) with a position-accurate message.
+func TestSpeclintCleanOnRepo(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module enumeration looks broken", len(pkgs))
+	}
+	diags := lint.Run(lint.AllRules(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("speclint must be clean on HEAD: %d finding(s); fix them or annotate with //speclint:allow <rule> -- <reason>", len(diags))
+	}
+}

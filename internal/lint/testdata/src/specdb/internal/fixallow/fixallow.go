@@ -1,0 +1,25 @@
+// Package fixallow is a speclint test fixture for the //speclint:allow
+// escape hatch: a properly justified suppression, a trailing same-line
+// suppression, a directive with no reason, and one naming an unknown rule.
+package fixallow
+
+import "time"
+
+func sanctioned() int64 {
+	//speclint:allow determinism -- fixture: wall-clock read is the point of this test
+	return time.Now().UnixNano()
+}
+
+func trailing() time.Duration {
+	return time.Since(time.Time{}) //speclint:allow determinism -- fixture: trailing-form suppression
+}
+
+func bareDirective() int64 {
+	//speclint:allow determinism
+	return time.Now().UnixNano()
+}
+
+func unknownRule() int64 {
+	//speclint:allow nosuchrule -- the rule name is a typo
+	return time.Now().UnixNano()
+}

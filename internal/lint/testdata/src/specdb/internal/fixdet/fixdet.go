@@ -1,0 +1,64 @@
+// Package fixdet is a speclint test fixture: deliberate violations (and
+// non-violations) of the determinism rule. It is never built by the go tool
+// (testdata is skipped) and is loaded only by internal/lint's golden tests.
+package fixdet
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+func elapsed(t time.Time) time.Duration { return time.Since(t) }
+
+func napAndTick() {
+	time.Sleep(time.Millisecond)
+	_ = time.NewTimer(time.Second)
+}
+
+func env() string { return os.Getenv("SPECDB_MODE") }
+
+func roll() int { return rand.Intn(6) }
+
+func emitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func localOnly(m map[string]int) {
+	seen := make(map[string]bool, len(m))
+	for k := range m {
+		seen[k] = true
+	}
+	_ = seen
+}

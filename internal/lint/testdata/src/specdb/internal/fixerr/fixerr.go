@@ -1,0 +1,36 @@
+// Package fixerr is a speclint test fixture: discarded and handled errors
+// from the buffer/fault/engine APIs the errcheck rule guards.
+package fixerr
+
+import (
+	"specdb/internal/buffer"
+	"specdb/internal/engine"
+	"specdb/internal/storage"
+)
+
+func discards(p *buffer.Pool, e *engine.Engine) {
+	p.FlushAll()
+	_ = p.EvictAll()
+	defer p.FlushAll()
+	e.DropTable("spec_tmp")
+}
+
+func blankInMulti(p *buffer.Pool) []byte {
+	buf, _ := p.Get(storage.PageID(1))
+	return buf
+}
+
+func handled(p *buffer.Pool, e *engine.Engine) error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.DropTable("spec_tmp"); err != nil {
+		return err
+	}
+	buf, err := p.Get(storage.PageID(1))
+	if err != nil {
+		return err
+	}
+	_ = buf
+	return p.EvictAll()
+}

@@ -1,0 +1,79 @@
+// Package fixlock is a speclint test fixture: violations (and
+// non-violations) of the lock-discipline rule.
+package fixlock
+
+import "sync"
+
+// Box guards n with mu; cap is set at construction and never written under
+// the lock, so it is not part of the inferred guarded set.
+type Box struct {
+	mu  sync.Mutex
+	n   int
+	cap int
+}
+
+// Inc establishes n as lock-guarded: it writes n while holding mu.
+func (b *Box) Inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// BadRead reads the guarded field without taking the lock.
+func (b *Box) BadRead() int {
+	return b.n
+}
+
+// BadCheckThenLock reads the guarded field before acquiring the lock.
+func (b *Box) BadCheckThenLock() int {
+	if b.n == 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// GoodRead locks first.
+func (b *Box) GoodRead() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// GoodEarlyReturn unlocks on a guard clause; the fall-through path is still
+// under the lock and must not be flagged.
+func (b *Box) GoodEarlyReturn() int {
+	b.mu.Lock()
+	if b.cap == 0 {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// Cap reads an unguarded field; no lock needed.
+func (b *Box) Cap() int { return b.cap }
+
+// peek is unexported: it may rely on the caller's lock.
+func (b *Box) peek() int { return b.n }
+
+// bumpLocked is the documented caller-holds-the-lock shape.
+func (b *Box) bumpLocked() { b.n++ }
+
+// BadBumpLocked promises the caller holds the lock, then takes it anyway.
+func (b *Box) BadBumpLocked() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Drain uses peek/bumpLocked correctly under one critical section.
+func (b *Box) Drain() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bumpLocked()
+	return b.peek()
+}

@@ -1,0 +1,44 @@
+// Package fixmet is a speclint test fixture: deliberate violations (and
+// non-violations) of the metering rule.
+package fixmet
+
+import (
+	"os"
+
+	"specdb/internal/fault"
+	"specdb/internal/storage"
+)
+
+func direct(d storage.Disk, buf []byte) error {
+	id := d.Allocate()
+	if err := d.Read(id, buf); err != nil {
+		return err
+	}
+	if err := d.Write(id, buf); err != nil {
+		return err
+	}
+	return d.Free(id)
+}
+
+func viaManager(m *storage.DiskManager, buf []byte) error {
+	return m.Write(1, buf)
+}
+
+func viaInjector(d *fault.Disk, buf []byte) error {
+	return d.Read(1, buf)
+}
+
+func bookkeeping(d storage.Disk) (int, int) {
+	reads, writes := d.Stats()
+	_ = writes
+	return d.PageSize(), int(reads)
+}
+
+func realFile() ([]byte, error) {
+	return os.ReadFile("/etc/hostname")
+}
+
+func fileMethod(f *os.File) error {
+	_, err := f.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,40 @@
+// Package fixpan is a speclint test fixture: panic sites with and without
+// the required invariant comment.
+package fixpan
+
+func undocumented(x int) {
+	if x < 0 {
+		panic("fixpan: negative")
+	}
+}
+
+func documentedAbove(x int) {
+	if x < 0 {
+		// invariant: callers validate x at the input boundary.
+		panic("fixpan: negative")
+	}
+}
+
+func documentedTrailing(x int) {
+	if x < 0 {
+		panic("fixpan: negative") // invariant: unreachable by construction
+	}
+}
+
+func documentedMultiline(x int) {
+	if x < 0 {
+		// Programmer invariant: x is an index computed by this package and
+		// indices are non-negative by construction, so this cannot fire on
+		// user input.
+		panic("fixpan: negative")
+	}
+}
+
+func commentTooFar(x int) {
+	// invariant: this comment is too far from the panic to justify it.
+	if x < 0 {
+		x = -x
+		_ = x
+		panic("fixpan: negative")
+	}
+}

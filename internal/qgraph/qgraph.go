@@ -51,6 +51,8 @@ type Join struct {
 // this panic means internal code constructed an impossible edge.
 func NewJoin(rel1, col1, rel2, col2 string) Join {
 	if rel1 == rel2 {
+		// invariant: every input boundary screens self-joins (see doc
+		// comment), so this edge can only come from internal code.
 		panic("qgraph: self-join on " + rel1)
 	}
 	if rel1 > rel2 {

@@ -61,6 +61,8 @@ func (c *Clock) Now() Time {
 // monotone by construction and a rewind always indicates a harness bug.
 func (c *Clock) Advance(d Duration) {
 	if d < 0 {
+		// invariant: simulated time is monotone; durations come from the
+		// cost model and think-time distributions, which are non-negative.
 		panic(fmt.Sprintf("sim: clock rewind by %v", d))
 	}
 	c.mu.Lock()
@@ -73,6 +75,8 @@ func (c *Clock) AdvanceTo(t Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if t < c.now {
+		// invariant: callers only advance to event times taken from the
+		// future of this clock; a rewind means the harness reordered events.
 		panic(fmt.Sprintf("sim: clock rewind from %v to %v", c.now, t))
 	}
 	c.now = t

@@ -32,6 +32,8 @@ func NewEventQueue(clock *Clock) *EventQueue {
 // history.
 func (q *EventQueue) Schedule(at Time, name string, run func()) *Event {
 	if at < q.clock.Now() {
+		// invariant: schedulers compute `at` as now+delta with delta ≥ 0;
+		// scheduling in the past would silently reorder simulated history.
 		panic("sim: event scheduled in the past: " + name)
 	}
 	ev := &Event{At: at, Name: name, Run: run, seq: q.seq}

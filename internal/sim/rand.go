@@ -13,6 +13,31 @@ type Rand struct {
 // NewRand returns a generator seeded with seed.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// NewRandStream returns a generator for an independent deterministic
+// substream of seed, identified by label. It is the sanctioned way to give
+// each component (a session, a fault injector, a data generator) its own
+// stream derived from one experiment seed, replacing ad-hoc arithmetic like
+// `seed+i*large_prime` or `seed^magic`: the label is hashed (FNV-1a) into
+// the seed and the result is scrambled with the splitmix64 finalizer, so
+// related (seed, label) pairs start from uncorrelated states. speclint's
+// determinism rule forbids math/rand in engine packages; this package is the
+// only randomness source.
+func NewRandStream(seed uint64, label string) *Rand {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	z := seed ^ h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Rand{state: z ^ (z >> 31)}
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -25,6 +50,8 @@ func (r *Rand) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n ≤ 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		// invariant: callers derive n from non-empty vocabularies/tables;
+		// a non-positive n means the generator was built on empty input.
 		panic("sim: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
@@ -33,6 +60,7 @@ func (r *Rand) Intn(n int) int {
 // Int63n returns a uniform int64 in [0, n). It panics if n ≤ 0.
 func (r *Rand) Int63n(n int64) int64 {
 	if n <= 0 {
+		// invariant: same contract as Intn — the domain is never empty.
 		panic("sim: Int63n with non-positive n")
 	}
 	return int64(r.Uint64() % uint64(n))
@@ -73,6 +101,8 @@ type Zipf struct {
 // NewZipf builds a Zipf sampler over n ranks with exponent s, drawing from r.
 func NewZipf(r *Rand, n int, s float64) *Zipf {
 	if n <= 0 {
+		// invariant: Zipf samplers are built over fixed, non-empty rank
+		// spaces (vocabulary sizes, table counts) known at construction.
 		panic("sim: Zipf with non-positive n")
 	}
 	cdf := make([]float64, n)

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// TestNewRandStreamDeterministic pins the contract speclint's determinism
+// rule leans on: the same (seed, label) always yields the same stream.
+func TestNewRandStreamDeterministic(t *testing.T) {
+	a := NewRandStream(7, "session-1")
+	b := NewRandStream(7, "session-1")
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+// TestNewRandStreamIndependent checks that related labels and related seeds
+// produce streams that diverge immediately — the reason to prefer
+// NewRandStream over seed arithmetic.
+func TestNewRandStreamIndependent(t *testing.T) {
+	base := NewRandStream(7, "session-1")
+	cases := map[string]*Rand{
+		"different label": NewRandStream(7, "session-2"),
+		"adjacent seed":   NewRandStream(8, "session-1"),
+		"empty label":     NewRandStream(7, ""),
+		"plain NewRand":   NewRand(7),
+	}
+	first := base.Uint64()
+	for name, r := range cases {
+		if r.Uint64() == first {
+			t.Errorf("%s: first draw collides with base stream", name)
+		}
+	}
+}
+
+// TestNewRandStreamPinned pins exact values so the stream can never drift
+// across refactors — generated artifacts (traces, datasets) depend on it.
+func TestNewRandStreamPinned(t *testing.T) {
+	r := NewRandStream(42, "pin")
+	got := [3]uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	want := [3]uint64{1698924424742739668, 1446501946011532702, 4591138219304664865}
+	if got != want {
+		t.Fatalf("stream drifted: got %v, want %v", got, want)
+	}
+}

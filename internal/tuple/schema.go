@@ -49,6 +49,8 @@ func (s *Schema) Ordinal(name string) int {
 func (s *Schema) MustOrdinal(name string) int {
 	i := s.Ordinal(name)
 	if i < 0 {
+		// invariant: Must-callers pass names the planner already bound
+		// against this schema; unvalidated lookups use Ordinal instead.
 		panic("tuple: unknown column " + name)
 	}
 	return i
