@@ -11,7 +11,9 @@ package specdb
 // the source of the EXPERIMENTS.md numbers. The shapes are the same.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"specdb/internal/harness"
 	"specdb/internal/tpch"
@@ -36,6 +38,40 @@ func corpus(b *testing.B) []*trace.Trace {
 		}
 	}
 	return benchTraces
+}
+
+// BenchmarkSpecBench reproduces the BENCH_spec.json headline metric — the
+// spec-on vs spec-off improvement over the benchUsers corpus — so the CI
+// bench gate (scripts/bench_gate.sh) can diff the live number against the
+// committed baseline with ±1pp tolerance.
+func BenchmarkSpecBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunBench("100MB", corpus(b), benchData)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ImprovementPct, "improvement_%")
+		b.ReportMetric(res.RelativeResponseTime, "rel_resp")
+		b.ReportMetric(res.HitRate, "hit_rate")
+	}
+}
+
+// BenchmarkParallelPoolThroughput measures the 8-session sharded-pool
+// throughput headline (wall-clock, machine-dependent): the 8-shard pool
+// versus the single-mutex pool under 8 concurrent workers. The sharded
+// number is recorded in BENCH_spec.json by cmd/experiments -exp bench.
+func BenchmarkParallelPoolThroughput(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ops, err := harness.MeasurePoolThroughput(shards, 8, 40000, time.Now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(ops, "ops/s")
+			}
+		})
+	}
 }
 
 // BenchmarkTableFormulationDuration regenerates the Section 5 table (T5.1):

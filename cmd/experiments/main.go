@@ -27,6 +27,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"specdb/internal/harness"
 	"specdb/internal/tpch"
@@ -101,6 +102,16 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 	}
 	res.Users = users
 	res.Seed = seed
+	const poolWorkers, poolOps = 8, 40000
+	if res.ParallelPool8ShardOpsPerS, err = harness.MeasurePoolThroughput(8, poolWorkers, poolOps, time.Now); err != nil {
+		fatal(err)
+	}
+	if res.ParallelPool1ShardOpsPerS, err = harness.MeasurePoolThroughput(1, poolWorkers, poolOps, time.Now); err != nil {
+		fatal(err)
+	}
+	if res.ParallelPool1ShardOpsPerS > 0 {
+		res.ParallelPoolSpeedup = res.ParallelPool8ShardOpsPerS / res.ParallelPool1ShardOpsPerS
+	}
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -113,6 +124,8 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 		res.Queries, res.RelativeResponseTime, res.ImprovementPct)
 	fmt.Printf("  hit rate %.2f   waste %.1fs   incomplete at GO %.0f%%\n",
 		res.HitRate, res.WasteS, res.IncompletePct)
+	fmt.Printf("  parallel pool (8 workers): 8-shard %.0f ops/s vs single-mutex %.0f ops/s (%.2fx)\n",
+		res.ParallelPool8ShardOpsPerS, res.ParallelPool1ShardOpsPerS, res.ParallelPoolSpeedup)
 }
 
 func header(title string) {

@@ -32,6 +32,7 @@ type BTree struct {
 	height   int
 	entries  int64
 	splits   int64
+	merges   int64
 	pages    []storage.PageID // every page owned by the tree, for Drop/PageIDs
 }
 

@@ -1,0 +1,273 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"specdb/internal/storage"
+)
+
+// Delete removes one exact (key, rid) entry, rebalancing by borrowing from or
+// merging with siblings when a node falls below a quarter of its capacity and
+// shrinking the root when it is left with a single child. It reports whether
+// the entry existed.
+func (t *BTree) Delete(key []byte, rid storage.RID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == 0 {
+		return false, fmt.Errorf("btree: delete from dropped tree")
+	}
+	deleted, err := t.deleteFrom(t.root, key, rid)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	t.entries--
+	// Root shrink: an internal root left with a single child hands the root
+	// role to that child, releasing a level.
+	for {
+		buf, err := t.pool.Get(t.root)
+		if err != nil {
+			return true, err
+		}
+		n := readNode(buf)
+		if n.leaf || len(n.keys) > 0 {
+			t.pool.Unpin(t.root, false)
+			return true, nil
+		}
+		child := n.children[0]
+		t.pool.Unpin(t.root, false)
+		if err := t.freePage(t.root); err != nil {
+			return true, err
+		}
+		t.root = child
+		t.height--
+	}
+}
+
+// Merges reports the cumulative number of node merges performed by deletes,
+// the counterpart of Splits.
+func (t *BTree) Merges() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.merges
+}
+
+// deleteFrom descends into page id and removes (key, rid) if present. After a
+// successful delete in a child, the child is rebalanced if it underflowed, so
+// underflow propagates one level per stack frame exactly like splits do on
+// the insert path.
+func (t *BTree) deleteFrom(id storage.PageID, key []byte, rid storage.RID) (bool, error) {
+	buf, err := t.pool.Get(id)
+	if err != nil {
+		return false, err
+	}
+	n := readNode(buf)
+	if n.leaf {
+		pos := leafPos(n, key, rid)
+		if pos >= len(n.keys) || !bytes.Equal(n.keys[pos], key) || n.rids[pos] != rid {
+			t.pool.Unpin(id, false)
+			return false, nil
+		}
+		n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+		n.rids = append(n.rids[:pos], n.rids[pos+1:]...)
+		writeNode(buf, n)
+		t.pool.Unpin(id, true)
+		return true, nil
+	}
+	// Duplicates of a key may straddle a separator (the left part of a split
+	// keeps earlier duplicates), so the exact (key, rid) entry can live in any
+	// child between the scan descent (ties go left) and the insert descent
+	// (ties go right). Try them left to right.
+	lo, hi := scanChildIndex(n, key), childIndex(n, key)
+	t.pool.Unpin(id, false) // release before descending; single-threaded sim
+	for ci := lo; ci <= hi; ci++ {
+		deleted, err := t.deleteFrom(n.children[ci], key, rid)
+		if err != nil {
+			return false, err
+		}
+		if deleted {
+			return true, t.rebalanceChild(id, ci)
+		}
+	}
+	return false, nil
+}
+
+// rebalanceChild restores the occupancy invariant for parent's ci-th child
+// after a delete: an underfull child is merged with a sibling when the merged
+// node fits a page, otherwise it borrows one entry from the sibling. When
+// neither is possible (the separator swap would overflow the parent, or the
+// sibling cannot donate) the child is left underfull — the tree stays valid,
+// just less compact.
+func (t *BTree) rebalanceChild(parentID storage.PageID, ci int) error {
+	pbuf, err := t.pool.Get(parentID)
+	if err != nil {
+		return err
+	}
+	p := readNode(pbuf)
+	cbuf, err := t.pool.Get(p.children[ci])
+	if err != nil {
+		t.pool.Unpin(parentID, false)
+		return err
+	}
+	underfull := nodeSize(readNode(cbuf)) < t.capacity/4
+	t.pool.Unpin(p.children[ci], false)
+	if !underfull || len(p.children) < 2 {
+		t.pool.Unpin(parentID, false)
+		return nil
+	}
+	// Normalize to an adjacent pair (li, li+1) containing the underfull child.
+	li := ci
+	if li == len(p.children)-1 {
+		li--
+	}
+	leftID, rightID := p.children[li], p.children[li+1]
+	lbuf, err := t.pool.Get(leftID)
+	if err != nil {
+		t.pool.Unpin(parentID, false)
+		return err
+	}
+	l := readNode(lbuf)
+	rbuf, err := t.pool.Get(rightID)
+	if err != nil {
+		t.pool.Unpin(leftID, false)
+		t.pool.Unpin(parentID, false)
+		return err
+	}
+	r := readNode(rbuf)
+
+	if m := mergeNodes(l, r, p.keys[li]); nodeSize(m) <= t.capacity {
+		writeNode(lbuf, m)
+		p.keys = append(p.keys[:li], p.keys[li+1:]...)
+		p.children = append(p.children[:li+1], p.children[li+2:]...)
+		writeNode(pbuf, p)
+		t.pool.Unpin(leftID, true)
+		t.pool.Unpin(rightID, false)
+		t.pool.Unpin(parentID, true)
+		t.merges++
+		return t.freePage(rightID)
+	}
+
+	dirty := t.borrow(p, l, r, li, ci == li)
+	if dirty {
+		writeNode(lbuf, l)
+		writeNode(rbuf, r)
+		writeNode(pbuf, p)
+	}
+	t.pool.Unpin(leftID, dirty)
+	t.pool.Unpin(rightID, dirty)
+	t.pool.Unpin(parentID, dirty)
+	return nil
+}
+
+// mergeNodes builds the combination of adjacent siblings l and r (separated
+// in their parent by sep) without modifying either. Internal merges pull the
+// separator down between the two key runs; leaf merges splice the chain.
+func mergeNodes(l, r *node, sep []byte) *node {
+	m := &node{leaf: l.leaf}
+	if l.leaf {
+		m.keys = append(append(m.keys, l.keys...), r.keys...)
+		m.rids = append(append(m.rids, l.rids...), r.rids...)
+		m.next = r.next
+		return m
+	}
+	m.keys = append(append(append(m.keys, l.keys...), sep), r.keys...)
+	m.children = append(append(m.children, l.children...), r.children...)
+	return m
+}
+
+// borrow rotates one entry from the richer sibling into the underfull one
+// (intoLeft selects the direction), updating the parent separator p.keys[li].
+// It reports whether anything moved: the donor must keep at least one entry
+// and the new separator must not overflow the parent.
+func (t *BTree) borrow(p, l, r *node, li int, intoLeft bool) bool {
+	oldSep := p.keys[li]
+	if intoLeft {
+		if len(r.keys) < 2 {
+			return false
+		}
+		if r.leaf {
+			l.keys = append(l.keys, r.keys[0])
+			l.rids = append(l.rids, r.rids[0])
+			r.keys = r.keys[1:]
+			r.rids = r.rids[1:]
+			p.keys[li] = r.keys[0]
+		} else {
+			l.keys = append(l.keys, oldSep)
+			l.children = append(l.children, r.children[0])
+			p.keys[li] = r.keys[0]
+			r.keys = r.keys[1:]
+			r.children = r.children[1:]
+		}
+	} else {
+		if len(l.keys) < 2 {
+			return false
+		}
+		last := len(l.keys) - 1
+		if l.leaf {
+			moved := l.keys[last]
+			r.keys = insertAt(r.keys, 0, moved)
+			r.rids = insertRID(r.rids, 0, l.rids[last])
+			l.keys = l.keys[:last]
+			l.rids = l.rids[:last]
+			p.keys[li] = moved
+		} else {
+			r.keys = insertAt(r.keys, 0, oldSep)
+			r.children = insertPID(r.children, 0, l.children[last+1])
+			p.keys[li] = l.keys[last]
+			l.keys = l.keys[:last]
+			l.children = l.children[:last+1]
+		}
+	}
+	if nodeSize(p) > t.capacity {
+		// Roll back: the replacement separator is longer than the old one and
+		// the parent has no room. Rare; leave the child underfull instead.
+		rollbackBorrow(p, l, r, li, intoLeft, oldSep)
+		return false
+	}
+	return true
+}
+
+// rollbackBorrow undoes a borrow whose separator swap overflowed the parent.
+// It reverses the rotation exactly, so the three nodes are byte-identical to
+// their pre-borrow state.
+func rollbackBorrow(p, l, r *node, li int, intoLeft bool, oldSep []byte) {
+	if intoLeft {
+		last := len(l.keys) - 1
+		if l.leaf {
+			r.keys = insertAt(r.keys, 0, l.keys[last])
+			r.rids = insertRID(r.rids, 0, l.rids[last])
+			l.keys = l.keys[:last]
+			l.rids = l.rids[:last]
+		} else {
+			r.keys = insertAt(r.keys, 0, p.keys[li])
+			r.children = insertPID(r.children, 0, l.children[last+1])
+			l.keys = l.keys[:last]
+			l.children = l.children[:last+1]
+		}
+	} else {
+		if l.leaf {
+			l.keys = append(l.keys, r.keys[0])
+			l.rids = append(l.rids, r.rids[0])
+			r.keys = r.keys[1:]
+			r.rids = r.rids[1:]
+		} else {
+			l.keys = append(l.keys, p.keys[li])
+			l.children = append(l.children, r.children[0])
+			r.keys = r.keys[1:]
+			r.children = r.children[1:]
+		}
+	}
+	p.keys[li] = oldSep
+}
+
+// freePage releases one page back to the pool and drops it from the tree's
+// page list. Callers must hold t.mu and have unpinned the page.
+func (t *BTree) freePage(id storage.PageID) error {
+	for i, pid := range t.pages {
+		if pid == id {
+			t.pages = append(t.pages[:i], t.pages[i+1:]...)
+			break
+		}
+	}
+	return t.pool.Free(id)
+}

@@ -1,0 +1,145 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"specdb/internal/storage"
+)
+
+// CheckInvariants walks the whole tree and verifies its structural
+// invariants; it is a test aid and returns the first violation found:
+//
+//   - every node serializes within the page capacity;
+//   - internal nodes have len(children) == len(keys)+1 and keys in
+//     non-decreasing order; leaves are sorted by (key, RID);
+//   - every key in child i of an internal node lies within the separator
+//     bounds [keys[i-1], keys[i]] (inclusive on both sides — duplicates may
+//     straddle a split separator);
+//   - all leaves sit at the same depth, equal to the recorded height;
+//   - the leaf chain visits every entry in (key, RID) order and its length
+//     matches the recorded entry count;
+//   - the set of reachable pages is exactly the tree's page list.
+func (t *BTree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == 0 {
+		return nil // dropped tree
+	}
+	visited := make(map[storage.PageID]bool)
+	leafDepth := -1
+	var leafCount int64
+	var firstLeaf storage.PageID
+
+	var walk func(id storage.PageID, depth int, min, max []byte) error
+	walk = func(id storage.PageID, depth int, min, max []byte) error {
+		if visited[id] {
+			return fmt.Errorf("btree: page %d reachable twice", id)
+		}
+		visited[id] = true
+		buf, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(buf)
+		t.pool.Unpin(id, false)
+		if nodeSize(n) > t.capacity {
+			return fmt.Errorf("btree: page %d exceeds capacity (%d > %d)", id, nodeSize(n), t.capacity)
+		}
+		for i, k := range n.keys {
+			if i > 0 && bytes.Compare(n.keys[i-1], k) > 0 {
+				return fmt.Errorf("btree: page %d keys out of order at %d", id, i)
+			}
+			if min != nil && bytes.Compare(k, min) < 0 {
+				return fmt.Errorf("btree: page %d key %d below separator bound", id, i)
+			}
+			if max != nil && bytes.Compare(k, max) > 0 {
+				return fmt.Errorf("btree: page %d key %d above separator bound", id, i)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+				firstLeaf = id
+			} else if depth != leafDepth {
+				return fmt.Errorf("btree: leaf %d at depth %d, expected %d", id, depth, leafDepth)
+			}
+			if len(n.rids) != len(n.keys) {
+				return fmt.Errorf("btree: leaf %d has %d rids for %d keys", id, len(n.rids), len(n.keys))
+			}
+			for i := 1; i < len(n.keys); i++ {
+				if bytes.Equal(n.keys[i-1], n.keys[i]) && compareRID(n.rids[i-1], n.rids[i]) > 0 {
+					return fmt.Errorf("btree: leaf %d rids out of order at %d", id, i)
+				}
+			}
+			leafCount += int64(len(n.keys))
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: page %d has %d children for %d keys", id, len(n.children), len(n.keys))
+		}
+		if id != t.root && len(n.keys) == 0 {
+			return fmt.Errorf("btree: non-root internal page %d has no keys", id)
+		}
+		for i, c := range n.children {
+			cmin, cmax := min, max
+			if i > 0 {
+				cmin = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				cmax = n.keys[i]
+			}
+			if err := walk(c, depth+1, cmin, cmax); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if leafDepth != t.height {
+		return fmt.Errorf("btree: leaves at depth %d, recorded height %d", leafDepth, t.height)
+	}
+	if leafCount != t.entries {
+		return fmt.Errorf("btree: %d entries in leaves, recorded %d", leafCount, t.entries)
+	}
+	if len(visited) != len(t.pages) {
+		return fmt.Errorf("btree: %d reachable pages, %d owned", len(visited), len(t.pages))
+	}
+	for _, id := range t.pages {
+		if !visited[id] {
+			return fmt.Errorf("btree: owned page %d unreachable", id)
+		}
+	}
+	// The leaf chain must visit every entry in global (key, RID) order.
+	var chainCount int64
+	var prevKey []byte
+	var prevRID storage.RID
+	for id := firstLeaf; id != 0; {
+		buf, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(buf)
+		t.pool.Unpin(id, false)
+		if !n.leaf {
+			return fmt.Errorf("btree: leaf chain reaches internal page %d", id)
+		}
+		for i, k := range n.keys {
+			if chainCount > 0 {
+				c := bytes.Compare(prevKey, k)
+				if c > 0 || (c == 0 && compareRID(prevRID, n.rids[i]) > 0) {
+					return fmt.Errorf("btree: leaf chain out of order at page %d entry %d", id, i)
+				}
+			}
+			prevKey, prevRID = k, n.rids[i]
+			chainCount++
+		}
+		id = n.next
+	}
+	if chainCount != t.entries {
+		return fmt.Errorf("btree: leaf chain has %d entries, recorded %d", chainCount, t.entries)
+	}
+	return nil
+}

@@ -87,7 +87,7 @@ func TestPoolDetectsAndRidesOutInjectedCorruption(t *testing.T) {
 }
 
 func TestPoolSurvivesFrameExhaustion(t *testing.T) {
-	p, disk, inj := newFaultPool(4, fault.Config{Seed: 23, FrameExhaustionRate: 0.5})
+	p, disk, inj := newFaultPool(4, fault.Config{Seed: 25, FrameExhaustionRate: 0.5})
 	reg := obs.NewRegistry()
 	inj.AttachMetrics(reg)
 	ids := writeThrough(t, p, disk, 12)

@@ -4,6 +4,13 @@
 // which is how simulated I/O time arises. Sticky pins implement the paper's
 // *data staging* manipulation (Section 3.2), which the authors could not
 // build on top of Oracle but which we can, owning the pool.
+//
+// The pool is lock-striped: frames are partitioned into N shards by a hash of
+// the page ID, and each shard owns its own mutex, frame table, LRU list, and
+// counters, so concurrent sessions touching disjoint pages never contend.
+// With one shard (the default, and the experiment-harness configuration) the
+// code path is exactly the historical single-mutex pool, so deterministic
+// baselines are unchanged by construction.
 package buffer
 
 import (
@@ -18,13 +25,21 @@ import (
 	"specdb/internal/storage"
 )
 
-// Pool is a buffer pool over one disk manager. An internal lock makes every
-// pool operation atomic, so concurrent sessions can share the pool: the frame
-// table, LRU list, pin counts, and hit/miss counters never race. Buffer
-// *contents* returned by Get are additionally protected by the engine's
-// statement serialization — only one measured statement mutates pages at a
-// time.
+// Pool is a buffer pool over one disk manager, striped into shards. Every
+// operation on a page is atomic under its shard's lock, so concurrent
+// sessions can share the pool: the frame tables, LRU lists, pin counts, and
+// hit/miss counters never race. Buffer *contents* returned by Get are
+// additionally protected by the engine's statement serialization — only one
+// measured statement mutates pages at a time.
 type Pool struct {
+	disk   storage.Disk
+	shards []*shard
+}
+
+// shard is one lock stripe of the pool. Every field below mu is guarded by
+// mu; the *Locked methods assume the caller holds it. The obs counters are
+// shared across shards (they are atomic) and are set once before traffic.
+type shard struct {
 	disk storage.Disk
 
 	mu     sync.Mutex
@@ -65,6 +80,8 @@ type Pool struct {
 // Stats is a snapshot of the pool's cumulative traffic counters. The pool
 // maintains the invariant Hits + Misses == Fetches: every logical page fetch
 // (Get, or a Stage pre-fetch) is either served from a frame or from disk.
+// The snapshot is consistent: all shards are locked while it is taken, so
+// the invariant holds even under concurrent traffic.
 type Stats struct {
 	// Hits are fetches served from a resident frame.
 	Hits int64
@@ -93,21 +110,78 @@ type frame struct {
 	elem   *list.Element
 }
 
-// NewPool returns a pool of capacity frames over disk, charging I/O to meter.
+// NewPool returns a single-shard pool of capacity frames over disk, charging
+// I/O to meter — the historical, fully serialized configuration.
 func NewPool(disk storage.Disk, capacity int, meter *sim.Meter) *Pool {
+	return NewShardedPool(disk, capacity, 1, meter)
+}
+
+// NewShardedPool returns a pool of capacity frames striped into shards lock
+// stripes. The shard count is clamped so every shard keeps at least 2 frames
+// (LRU needs a victim candidate besides the page being admitted); shards < 1
+// is treated as 1.
+func NewShardedPool(disk storage.Disk, capacity, shards int, meter *sim.Meter) *Pool {
 	if capacity < 2 {
 		// Programmer invariant: capacity comes from engine.Config/harness
-		// constants, never from user input, and LRU needs a victim candidate
-		// besides the page being admitted.
+		// constants, never from user input.
 		panic("buffer: pool needs at least 2 frames")
 	}
-	return &Pool{
-		disk:   disk,
-		meter:  meter,
-		frames: make(map[storage.PageID]*frame, capacity),
-		lru:    list.New(),
-		cap:    capacity,
-		sums:   make(map[storage.PageID]uint32),
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity/2 {
+		shards = capacity / 2
+	}
+	p := &Pool{disk: disk, shards: make([]*shard, shards)}
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = &shard{
+			disk:   disk,
+			meter:  meter,
+			frames: make(map[storage.PageID]*frame, c),
+			lru:    list.New(),
+			cap:    c,
+			sums:   make(map[storage.PageID]uint32),
+		}
+	}
+	return p
+}
+
+// shardFor routes page id to its lock stripe. The mix is a splitmix64-style
+// finalizer so sequential page IDs spread across shards; with one shard it
+// degenerates to shard 0 and the hash cost is the only difference from the
+// historical pool.
+func (p *Pool) shardFor(id storage.PageID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return p.shards[x%uint64(len(p.shards))]
+}
+
+// Shards reports the number of lock stripes (after clamping).
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// lockAll acquires every shard lock in ascending shard order (the only order
+// used anywhere, so whole-pool operations cannot deadlock against each
+// other), and returns the matching unlock.
+func (p *Pool) lockAll() (unlock func()) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	return func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
+		}
 	}
 }
 
@@ -116,102 +190,154 @@ func NewPool(disk storage.Disk, capacity int, meter *sim.Meter) *Pool {
 // injected by wrapping the disk itself (fault.WrapDisk); the pool only needs
 // the injector for decisions that live above the disk boundary.
 func (p *Pool) SetFaultInjector(inj *fault.Injector) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.inj = inj
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.inj = inj
+		s.mu.Unlock()
+	}
 }
 
 // SetMeter redirects I/O charging to m. The harness points this at the meter
 // of whichever simulated job is currently executing.
 func (p *Pool) SetMeter(m *sim.Meter) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.meter = m
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.meter = m
+		s.mu.Unlock()
+	}
 }
 
-// Capacity reports the number of frames.
-func (p *Pool) Capacity() int { return p.cap }
+// Capacity reports the number of frames across all shards.
+func (p *Pool) Capacity() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.cap
+	}
+	return n
+}
 
 // Resident reports how many pages are currently cached.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats reports the pool's cumulative traffic counters.
+// Headroom reports how many frames could be claimed right now without
+// touching pinned or staged pages: capacity minus pages a replacement scan
+// must skip. The speculation scheduler uses this as its pool-pressure budget
+// so background work cannot evict a foreground query's working set.
+func (p *Pool) Headroom() int {
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.headroomLocked()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports the pool's cumulative traffic counters as one consistent
+// snapshot: every shard is locked for the duration of the read, so a fetch
+// that is mid-flight on another goroutine is either fully included or fully
+// excluded and Hits + Misses == Fetches always holds.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{Hits: p.hits, Misses: p.misses, Writes: p.writes, Fetches: p.fetches}
+	unlock := p.lockAll()
+	defer unlock()
+	var st Stats
+	for _, s := range p.shards {
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Writes += s.writes
+		st.Fetches += s.fetches
+	}
+	return st
 }
 
 // AttachMetrics mirrors the pool's counters into reg under the
 // "buffer.pool.*" names (see DESIGN.md §7). Attach before serving traffic:
 // the obs counters only record increments from that point on.
 func (p *Pool) AttachMetrics(reg *obs.Registry) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.obsHits = reg.Counter("buffer.pool.hits")
-	p.obsMisses = reg.Counter("buffer.pool.misses")
-	p.obsWrites = reg.Counter("buffer.pool.writes")
-	p.obsFetches = reg.Counter("buffer.pool.fetches")
-	p.obsMisuses = reg.Counter("buffer.pool.misuses")
-	p.obsRetries = reg.Counter("buffer.pool.io_retries")
-	p.obsDetectedCorrupt = reg.Counter("fault.detected.corruptions")
+	hits := reg.Counter("buffer.pool.hits")
+	misses := reg.Counter("buffer.pool.misses")
+	writes := reg.Counter("buffer.pool.writes")
+	fetches := reg.Counter("buffer.pool.fetches")
+	misuses := reg.Counter("buffer.pool.misuses")
+	retries := reg.Counter("buffer.pool.io_retries")
+	corrupt := reg.Counter("fault.detected.corruptions")
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.obsHits, s.obsMisses, s.obsWrites, s.obsFetches = hits, misses, writes, fetches
+		s.obsMisuses, s.obsRetries, s.obsDetectedCorrupt = misuses, retries, corrupt
+		s.mu.Unlock()
+	}
 }
 
 // Misuses reports how many pin-discipline violations were recorded.
 func (p *Pool) Misuses() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.misuses
+	var n int64
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.misuses
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// MisuseError returns the first recorded pin-discipline violation, or nil.
+// MisuseError returns a recorded pin-discipline violation (the first in
+// shard order), or nil.
 func (p *Pool) MisuseError() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.misuseErr
+	for _, s := range p.shards {
+		s.mu.Lock()
+		err := s.misuseErr
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // IORetries reports how many transient I/O faults the pool absorbed by
 // retrying (including checksum-detected corruption re-reads).
 func (p *Pool) IORetries() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.ioRetries
+	var n int64
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.ioRetries
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // DetectedCorruptions reports how many checksum mismatches were caught on
 // fetch.
 func (p *Pool) DetectedCorruptions() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.corruption
-}
-
-// hit records one fetch served from a resident frame. Callers hold p.mu.
-func (p *Pool) hit() {
-	p.hits++
-	p.fetches++
-	if p.obsHits != nil {
-		p.obsHits.Inc()
-		p.obsFetches.Inc()
+	var n int64
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.corruption
+		s.mu.Unlock()
 	}
+	return n
 }
 
 // Get pins page id and returns its buffer. The caller must Unpin it.
 func (p *Pool) Get(id storage.PageID) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		p.hit()
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		s.hitLocked()
 		f.pins++
-		p.touch(f)
+		s.touchLocked(f)
 		return f.buf, nil
 	}
-	f, err := p.admit(id, true)
+	f, err := s.admitLocked(id, true)
 	if err != nil {
 		return nil, err
 	}
@@ -222,10 +348,11 @@ func (p *Pool) Get(id storage.PageID) ([]byte, error) {
 // New allocates a fresh page on disk, pins it, and returns its ID and buffer.
 // The frame starts dirty (it must reach disk eventually).
 func (p *Pool) New() (storage.PageID, []byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	id := p.disk.Allocate()
-	f, err := p.admit(id, false)
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.admitLocked(id, false)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -241,15 +368,16 @@ func (p *Pool) New() (storage.PageID, []byte, error) {
 // counts and let a pinned page be evicted), the violation is recorded and the
 // call becomes a deterministic no-op. See Misuses/MisuseError.
 func (p *Pool) Unpin(id storage.PageID, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
-		p.recordMisuse(fmt.Errorf("buffer: unpin of non-resident page %d", id))
+		s.recordMisuseLocked(fmt.Errorf("buffer: unpin of non-resident page %d", id))
 		return
 	}
 	if f.pins <= 0 {
-		p.recordMisuse(fmt.Errorf("buffer: unpin of unpinned page %d", id))
+		s.recordMisuseLocked(fmt.Errorf("buffer: unpin of unpinned page %d", id))
 		return
 	}
 	f.pins--
@@ -258,35 +386,25 @@ func (p *Pool) Unpin(id storage.PageID, dirty bool) {
 	}
 }
 
-// recordMisuse notes a pin-discipline violation. Callers hold p.mu.
-func (p *Pool) recordMisuse(err error) {
-	p.misuses++
-	if p.misuseErr == nil {
-		p.misuseErr = err
-	}
-	if p.obsMisuses != nil {
-		p.obsMisuses.Inc()
-	}
-}
-
 // Free drops page id from the pool (discarding its contents) and releases the
 // disk page. The page must be unpinned.
 func (p *Pool) Free(id storage.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: freeing pinned page %d", id)
 		}
-		p.lru.Remove(f.elem)
-		delete(p.frames, id)
+		s.lru.Remove(f.elem)
+		delete(s.frames, id)
 	}
-	delete(p.sums, id)
+	delete(s.sums, id)
 	// A double Free surfaces here as the disk's "free of unallocated page"
 	// error — returned, not panicked, and also recorded as misuse so stress
 	// tests can assert none happened.
-	if err := p.disk.Free(id); err != nil {
-		p.recordMisuse(err)
+	if err := s.disk.Free(id); err != nil {
+		s.recordMisuseLocked(err)
 		return err
 	}
 	return nil
@@ -295,17 +413,18 @@ func (p *Pool) Free(id storage.PageID) error {
 // Stage pre-fetches page id into the pool and marks it sticky so it survives
 // eviction: the data-staging manipulation. It does not hold a pin.
 func (p *Pool) Stage(id storage.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		var err error
-		f, err = p.admit(id, true)
+		f, err = s.admitLocked(id, true)
 		if err != nil {
 			return err
 		}
 	} else {
-		p.hit()
+		s.hitLocked()
 	}
 	f.sticky = true
 	return nil
@@ -313,22 +432,21 @@ func (p *Pool) Stage(id storage.PageID) error {
 
 // Unstage removes the sticky mark from page id if it is resident.
 func (p *Pool) Unstage(id storage.PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
 		f.sticky = false
 	}
 }
 
 // StagedCount reports how many resident pages are sticky.
 func (p *Pool) StagedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.sticky {
-			n++
-		}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.stagedCountLocked()
+		s.mu.Unlock()
 	}
 	return n
 }
@@ -336,18 +454,20 @@ func (p *Pool) StagedCount() int {
 // Contains reports whether page id is resident (used by tests and by the
 // cost model's warmth estimate).
 func (p *Pool) Contains(id storage.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.frames[id]
 	return ok
 }
 
 // FlushAll writes every dirty resident page back to disk.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if err := p.writeBack(f); err != nil {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		err := s.flushAllLocked()
+		s.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -357,17 +477,13 @@ func (p *Pool) FlushAll() error {
 // EvictAll empties the pool (after flushing), simulating a cold restart. Any
 // pinned page makes this fail.
 func (p *Pool) EvictAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("buffer: EvictAll with pinned page %d", id)
-		}
-		if err := p.writeBack(f); err != nil {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		err := s.evictAllLocked()
+		s.mu.Unlock()
+		if err != nil {
 			return err
 		}
-		p.lru.Remove(f.elem)
-		delete(p.frames, id)
 	}
 	return nil
 }
@@ -379,8 +495,78 @@ func (p *Pool) EvictAll() error {
 // never for pinned seeds. Real storage errors are never retried.
 const maxIORetries = 8
 
-// admit loads page id into a frame, evicting if necessary. If read is false
-// the frame is left zeroed (freshly allocated page).
+// hitLocked records one fetch served from a resident frame.
+func (s *shard) hitLocked() {
+	s.hits++
+	s.fetches++
+	if s.obsHits != nil {
+		s.obsHits.Inc()
+		s.obsFetches.Inc()
+	}
+}
+
+// headroomLocked counts frames claimable without evicting pinned or staged
+// pages: free slots plus unpinned, non-sticky residents.
+func (s *shard) headroomLocked() int {
+	n := s.cap - len(s.frames)
+	for _, f := range s.frames {
+		if f.pins == 0 && !f.sticky {
+			n++
+		}
+	}
+	return n
+}
+
+// stagedCountLocked counts resident sticky pages.
+func (s *shard) stagedCountLocked() int {
+	n := 0
+	for _, f := range s.frames {
+		if f.sticky {
+			n++
+		}
+	}
+	return n
+}
+
+// recordMisuseLocked notes a pin-discipline violation.
+func (s *shard) recordMisuseLocked(err error) {
+	s.misuses++
+	if s.misuseErr == nil {
+		s.misuseErr = err
+	}
+	if s.obsMisuses != nil {
+		s.obsMisuses.Inc()
+	}
+}
+
+// flushAllLocked writes every dirty resident page of this shard to disk.
+func (s *shard) flushAllLocked() error {
+	for _, f := range s.frames {
+		if err := s.writeBackLocked(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictAllLocked empties this shard (after flushing). Any pinned page makes
+// it fail.
+func (s *shard) evictAllLocked() error {
+	for id, f := range s.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: EvictAll with pinned page %d", id)
+		}
+		if err := s.writeBackLocked(f); err != nil {
+			return err
+		}
+		s.lru.Remove(f.elem)
+		delete(s.frames, id)
+	}
+	return nil
+}
+
+// admitLocked loads page id into a frame, evicting if necessary. If read is
+// false the frame is left zeroed (freshly allocated page).
 //
 // Fault handling: a transient injected read error or a checksum mismatch
 // (corrupted read) is retried up to maxIORetries times, each retry charging
@@ -389,9 +575,9 @@ const maxIORetries = 8
 // for the caller's retry loop. All of this is dead code on the fault-free
 // path: no injector means no extra draws, charges, or checks beyond the
 // checksum compare, which is meter-neutral CPU.
-func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
+func (s *shard) admitLocked(id storage.PageID, read bool) (*frame, error) {
 	for attempt := 0; ; attempt++ {
-		fe := p.inj.FrameExhaustion(id)
+		fe := s.inj.FrameExhaustion(id)
 		if fe == nil {
 			break
 		}
@@ -399,53 +585,52 @@ func (p *Pool) admit(id storage.PageID, read bool) (*frame, error) {
 			return nil, fmt.Errorf("buffer: no frame for page %d after %d retries: %w", id, maxIORetries, fe)
 		}
 		// Waiting out transient frame pressure costs simulated time.
-		p.meter.ChargePageRead(1)
-		p.ioRetries++
-		if p.obsRetries != nil {
-			p.obsRetries.Inc()
+		s.meter.ChargePageRead(1)
+		s.ioRetries++
+		if s.obsRetries != nil {
+			s.obsRetries.Inc()
 		}
 	}
-	if len(p.frames) >= p.cap {
-		if err := p.evictOne(); err != nil {
+	if len(s.frames) >= s.cap {
+		if err := s.evictOneLocked(); err != nil {
 			return nil, err
 		}
 	}
-	f := &frame{id: id, buf: make([]byte, p.disk.PageSize())}
+	f := &frame{id: id, buf: make([]byte, s.disk.PageSize())}
 	if read {
-		if err := p.readVerified(id, f.buf); err != nil {
+		if err := s.readVerifiedLocked(id, f.buf); err != nil {
 			return nil, err
 		}
-		p.misses++
-		p.fetches++
-		if p.obsMisses != nil {
-			p.obsMisses.Inc()
-			p.obsFetches.Inc()
+		s.misses++
+		s.fetches++
+		if s.obsMisses != nil {
+			s.obsMisses.Inc()
+			s.obsFetches.Inc()
 		}
-		p.meter.ChargePageRead(1)
-		if extra, slow := p.inj.SlowIO(id); slow {
-			p.meter.ChargePageRead(int64(extra))
+		s.meter.ChargePageRead(1)
+		if extra, slow := s.inj.SlowIO(id); slow {
+			s.meter.ChargePageRead(int64(extra))
 		}
 	}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
+	f.elem = s.lru.PushFront(f)
+	s.frames[id] = f
 	return f, nil
 }
 
-// readVerified reads page id into buf, verifying its checksum when one is on
-// record and retrying transient faults with bounded attempts. Callers hold
-// p.mu.
-func (p *Pool) readVerified(id storage.PageID, buf []byte) error {
+// readVerifiedLocked reads page id into buf, verifying its checksum when one
+// is on record and retrying transient faults with bounded attempts.
+func (s *shard) readVerifiedLocked(id storage.PageID, buf []byte) error {
 	var lastErr error
 	for attempt := 0; attempt <= maxIORetries; attempt++ {
 		if attempt > 0 {
 			// The failed attempt consumed disk time; charge it like a read.
-			p.meter.ChargePageRead(1)
-			p.ioRetries++
-			if p.obsRetries != nil {
-				p.obsRetries.Inc()
+			s.meter.ChargePageRead(1)
+			s.ioRetries++
+			if s.obsRetries != nil {
+				s.obsRetries.Inc()
 			}
 		}
-		err := p.disk.Read(id, buf)
+		err := s.disk.Read(id, buf)
 		if err != nil {
 			if !fault.IsTransient(err) {
 				return err // real storage error: never mask it
@@ -453,10 +638,10 @@ func (p *Pool) readVerified(id storage.PageID, buf []byte) error {
 			lastErr = err
 			continue
 		}
-		if sum, ok := p.sums[id]; ok && crc32.ChecksumIEEE(buf) != sum {
-			p.corruption++
-			if p.obsDetectedCorrupt != nil {
-				p.obsDetectedCorrupt.Inc()
+		if sum, ok := s.sums[id]; ok && crc32.ChecksumIEEE(buf) != sum {
+			s.corruption++
+			if s.obsDetectedCorrupt != nil {
+				s.obsDetectedCorrupt.Inc()
 			}
 			lastErr = &fault.Error{Kind: fault.Corruption, Op: "verify", Page: id}
 			continue
@@ -466,37 +651,38 @@ func (p *Pool) readVerified(id storage.PageID, buf []byte) error {
 	return fmt.Errorf("buffer: page %d unreadable after %d retries: %w", id, maxIORetries, lastErr)
 }
 
-// evictOne removes the least recently used unpinned, non-sticky page.
-func (p *Pool) evictOne() error {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
+// evictOneLocked removes the least recently used unpinned, non-sticky page.
+func (s *shard) evictOneLocked() error {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*frame)
 		if f.pins > 0 || f.sticky {
 			continue
 		}
-		if err := p.writeBack(f); err != nil {
+		if err := s.writeBackLocked(f); err != nil {
 			return err
 		}
-		p.lru.Remove(e)
-		delete(p.frames, f.id)
+		s.lru.Remove(e)
+		delete(s.frames, f.id)
 		return nil
 	}
-	return fmt.Errorf("buffer: all %d frames pinned or staged", p.cap)
+	return fmt.Errorf("buffer: all %d frames pinned or staged", s.cap)
 }
 
-func (p *Pool) writeBack(f *frame) error {
+// writeBackLocked flushes one dirty frame, retrying transient write faults.
+func (s *shard) writeBackLocked(f *frame) error {
 	if !f.dirty {
 		return nil
 	}
 	var lastErr error
 	for attempt := 0; attempt <= maxIORetries; attempt++ {
 		if attempt > 0 {
-			p.meter.ChargePageWrite(1) // failed attempt still consumed disk time
-			p.ioRetries++
-			if p.obsRetries != nil {
-				p.obsRetries.Inc()
+			s.meter.ChargePageWrite(1) // failed attempt still consumed disk time
+			s.ioRetries++
+			if s.obsRetries != nil {
+				s.obsRetries.Inc()
 			}
 		}
-		err := p.disk.Write(f.id, f.buf)
+		err := s.disk.Write(f.id, f.buf)
 		if err != nil {
 			if !fault.IsTransient(err) {
 				return err // real storage error: never mask it
@@ -506,16 +692,16 @@ func (p *Pool) writeBack(f *frame) error {
 		}
 		// Record the checksum of what reached disk so the next fetch can
 		// detect corruption in between.
-		p.sums[f.id] = crc32.ChecksumIEEE(f.buf)
+		s.sums[f.id] = crc32.ChecksumIEEE(f.buf)
 		f.dirty = false
-		p.writes++
-		if p.obsWrites != nil {
-			p.obsWrites.Inc()
+		s.writes++
+		if s.obsWrites != nil {
+			s.obsWrites.Inc()
 		}
-		p.meter.ChargePageWrite(1)
+		s.meter.ChargePageWrite(1)
 		return nil
 	}
 	return fmt.Errorf("buffer: page %d unwritable after %d retries: %w", f.id, maxIORetries, lastErr)
 }
 
-func (p *Pool) touch(f *frame) { p.lru.MoveToFront(f.elem) }
+func (s *shard) touchLocked(f *frame) { s.lru.MoveToFront(f.elem) }

@@ -62,6 +62,16 @@ func evAddJoin(j qgraph.Join) trace.Event {
 	return trace.Event{Kind: trace.EvAddJoin, Join: &jj}
 }
 
+// one unwraps a single-worker outcome list: the lone job, or nil. The tests
+// below run the default Workers=1 configuration, where every outcome carries
+// at most one job.
+func one(jobs []*Job) *Job {
+	if len(jobs) == 0 {
+		return nil
+	}
+	return jobs[0]
+}
+
 func newSpec(e *engine.Engine, cfg Config) *Speculator {
 	return NewSpeculator(e, NewLearner(DefaultLearnerConfig()), cfg)
 }
@@ -74,10 +84,10 @@ func TestSpeculatorIssuesAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil {
+	if one(out.Issued) == nil {
 		t.Fatal("selective predicate should trigger a materialization")
 	}
-	job := out.Issued
+	job := one(out.Issued)
 	if job.Manip.Kind != ManipMaterialize {
 		t.Fatalf("issued %v", job.Manip)
 	}
@@ -104,8 +114,8 @@ func TestSpeculatorIssuesAndCompletes(t *testing.T) {
 	}
 	// Slot freed: the speculator may chain another manipulation, but for a
 	// single-selection partial query nothing new should clear the filter.
-	if next != nil {
-		t.Fatalf("unexpected chained job %v", next.Manip)
+	if n := one(next); n != nil {
+		t.Fatalf("unexpected chained job %v", n.Manip)
 	}
 
 	// GO: final query must be rewritten to the speculative table.
@@ -113,7 +123,7 @@ func TestSpeculatorIssuesAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goOut.Canceled != nil {
+	if one(goOut.Canceled) != nil {
 		t.Fatal("nothing should be in flight at GO")
 	}
 	if !strings.Contains(plan.Explain(res.Plan), job.tableName) {
@@ -142,10 +152,10 @@ func TestSpeculatorCancelsOnInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil {
+	if one(out.Issued) == nil {
 		t.Fatal("no job issued")
 	}
-	job := out.Issued
+	job := one(out.Issued)
 	table := job.tableName
 
 	// Removing the predicate invalidates the running materialization.
@@ -153,7 +163,7 @@ func TestSpeculatorCancelsOnInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2.Canceled != job {
+	if one(out2.Canceled) != job {
 		t.Fatal("job not canceled on invalidation")
 	}
 	if e.Catalog.HasTable(table) {
@@ -172,7 +182,7 @@ func TestSpeculatorCancelsAtGo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := out.Issued
+	job := one(out.Issued)
 	if job == nil {
 		t.Fatal("no job issued")
 	}
@@ -182,7 +192,7 @@ func TestSpeculatorCancelsAtGo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goOut.Canceled != job {
+	if one(goOut.Canceled) != job {
 		t.Fatal("in-flight job not canceled at GO")
 	}
 	if strings.Contains(plan.Explain(res.Plan), job.tableName) {
@@ -204,7 +214,7 @@ func TestSpeculatorGarbageCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := out.Issued
+	job := one(out.Issued)
 	if _, err := sp.Complete(job, job.CompletesAt); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +245,7 @@ func TestSpeculatorOneOutstanding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out1.Issued == nil {
+	if one(out1.Issued) == nil {
 		t.Fatal("first event should issue")
 	}
 	// A second attractive predicate arrives while the first job runs: the
@@ -246,15 +256,15 @@ func TestSpeculatorOneOutstanding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2.Issued != nil {
+	if one(out2.Issued) != nil {
 		t.Fatal("second manipulation issued while one outstanding")
 	}
 	// After completion the slot frees and the W predicate gets its turn.
-	next, err := sp.Complete(out1.Issued, out1.Issued.CompletesAt)
+	next, err := sp.Complete(one(out1.Issued), one(out1.Issued).CompletesAt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if next == nil || next.Manip.Kind != ManipMaterialize || !next.Manip.Graph.HasRelation("W") {
+	if n := one(next); n == nil || n.Manip.Kind != ManipMaterialize || !n.Manip.Graph.HasRelation("W") {
 		t.Fatalf("chained job wrong: %+v", next)
 	}
 }
@@ -271,17 +281,17 @@ func TestSpeculatorJoinSubgraphEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+	if _, err := sp.Complete(one(out.Issued), one(out.Issued).CompletesAt); err != nil {
 		t.Fatal(err)
 	}
 	out2, err := sp.OnEvent(evAddJoin(qgraph.NewJoin("R", "a", "S", "a")), sim.FromSeconds(30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2.Issued == nil {
+	if one(out2.Issued) == nil {
 		t.Fatal("join edge should trigger a manipulation")
 	}
-	g := out2.Issued.Manip.Graph
+	g := one(out2.Issued).Manip.Graph
 	if g.NumJoins() != 1 || !g.HasSelection(selRC(15)) {
 		t.Fatalf("join subgraph must include attached selections: %v", g)
 	}
@@ -298,14 +308,14 @@ func TestSpeculatorSelectionsOnlyMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only a join on canvas: selections-only mode must not materialize it.
-	if sp.outstanding != nil {
-		t.Fatalf("selections-only mode issued %v", sp.outstanding.Manip)
+	if len(sp.outstanding) != 0 {
+		t.Fatalf("selections-only mode issued %v", sp.outstanding[0].Manip)
 	}
 	out, err := sp.OnEvent(evAddSel(selRC(15)), sim.FromSeconds(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil || out.Issued.Manip.Graph.NumJoins() != 0 {
+	if one(out.Issued) == nil || one(out.Issued).Manip.Graph.NumJoins() != 0 {
 		t.Fatal("selection manipulation expected")
 	}
 }
@@ -317,10 +327,10 @@ func TestSpeculatorShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+	if _, err := sp.Complete(one(out.Issued), one(out.Issued).CompletesAt); err != nil {
 		t.Fatal(err)
 	}
-	table := out.Issued.tableName
+	table := one(out.Issued).tableName
 	if err := sp.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
@@ -599,7 +609,7 @@ func TestWaitForCompletionAtGo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := out.Issued
+	job := one(out.Issued)
 	if job == nil {
 		t.Fatal("no job issued")
 	}
@@ -610,7 +620,7 @@ func TestWaitForCompletionAtGo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goOut.Canceled != job {
+	if one(goOut.Canceled) != job {
 		t.Fatal("harness must be told to unschedule the original completion")
 	}
 	if sp.Stats().WaitedAtGo != 1 || sp.Stats().CanceledAtGo != 0 {
@@ -641,7 +651,7 @@ func TestWaitForCompletionSkipsLongWaits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil {
+	if one(out.Issued) == nil {
 		t.Fatal("no job issued")
 	}
 	// GO immediately: almost the whole manipulation remains; waiting would
@@ -650,7 +660,7 @@ func TestWaitForCompletionSkipsLongWaits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if goOut.Canceled == nil || sp.Stats().CanceledAtGo != 1 || sp.Stats().WaitedAtGo != 0 {
+	if one(goOut.Canceled) == nil || sp.Stats().CanceledAtGo != 1 || sp.Stats().WaitedAtGo != 0 {
 		t.Fatalf("expected cancel, stats %+v", sp.Stats())
 	}
 }
@@ -666,7 +676,7 @@ func TestSuspendWhenBusy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued != nil {
+	if one(out.Issued) != nil {
 		t.Fatal("issued while server busy")
 	}
 	if sp.Stats().Suspended == 0 {
@@ -681,7 +691,7 @@ func TestSuspendWhenBusy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil {
+	if one(out.Issued) == nil {
 		t.Fatal("did not resume after load dropped")
 	}
 }
@@ -702,20 +712,20 @@ func TestSpeculatorIndexFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil || out.Issued.Manip.Kind != ManipIndex {
-		t.Fatalf("expected index creation, got %+v", out.Issued)
+	if one(out.Issued) == nil || one(out.Issued).Manip.Kind != ManipIndex {
+		t.Fatalf("expected index creation, got %+v", one(out.Issued))
 	}
 	wt, _ := e.Catalog.Table("W")
 	if wt.Index("d") != nil {
 		t.Fatal("index visible before completion")
 	}
-	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+	if _, err := sp.Complete(one(out.Issued), one(out.Issued).CompletesAt); err != nil {
 		t.Fatal(err)
 	}
 	if wt.Index("d") == nil {
 		t.Fatal("index not installed on completion")
 	}
-	res, _, err := sp.OnGo(out.Issued.CompletesAt.Add(sim.DurationFromSeconds(1)))
+	res, _, err := sp.OnGo(one(out.Issued).CompletesAt.Add(sim.DurationFromSeconds(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -738,7 +748,7 @@ func TestSpeculatorIndexCancelDropsPages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil {
+	if one(out.Issued) == nil {
 		t.Fatal("no index job issued")
 	}
 	pagesBefore := e.Disk.Allocated()
@@ -746,7 +756,7 @@ func TestSpeculatorIndexCancelDropsPages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2.Canceled == nil {
+	if one(out2.Canceled) == nil {
 		t.Fatal("index job not canceled on invalidation")
 	}
 	if e.Disk.Allocated() >= pagesBefore {
@@ -766,14 +776,14 @@ func TestSpeculatorHistogramFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil || out.Issued.Manip.Kind != ManipHistogram {
-		t.Fatalf("expected histogram creation, got %+v", out.Issued)
+	if one(out.Issued) == nil || one(out.Issued).Manip.Kind != ManipHistogram {
+		t.Fatalf("expected histogram creation, got %+v", one(out.Issued))
 	}
 	wt, _ := e.Catalog.Table("W")
 	if wt.ColumnStats("d").Hist() != nil {
 		t.Fatal("histogram visible before completion")
 	}
-	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+	if _, err := sp.Complete(one(out.Issued), one(out.Issued).CompletesAt); err != nil {
 		t.Fatal(err)
 	}
 	if wt.ColumnStats("d").Hist() == nil {
@@ -786,7 +796,7 @@ func TestSpeculatorHistogramFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out2.Issued != nil && out2.Issued.Manip.Kind == ManipHistogram && out2.Issued.Manip.Col == "d" {
+	if one(out2.Issued) != nil && one(out2.Issued).Manip.Kind == ManipHistogram && one(out2.Issued).Manip.Col == "d" {
 		t.Fatal("duplicate histogram issued")
 	}
 }
@@ -805,13 +815,13 @@ func TestSpeculatorStageFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Issued == nil || out.Issued.Manip.Kind != ManipStage {
-		t.Fatalf("expected staging, got %+v", out.Issued)
+	if one(out.Issued) == nil || one(out.Issued).Manip.Kind != ManipStage {
+		t.Fatalf("expected staging, got %+v", one(out.Issued))
 	}
 	if e.Pool.StagedCount() == 0 {
 		t.Fatal("no pages staged")
 	}
-	if _, err := sp.Complete(out.Issued, out.Issued.CompletesAt); err != nil {
+	if _, err := sp.Complete(one(out.Issued), one(out.Issued).CompletesAt); err != nil {
 		t.Fatal(err)
 	}
 	// GC on relation removal unstages.

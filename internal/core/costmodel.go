@@ -61,6 +61,8 @@ func (cm *CostModel) Score(m *Manipulation, elapsedFormulation float64) error {
 		if err != nil {
 			return err
 		}
+		resultPages := cm.estimatePages(m.Graph, node.Rows())
+		m.EstPages = int(math.Ceil(resultPages))
 		if cm.CompressionThreshold > 0 {
 			sourcePages := 0.0
 			for _, rel := range m.Graph.Relations() {
@@ -68,7 +70,7 @@ func (cm *CostModel) Score(m *Manipulation, elapsedFormulation float64) error {
 					sourcePages += float64(t.NumPages())
 				}
 			}
-			if cm.estimatePages(m.Graph, node.Rows()) > cm.CompressionThreshold*sourcePages {
+			if resultPages > cm.CompressionThreshold*sourcePages {
 				m.EstDuration, m.Benefit = 0, 0
 				return nil
 			}
@@ -78,10 +80,18 @@ func (cm *CostModel) Score(m *Manipulation, elapsedFormulation float64) error {
 		duration = cm.materializeDuration(m.Graph, node.Cost(), node.Rows())
 	case ManipIndex:
 		base, after, duration = cm.indexDeltas(m)
+		if t, err := cm.Eng.Catalog.Table(m.Rel); err == nil {
+			// ~16 bytes per (key, RID) entry retained in the tree's pages.
+			m.EstPages = int(math.Ceil(float64(t.RowCount()) * 16 / float64(cm.Eng.Disk.PageSize())))
+		}
 	case ManipHistogram:
 		base, after, duration = cm.histogramDeltas(m)
+		m.EstPages = 1
 	case ManipStage:
 		base, after, duration = cm.stageDeltas(m)
+		if t, err := cm.Eng.Catalog.Table(m.Rel); err == nil {
+			m.EstPages = t.NumPages()
+		}
 	default:
 		m.EstDuration, m.Benefit = 0, 0
 		return nil

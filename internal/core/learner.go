@@ -183,7 +183,7 @@ type ProfileSnapshot struct {
 func (l *Learner) ProfileSnapshot() ProfileSnapshot {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	mu, _ := l.thinkParams()
+	mu, _ := l.thinkParamsLocked()
 	return ProfileSnapshot{
 		SelectionSurvival:  l.selSurvival.estimate(l.cfg.SelectionSurvivalPrior, l.cfg.PriorStrength),
 		JoinSurvival:       l.joinSurvival.estimate(l.cfg.JoinSurvivalPrior, l.cfg.PriorStrength),
@@ -267,7 +267,7 @@ func (l *Learner) CompletionProbability(elapsed, need float64) float64 {
 		return 1
 	}
 	l.mu.RLock()
-	mu, sigma := l.thinkParams()
+	mu, sigma := l.thinkParamsLocked()
 	l.mu.RUnlock()
 	sTotal := logNormalSurvival(elapsed, mu, sigma)
 	if sTotal <= 0 {
@@ -276,10 +276,10 @@ func (l *Learner) CompletionProbability(elapsed, need float64) float64 {
 	return logNormalSurvival(elapsed+need, mu, sigma) / sTotal
 }
 
-// thinkParams returns the fitted lognormal parameters, falling back to the
+// thinkParamsLocked returns the fitted lognormal parameters, falling back to the
 // Section 5 population statistics (median 11 s, sigma 1.42) until enough
 // observations accumulate. Callers hold l.mu.
-func (l *Learner) thinkParams() (mu, sigma float64) {
+func (l *Learner) thinkParamsLocked() (mu, sigma float64) {
 	if l.thinkN < 5 {
 		return math.Log(11), 1.42
 	}

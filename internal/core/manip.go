@@ -77,6 +77,12 @@ type Manipulation struct {
 	// weighting. The wait-for-completion rule compares the remaining
 	// execution time against this.
 	SingleBenefit sim.Duration
+	// EstPages is the manipulation's estimated *retained* buffer-pool
+	// footprint (result pages for a materialization, tree pages for an
+	// index, sticky pages for staging). The speculation scheduler checks it
+	// against the pool's headroom before admitting concurrent work, so
+	// background jobs cannot crowd out a foreground query's working set.
+	EstPages int
 }
 
 // Key identifies the manipulation for dedup against running/completed work.

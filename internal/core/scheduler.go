@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+
+	"specdb/internal/buffer"
+	"specdb/internal/obs"
+)
+
+// Scheduler coordinates speculative work across every session of one engine:
+// it caps how many manipulations may run concurrently (the worker pool) and
+// applies admission control against the buffer pool's headroom, so
+// speculation can never evict a foreground query's working set.
+//
+// Dispatch order is benefit-ordered by construction: each speculator issues
+// its candidates in descending Cost⊆(m) score (maybeIssue always picks the
+// best remaining alternative), and the scheduler only decides *how many* of
+// those issues are admitted. The first outstanding job of every speculator
+// is always admitted — that is exactly the paper's one-manipulation-per-user
+// convention, so the default SpecWorkers=1 configuration behaves, decision
+// for decision, like the scheduler does not exist. Extra jobs (a speculator
+// going wide) are the only ones gated.
+//
+// A nil *Scheduler is valid and admits everything, so single-session tests
+// need no wiring.
+type Scheduler struct {
+	mu       sync.Mutex
+	workers  int
+	inflight int
+	pool     *buffer.Pool
+	reserve  int // frames always left to the foreground working set
+
+	obsAdmitted, obsDeferred *obs.Counter
+}
+
+// NewScheduler returns a scheduler dispatching up to workers concurrent
+// manipulations over pool. A quarter of the pool's capacity is reserved for
+// the foreground working set: extra speculative jobs are deferred unless
+// their estimated footprint fits in the pool's current headroom minus that
+// reserve. workers < 1 is treated as 1; pool may be nil (no pressure gate).
+func NewScheduler(workers int, pool *buffer.Pool) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{workers: workers, pool: pool}
+	if pool != nil {
+		s.reserve = pool.Capacity() / 4
+	}
+	return s
+}
+
+// AttachMetrics mirrors admission decisions into reg.
+func (s *Scheduler) AttachMetrics(reg *obs.Registry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsAdmitted = reg.Counter("sched.admitted")
+	s.obsDeferred = reg.Counter("sched.deferred")
+}
+
+// Workers reports the concurrency cap.
+func (s *Scheduler) Workers() int {
+	if s == nil {
+		return 1
+	}
+	return s.workers
+}
+
+// Inflight reports how many admitted jobs have not yet released their slot.
+func (s *Scheduler) Inflight() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// AdmitExtra decides whether a speculator may go beyond its first
+// outstanding job with a manipulation whose retained footprint is estPages:
+// a worker slot must be free and the footprint must fit in the pool's
+// current headroom minus the foreground reserve. It does not claim the slot
+// — the speculator calls Acquire from issue() once the job really starts.
+func (s *Scheduler) AdmitExtra(estPages int) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= s.workers {
+		if s.obsDeferred != nil {
+			s.obsDeferred.Inc()
+		}
+		return false
+	}
+	if s.pool != nil && estPages > s.pool.Headroom()-s.reserve {
+		if s.obsDeferred != nil {
+			s.obsDeferred.Inc()
+		}
+		return false
+	}
+	if s.obsAdmitted != nil {
+		s.obsAdmitted.Inc()
+	}
+	return true
+}
+
+// Acquire claims one worker slot for an issued job. Every issued job holds
+// exactly one slot from issue to its terminal transition (completion,
+// cancellation, or abort); the first job of a speculator claims its slot
+// unconditionally, which can transiently overcommit the cap — preserving the
+// invariant that a lone speculator is never throttled.
+func (s *Scheduler) Acquire() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+}
+
+// Release frees the slot claimed by Acquire.
+func (s *Scheduler) Release() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	s.mu.Unlock()
+}

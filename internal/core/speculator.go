@@ -59,6 +59,16 @@ type Config struct {
 	// that many other jobs are active on the server — the paper's Section 7
 	// load-aware proposal for multi-user settings. 0 disables suspension.
 	SuspendWhenBusy int
+	// Workers is the maximum number of manipulations this speculator may
+	// have outstanding at once. The default (0 or 1) is the paper's
+	// convention of at most one outstanding manipulation; higher values let
+	// the speculator fill idle worker slots with the next-best candidates
+	// in descending benefit order.
+	Workers int
+	// Scheduler coordinates worker slots and pool-pressure admission across
+	// every speculator of one engine. Nil admits everything (single-session
+	// default).
+	Scheduler *Scheduler
 
 	// Failure containment (DESIGN.md §8). Speculation is best-effort: a
 	// failed manipulation must never fail the session. MaxManipAttempts
@@ -106,6 +116,10 @@ type Stats struct {
 	// Suspended counts issue opportunities skipped because the server was
 	// busy (the SuspendWhenBusy extension).
 	Suspended int
+	// Deferred counts extra-job candidates (beyond the first outstanding
+	// manipulation) the scheduler declined for lack of a worker slot or
+	// buffer-pool headroom. Always 0 with Workers <= 1.
+	Deferred int
 	// MaterializationsIssued counts issued materializations and
 	// MaterializationTime is the cumulative sum of their durations; the
 	// harness divides the sum by the count to report the per-dataset-size
@@ -165,12 +179,14 @@ type Job struct {
 
 // EventOutcome reports what an interface event made the Speculator do.
 type EventOutcome struct {
-	// Canceled is the job invalidated by this event, if any; the harness
-	// must drop its scheduled completion.
-	Canceled *Job
-	// Issued is the newly issued job, if any; the harness must schedule its
-	// completion at Issued.CompletesAt.
-	Issued *Job
+	// Canceled are the jobs this event took off the speculator's plate —
+	// invalidated, canceled at GO, or completed-early by the
+	// wait-for-completion rule; the owner must drop their scheduled
+	// completions. With Workers <= 1 it holds at most one job.
+	Canceled []*Job
+	// Issued are the newly issued jobs; the owner must schedule each one's
+	// completion at its CompletesAt. With Workers <= 1 it holds at most one.
+	Issued []*Job
 	// Waited is the real delay before the final query ran because OnGo let
 	// an almost-finished manipulation complete (WaitForCompletion). The
 	// session owner must advance its clock by this much in addition to the
@@ -180,16 +196,17 @@ type EventOutcome struct {
 
 // Speculator is the central component of the speculation subsystem
 // (Figure 3): it tracks the partial query, asks the Cost Model to price the
-// Manipulation Space, issues the best manipulation asynchronously, enforces
-// the paper's three conventions (cancel on invalidation and at GO; garbage-
-// collect results the partial query no longer indicates useful; at most one
-// outstanding manipulation), and answers final queries on the prepared
-// database.
+// Manipulation Space, issues the best manipulations asynchronously in
+// descending benefit order, enforces the paper's conventions (cancel on
+// invalidation and at GO; garbage-collect results the partial query no
+// longer indicates useful; at most Workers outstanding manipulations — one
+// by default), and answers final queries on the prepared database.
 type Speculator struct {
 	eng     *engine.Engine
 	learner *Learner
 	cm      *CostModel
 	cfg     Config
+	sched   *Scheduler
 
 	partial *qgraph.Graph
 	projs   []string
@@ -200,7 +217,9 @@ type Speculator struct {
 	seenJoins   map[string]qgraph.Join
 	prevFinal   *qgraph.Graph
 
-	outstanding *Job
+	// outstanding holds the in-flight jobs in issue order (descending
+	// benefit at issue time); at most workers() entries.
+	outstanding []*Job
 	// completed materializations by graph key → speculative table name.
 	completed map[string]string
 	// completedCost remembers each completed materialization's build cost by
@@ -226,7 +245,7 @@ type Speculator struct {
 	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
 	obsCanceled, obsGC, obsWasteNs              *obs.Counter
 	obsFailed, obsAborted, obsAbandoned         *obs.Counter
-	obsUndoFailures                             *obs.Counter
+	obsUndoFailures, obsDeferred                *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -240,6 +259,9 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 2 * time.Second
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 	breaker := fault.NewBreaker(fault.BreakerConfig{
 		Failures: cfg.BreakerFailures,
 		Cooldown: cfg.BreakerCooldown,
@@ -247,6 +269,7 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 	breaker.AttachMetrics(eng.Metrics())
 	return &Speculator{
 		eng:     eng,
+		sched:   cfg.Scheduler,
 		learner: learner,
 		cm: &CostModel{
 			Eng:                  eng,
@@ -280,6 +303,7 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		obsAbandoned: eng.Metrics().Counter("spec.abandoned"),
 
 		obsUndoFailures: eng.Metrics().Counter("spec.undo_failures"),
+		obsDeferred:     eng.Metrics().Counter("spec.deferred"),
 	}
 }
 
@@ -291,6 +315,18 @@ func (sp *Speculator) Stats() Stats { return sp.stats }
 
 // Partial exposes the tracked partial query (for tests and diagnostics).
 func (sp *Speculator) Partial() *qgraph.Graph { return sp.partial }
+
+// Outstanding exposes the in-flight jobs in issue order. The returned slice
+// must not be mutated.
+func (sp *Speculator) Outstanding() []*Job { return sp.outstanding }
+
+// workers is the outstanding-job cap (at least 1).
+func (sp *Speculator) workers() int {
+	if sp.cfg.Workers < 1 {
+		return 1
+	}
+	return sp.cfg.Workers
+}
 
 // Learner exposes the user profile.
 func (sp *Speculator) Learner() *Learner { return sp.learner }
@@ -312,46 +348,50 @@ func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error
 		return out, err
 	}
 
-	// Convention 1: cancel a manipulation whose benefit disappeared.
-	if sp.outstanding != nil && !sp.stillUseful(sp.outstanding.Manip) {
-		sp.cancelAt(sp.outstanding, now, "canceled_invalidated")
-		sp.stats.CanceledInvalidated++
-		out.Canceled = sp.outstanding
-		sp.outstanding = nil
+	// Convention 1: cancel manipulations whose benefit disappeared.
+	kept := sp.outstanding[:0]
+	for _, job := range sp.outstanding {
+		if !sp.stillUseful(job.Manip) {
+			sp.cancelAt(job, now, "canceled_invalidated")
+			sp.stats.CanceledInvalidated++
+			out.Canceled = append(out.Canceled, job)
+		} else {
+			kept = append(kept, job)
+		}
 	}
+	sp.outstanding = kept
 	// Convention 2: garbage-collect completed results the partial query no
 	// longer indicates useful.
 	if err := sp.collectGarbage(); err != nil {
 		return out, err
 	}
-	// Convention 3: at most one outstanding manipulation.
-	if sp.outstanding == nil {
-		job, err := sp.maybeIssue(now)
-		if err != nil {
-			return out, err
-		}
-		out.Issued = job
+	// Convention 3: at most workers() outstanding manipulations (one, per
+	// the paper, unless configured wider).
+	issued, err := sp.fillSlots(now)
+	if err != nil {
+		return out, err
 	}
+	out.Issued = issued
 	return out, nil
 }
 
 // Complete finalizes a job at its completion time, making its results
-// visible to the optimizer, and — the slot now being free — may issue the
-// next manipulation for the current partial query. Speculation is
+// visible to the optimizer, and — a slot now being free — may issue the
+// next manipulations for the current partial query. Speculation is
 // best-effort: a finalization failure is contained (the job's hidden side
 // effects are rolled back, the failure recorded against its key and the
 // breaker), never surfaced to the session.
-func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
-	if sp.outstanding != job {
+func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
+	if !sp.dropOutstanding(job) {
 		// Programmer invariant (the owner schedules exactly one completion per
 		// issued job), not a containable I/O failure.
 		return nil, fmt.Errorf("core: completing a job that is not outstanding")
 	}
-	sp.outstanding = nil
 	sp.eng.EndJob(job.jobID)
+	sp.sched.Release()
 	if err := sp.finalize(job); err != nil {
 		sp.abort(job, now, err)
-		return sp.maybeIssue(now)
+		return sp.fillSlots(now)
 	}
 	if job.Manip.Kind == ManipMaterialize {
 		sp.completedCost[job.Manip.Graph.Key()] = job.CompletesAt.Sub(job.IssuedAt)
@@ -367,9 +407,40 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) (*Job, error) {
 		job.span.End(job.CompletesAt)
 		job.span = nil
 	}
-	// Keep preparing: the slot is free and the user is still thinking (or
+	// Keep preparing: a slot is free and the user is still thinking (or
 	// viewing results — either way the canvas indicates what comes next).
-	return sp.maybeIssue(now)
+	return sp.fillSlots(now)
+}
+
+// dropOutstanding removes job from the outstanding list, reporting whether
+// it was there.
+func (sp *Speculator) dropOutstanding(job *Job) bool {
+	for i, j := range sp.outstanding {
+		if j == job {
+			sp.outstanding = append(sp.outstanding[:i], sp.outstanding[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// fillSlots issues manipulations in descending benefit order until the
+// outstanding cap is reached, the scheduler defers, or no candidate clears
+// the threshold. With Workers=1 it is exactly one maybeIssue call on an
+// empty slot — the paper's single-manipulation convention.
+func (sp *Speculator) fillSlots(now sim.Time) ([]*Job, error) {
+	var issued []*Job
+	for len(sp.outstanding) < sp.workers() {
+		job, err := sp.maybeIssue(now)
+		if err != nil {
+			return issued, err
+		}
+		if job == nil {
+			break
+		}
+		issued = append(issued, job)
+	}
+	return issued, nil
 }
 
 // finalize publishes a job's hidden side effects.
@@ -461,28 +532,41 @@ func (sp *Speculator) noteFailure(key string, now sim.Time, cause error) {
 func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	var out EventOutcome
 	var waited sim.Duration
-	if sp.outstanding != nil {
-		job := sp.outstanding
-		remaining := job.CompletesAt.Sub(now)
-		if sp.cfg.WaitForCompletion && remaining > 0 && remaining < job.Manip.SingleBenefit {
-			// Section 7 extension: the manipulation is worth more than the
-			// wait costs; let it finish and use it for this very query.
-			out.Canceled = job // the harness must unschedule its completion
-			next, err := sp.Complete(job, job.CompletesAt)
+	if len(sp.outstanding) > 0 {
+		// Section 7 extension: a manipulation worth more than its remaining
+		// run time is allowed to finish and serve this very query. With
+		// several outstanding the earliest-completing qualifying job wins —
+		// the user waits for at most one.
+		var waitJob *Job
+		if sp.cfg.WaitForCompletion {
+			for _, job := range sp.outstanding {
+				remaining := job.CompletesAt.Sub(now)
+				if remaining > 0 && remaining < job.Manip.SingleBenefit &&
+					(waitJob == nil || job.CompletesAt < waitJob.CompletesAt) {
+					waitJob = job
+				}
+			}
+		}
+		for _, job := range append([]*Job(nil), sp.outstanding...) {
+			if job == waitJob {
+				continue
+			}
+			sp.cancelAt(job, now, "canceled_at_go")
+			sp.stats.CanceledAtGo++
+			out.Canceled = append(out.Canceled, job)
+			sp.dropOutstanding(job)
+		}
+		if waitJob != nil {
+			// The owner must unschedule its completion: it happens here.
+			out.Canceled = append(out.Canceled, waitJob)
+			next, err := sp.Complete(waitJob, waitJob.CompletesAt)
 			if err != nil {
 				return nil, out, err
 			}
-			if next != nil {
-				out.Issued = next
-			}
-			waited = remaining
+			out.Issued = append(out.Issued, next...)
+			waited = waitJob.CompletesAt.Sub(now)
 			out.Waited = waited
 			sp.stats.WaitedAtGo++
-		} else {
-			sp.cancelAt(job, now, "canceled_at_go")
-			sp.stats.CanceledAtGo++
-			out.Canceled = job
-			sp.outstanding = nil
 		}
 	}
 	if sp.partial.IsEmpty() {
@@ -528,15 +612,13 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	// Use the result-viewing pause: prepare for the next query, which will
 	// very likely retain most of this one's parts (Section 5 persistence).
 	// Any wait for a completing manipulation has already elapsed by this
-	// point, so a fresh job is issued at now+waited — keeping its IssuedAt
-	// and CompletesAt on the session's actual timeline.
-	if sp.outstanding == nil {
-		job, err := sp.maybeIssue(now.Add(waited))
-		if err != nil {
-			return nil, out, err
-		}
-		out.Issued = job
+	// point, so fresh jobs are issued at now+waited — keeping IssuedAt and
+	// CompletesAt on the session's actual timeline.
+	issued, err := sp.fillSlots(now.Add(waited))
+	if err != nil {
+		return nil, out, err
 	}
+	out.Issued = append(out.Issued, issued...)
 	return res, out, nil
 }
 
@@ -681,6 +763,15 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 	if best == nil {
 		return nil, nil
 	}
+	// Extra jobs (beyond this speculator's first outstanding manipulation)
+	// pass the engine-wide scheduler: a worker slot must be free and the
+	// candidate's footprint must fit the pool's headroom. Never consulted on
+	// the single-worker path, where maybeIssue only runs on an empty slot.
+	if len(sp.outstanding) > 0 && !sp.sched.AdmitExtra(best.EstPages) {
+		sp.stats.Deferred++
+		sp.obsDeferred.Inc()
+		return nil, nil
+	}
 	// Circuit breaker: consult it only once a candidate is actually worth
 	// issuing, so an admitted half-open probe always corresponds to a real
 	// job (a probe consumed with nothing to issue would wedge the breaker
@@ -697,7 +788,7 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 		sp.noteFailure(best.Key(), now, err)
 		return nil, nil
 	}
-	sp.outstanding = job
+	sp.outstanding = append(sp.outstanding, job)
 	sp.stats.Issued++
 	return job, nil
 }
@@ -705,8 +796,10 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 // isKnown filters the enumeration against running and completed work and
 // against database state (existing views, indexes, histograms, staging).
 func (sp *Speculator) isKnown(key string) bool {
-	if sp.outstanding != nil && sp.outstanding.Manip.Key() == key {
-		return true
+	for _, job := range sp.outstanding {
+		if job.Manip.Key() == key {
+			return true
+		}
 	}
 	switch {
 	case len(key) > 4 && key[:4] == "mat|":
@@ -807,8 +900,10 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 	}
 	// Register with the contention model only after the eager execution above:
 	// a session's own manipulation must not inflate the cost of the very
-	// engine work that created it.
+	// engine work that created it. The worker slot is held the same way,
+	// issue to terminal transition.
 	job.jobID = sp.eng.BeginJob()
+	sp.sched.Acquire()
 	job.span = sp.eng.Tracer().Start("manip."+m.Kind.String(), now, 0,
 		obs.Attr{Key: "key", Value: m.Key()})
 	if job.tableName != "" {
@@ -887,10 +982,11 @@ func (sp *Speculator) publishProfile() {
 	m.Gauge("learner.think_median_s").Set(ps.ThinkMedianSeconds)
 }
 
-// cancel deregisters a job from the contention model and undoes its hidden
-// side effects.
+// cancel deregisters a job from the contention model, frees its worker
+// slot, and undoes its hidden side effects.
 func (sp *Speculator) cancel(job *Job) {
 	sp.eng.EndJob(job.jobID)
+	sp.sched.Release()
 	sp.undo(job)
 }
 
@@ -919,28 +1015,27 @@ func (sp *Speculator) undo(job *Job) {
 	}
 }
 
-// CancelOutstanding cancels the in-flight manipulation, if any, undoing its
-// hidden side effects, and returns the canceled job so the owner can drop
-// its scheduled completion. Sessions use it when their context is canceled
-// mid-manipulation.
-func (sp *Speculator) CancelOutstanding() *Job {
-	if sp.outstanding == nil {
-		return nil
+// CancelOutstanding cancels the in-flight manipulations, if any, undoing
+// their hidden side effects, and returns the canceled jobs so the owner can
+// drop their scheduled completions. Sessions use it when their context is
+// canceled mid-manipulation.
+func (sp *Speculator) CancelOutstanding() []*Job {
+	canceled := sp.outstanding
+	for _, job := range canceled {
+		sp.cancelAt(job, 0, "canceled_on_close")
+		sp.stats.CanceledOnClose++
 	}
-	job := sp.outstanding
-	sp.cancelAt(job, 0, "canceled_on_close")
-	sp.stats.CanceledOnClose++
 	sp.outstanding = nil
-	return job
+	return canceled
 }
 
 // Shutdown drops everything the Speculator still owns (end of session).
 func (sp *Speculator) Shutdown() error {
-	if sp.outstanding != nil {
-		sp.cancelAt(sp.outstanding, 0, "canceled_on_close")
+	for _, job := range sp.outstanding {
+		sp.cancelAt(job, 0, "canceled_on_close")
 		sp.stats.CanceledOnClose++
-		sp.outstanding = nil
 	}
+	sp.outstanding = nil
 	for _, key := range sortedKeys(sp.completed) {
 		if err := sp.eng.DropTable(sp.completed[key]); err != nil {
 			return err

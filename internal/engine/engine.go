@@ -37,6 +37,10 @@ type Config struct {
 	PageSize int
 	// BufferPoolPages is the frame count of the buffer pool.
 	BufferPoolPages int
+	// PoolShards is the number of lock-striped buffer-pool shards. 0 or 1
+	// means a single shard (byte-identical to the historical single-mutex
+	// pool); higher values reduce lock contention for concurrent sessions.
+	PoolShards int
 	// Rates converts work counters to simulated time; zero value means
 	// sim.DefaultRates().
 	Rates sim.CostRates
@@ -135,7 +139,10 @@ func New(cfg Config) *Engine {
 	inj := fault.NewInjector(cfg.Fault) // nil when cfg.Fault injects nothing
 	disk := fault.WrapDisk(storage.NewDiskManager(cfg.PageSize), inj)
 	meter := sim.NewMeter()
-	pool := buffer.NewPool(disk, cfg.BufferPoolPages, meter)
+	if cfg.PoolShards < 1 {
+		cfg.PoolShards = 1
+	}
+	pool := buffer.NewShardedPool(disk, cfg.BufferPoolPages, cfg.PoolShards, meter)
 	pool.SetFaultInjector(inj)
 	if cfg.WorkMemBytes == 0 {
 		cfg.WorkMemBytes = int64(cfg.BufferPoolPages) * int64(disk.PageSize()) / 4

@@ -15,6 +15,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"specdb/internal/obs"
@@ -110,14 +111,17 @@ func (c Config) Enabled() bool {
 		c.SlowIORate > 0 || c.FrameExhaustionRate > 0
 }
 
-// Injector draws deterministic fault decisions. Safe for concurrent use; the
-// decision sequence depends on the interleaving of draws, so byte-identical
-// replay holds for single-threaded runs (the harness) while concurrent runs
-// remain per-seed reproducible only in aggregate.
+// Injector draws deterministic fault decisions. Safe for concurrent use.
+// Every (operation, page) pair owns a private PRNG stream derived from the
+// seed, so the decision for the Nth read of page P is a pure function of
+// (seed, P, N) — independent of how reads of other pages interleave. That
+// keeps fault replay byte-identical whether pages are served by one pool
+// shard or sixteen.
 type Injector struct {
-	mu  sync.Mutex
-	rng *sim.Rand
-	cfg Config
+	mu      sync.Mutex
+	seed    uint64
+	streams map[string]*sim.Rand
+	cfg     Config
 
 	// disarmed suppresses injection without consuming PRNG draws, so a
 	// load phase can run fault-free and the fault stream starts fresh —
@@ -138,7 +142,7 @@ func NewInjector(cfg Config) *Injector {
 	if cfg.SlowIOPenaltyPages <= 0 {
 		cfg.SlowIOPenaltyPages = 4
 	}
-	return &Injector{rng: sim.NewRand(cfg.Seed), cfg: cfg}
+	return &Injector{seed: cfg.Seed, streams: make(map[string]*sim.Rand), cfg: cfg}
 }
 
 // AttachMetrics mirrors injection decisions into reg under "fault.injected.*".
@@ -166,13 +170,26 @@ func (in *Injector) SetArmed(on bool) {
 	in.disarmed = !on
 }
 
-// draw consumes one PRNG value and reports whether an event with
-// probability rate fires. Callers hold in.mu.
-func (in *Injector) draw(rate float64) bool {
+// stream returns the lazily created PRNG stream for one (op, page) pair.
+// Callers hold in.mu.
+func (in *Injector) stream(op string, id storage.PageID) *sim.Rand {
+	label := op + "|" + strconv.FormatUint(uint64(id), 10)
+	r, ok := in.streams[label]
+	if !ok {
+		r = sim.NewRandStream(in.seed, label)
+		in.streams[label] = r
+	}
+	return r
+}
+
+// draw consumes one value from r and reports whether an event with
+// probability rate fires. A disarmed injector consumes nothing, so the
+// stream resumes deterministically on re-arm. Callers hold in.mu.
+func (in *Injector) draw(r *sim.Rand, rate float64) bool {
 	if in.disarmed || rate <= 0 {
 		return false
 	}
-	return in.rng.Float64() < rate
+	return r.Float64() < rate
 }
 
 // ReadFault decides the fate of one disk read: a *Error of kind ReadError or
@@ -184,13 +201,14 @@ func (in *Injector) ReadFault(id storage.PageID) *Error {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.draw(in.cfg.ReadErrorRate) {
+	r := in.stream("read", id)
+	if in.draw(r, in.cfg.ReadErrorRate) {
 		if in.obsReads != nil {
 			in.obsReads.Inc()
 		}
 		return &Error{Kind: ReadError, Op: "read", Page: id}
 	}
-	if in.draw(in.cfg.CorruptionRate) {
+	if in.draw(r, in.cfg.CorruptionRate) {
 		if in.obsCorrupt != nil {
 			in.obsCorrupt.Inc()
 		}
@@ -206,7 +224,7 @@ func (in *Injector) WriteFault(id storage.PageID) *Error {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.draw(in.cfg.WriteErrorRate) {
+	if in.draw(in.stream("write", id), in.cfg.WriteErrorRate) {
 		if in.obsWrites != nil {
 			in.obsWrites.Inc()
 		}
@@ -223,7 +241,7 @@ func (in *Injector) SlowIO(id storage.PageID) (extraPages int, slow bool) {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.draw(in.cfg.SlowIORate) {
+	if in.draw(in.stream("slow", id), in.cfg.SlowIORate) {
 		if in.obsSlow != nil {
 			in.obsSlow.Inc()
 		}
@@ -240,7 +258,7 @@ func (in *Injector) FrameExhaustion(id storage.PageID) *Error {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.draw(in.cfg.FrameExhaustionRate) {
+	if in.draw(in.stream("admit", id), in.cfg.FrameExhaustionRate) {
 		if in.obsExhaust != nil {
 			in.obsExhaust.Inc()
 		}

@@ -439,28 +439,19 @@ func replayWarmSpeculative(env *Env, idx int, tr *trace.Trace) ([]QueryTiming, e
 	cfg.NamePrefix = fmt.Sprintf("specw_t%d", idx)
 	sp := core.NewSpeculator(env.Eng, core.NewLearner(DefaultLearnerConfig()), cfg)
 	var out []QueryTiming
-	var pending *core.Job
+	var pending pendingJobs
 	qIdx := 0
 	for _, ev := range tr.Events {
 		at := ev.At()
-		for pending != nil && pending.CompletesAt <= at {
-			next, err := sp.Complete(pending, pending.CompletesAt)
-			if err != nil {
-				return nil, err
-			}
-			pending = next
+		if err := pending.advance(sp, at); err != nil {
+			return nil, err
 		}
 		if ev.Kind == trace.EvGo {
 			res, goOut, err := sp.OnGo(at)
 			if err != nil {
 				return nil, err
 			}
-			if goOut.Canceled != nil {
-				pending = nil
-			}
-			if goOut.Issued != nil {
-				pending = goOut.Issued
-			}
+			pending.apply(goOut)
 			out = append(out, QueryTiming{TraceIdx: idx, QueryIdx: qIdx, Seconds: res.Duration.Seconds(), Rows: res.RowCount})
 			qIdx++
 			continue
@@ -469,12 +460,7 @@ func replayWarmSpeculative(env *Env, idx int, tr *trace.Trace) ([]QueryTiming, e
 		if err != nil {
 			return nil, err
 		}
-		if evOut.Canceled != nil {
-			pending = nil
-		}
-		if evOut.Issued != nil {
-			pending = evOut.Issued
-		}
+		pending.apply(evOut)
 	}
 	return out, sp.Shutdown()
 }
@@ -664,6 +650,14 @@ type BenchResult struct {
 	GarbageCollected    int `json:"garbage_collected"`
 	Hits                int `json:"hits"`
 	Misses              int `json:"misses"`
+
+	// Parallel buffer-pool throughput: wall-clock Get/Unpin ops/sec of 8
+	// concurrent sessions against the 8-shard and single-mutex pools (see
+	// MeasurePoolThroughput). Machine-dependent and informational — the
+	// bench gate compares only the simulated improvement metric.
+	ParallelPool8ShardOpsPerS float64 `json:"parallel_pool_8shard_ops_per_s"`
+	ParallelPool1ShardOpsPerS float64 `json:"parallel_pool_1shard_ops_per_s"`
+	ParallelPoolSpeedup       float64 `json:"parallel_pool_speedup"`
 }
 
 // RunBench executes the paired replay once and summarizes it for the bench

@@ -5,7 +5,10 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 
@@ -17,6 +20,7 @@ import (
 	"specdb/internal/sim"
 	"specdb/internal/tpch"
 	"specdb/internal/trace"
+	"specdb/internal/tuple"
 )
 
 // PoolPages32MB is the paper's 32 MB buffer pool, scaled to preserve the
@@ -39,9 +43,12 @@ type Env struct {
 
 // EnvConfig sizes an environment.
 type EnvConfig struct {
-	Scale            tpch.Scale
-	Seed             uint64
-	BufferPoolPages  int
+	Scale           tpch.Scale
+	Seed            uint64
+	BufferPoolPages int
+	// PoolShards is the buffer pool's lock-stripe count (0 or 1: single
+	// shard, the historical pool).
+	PoolShards       int
 	ContentionFactor float64
 	// PrematerializeViews builds the join of every connected subset of the
 	// relations (all attributes) as optional views — the paper's extreme
@@ -63,6 +70,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	}
 	eng := engine.New(engine.Config{
 		BufferPoolPages:  cfg.BufferPoolPages,
+		PoolShards:       cfg.PoolShards,
 		UseViews:         cfg.UseViews,
 		ContentionFactor: cfg.ContentionFactor,
 		Fault:            cfg.Fault,
@@ -146,6 +154,37 @@ type QueryTiming struct {
 	QueryIdx int
 	Seconds  float64
 	Rows     int64
+	// RowsKey is an order-insensitive fingerprint of the result row-set (see
+	// RowSetKey); equal keys mean equal result multisets regardless of the
+	// physical plan, speculation mode, or pool sharding that produced them.
+	RowsKey uint64
+}
+
+// RowSetKey fingerprints a query result as a multiset: each row is hashed
+// independently (FNV-1a over kind-tagged column values) and the per-row
+// hashes are combined by addition, so row order is irrelevant. The row count
+// is folded in so the empty set and a hash-summing-to-zero set differ.
+func RowSetKey(rows []tuple.Row) uint64 {
+	var sum uint64
+	var buf [8]byte
+	for _, r := range rows {
+		h := fnv.New64a()
+		for _, v := range r {
+			h.Write([]byte{byte(v.Kind)})
+			switch v.Kind {
+			case tuple.KindFloat:
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+				h.Write(buf[:])
+			case tuple.KindString:
+				h.Write([]byte(v.S))
+			default:
+				binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+				h.Write(buf[:])
+			}
+		}
+		sum += h.Sum64()
+	}
+	return sum + uint64(len(rows))*0x9e3779b97f4a7c15
 }
 
 // RunTraceNormal replays a trace without speculation: each final query runs
@@ -173,6 +212,7 @@ func RunTraceNormal(eng *engine.Engine, traceIdx int, tr *trace.Trace) ([]QueryT
 			QueryIdx: q.Index,
 			Seconds:  res.Duration.Seconds(),
 			Rows:     res.RowCount,
+			RowsKey:  RowSetKey(res.Rows),
 		})
 	}
 	return timings, nil
@@ -182,6 +222,67 @@ func RunTraceNormal(eng *engine.Engine, traceIdx int, tr *trace.Trace) ([]QueryT
 type SpecOutcome struct {
 	Timings []QueryTiming
 	Stats   core.Stats
+}
+
+// pendingJobs tracks scheduled manipulation completions, ordered by
+// CompletesAt with FIFO tie-breaking (issue order), so replay loops complete
+// due jobs in a deterministic sequence. With Workers=1 it holds at most one
+// job and degenerates to the historical single-pending variable.
+type pendingJobs struct {
+	jobs []*core.Job
+}
+
+func (p *pendingJobs) add(jobs ...*core.Job) {
+	for _, job := range jobs {
+		i := len(p.jobs)
+		for i > 0 && p.jobs[i-1].CompletesAt > job.CompletesAt {
+			i--
+		}
+		p.jobs = append(p.jobs, nil)
+		copy(p.jobs[i+1:], p.jobs[i:])
+		p.jobs[i] = job
+	}
+}
+
+func (p *pendingJobs) remove(jobs ...*core.Job) {
+	for _, job := range jobs {
+		for i, j := range p.jobs {
+			if j == job {
+				p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// next returns the earliest pending job, or nil.
+func (p *pendingJobs) next() *core.Job {
+	if len(p.jobs) == 0 {
+		return nil
+	}
+	return p.jobs[0]
+}
+
+// advance completes every job due by t (including chained follow-ups) on sp.
+func (p *pendingJobs) advance(sp *core.Speculator, t sim.Time) error {
+	for {
+		job := p.next()
+		if job == nil || job.CompletesAt > t {
+			return nil
+		}
+		p.remove(job)
+		next, err := sp.Complete(job, job.CompletesAt)
+		if err != nil {
+			return err
+		}
+		p.add(next...)
+	}
+}
+
+// apply folds one event outcome into the pending set.
+func (p *pendingJobs) apply(out core.EventOutcome) {
+	p.remove(out.Canceled...)
+	p.add(out.Issued...)
 }
 
 // RunTraceSpeculative replays a trace through the speculation subsystem:
@@ -195,24 +296,12 @@ func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg 
 	cfg.NamePrefix = fmt.Sprintf("spec_t%d", traceIdx)
 	sp := core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), cfg)
 	out := &SpecOutcome{}
-	pending := (*core.Job)(nil)
-
-	// advance completes due jobs (including chained follow-ups) up to t.
-	advance := func(t sim.Time) error {
-		for pending != nil && pending.CompletesAt <= t {
-			next, err := sp.Complete(pending, pending.CompletesAt)
-			if err != nil {
-				return err
-			}
-			pending = next
-		}
-		return nil
-	}
+	var pending pendingJobs
 
 	qIdx := 0
 	for _, ev := range tr.Events {
 		at := ev.At()
-		if err := advance(at); err != nil {
+		if err := pending.advance(sp, at); err != nil {
 			return nil, err
 		}
 		if ev.Kind == trace.EvGo {
@@ -220,17 +309,13 @@ func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg 
 			if err != nil {
 				return nil, err
 			}
-			if goOut.Canceled != nil {
-				pending = nil
-			}
-			if goOut.Issued != nil {
-				pending = goOut.Issued
-			}
+			pending.apply(goOut)
 			out.Timings = append(out.Timings, QueryTiming{
 				TraceIdx: traceIdx,
 				QueryIdx: qIdx,
 				Seconds:  res.Duration.Seconds(),
 				Rows:     res.RowCount,
+				RowsKey:  RowSetKey(res.Rows),
 			})
 			qIdx++
 			continue
@@ -239,12 +324,7 @@ func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg 
 		if err != nil {
 			return nil, err
 		}
-		if evOut.Canceled != nil {
-			pending = nil
-		}
-		if evOut.Issued != nil {
-			pending = evOut.Issued
-		}
+		pending.apply(evOut)
 	}
 	out.Stats = sp.Stats()
 	if err := sp.Shutdown(); err != nil {
@@ -321,7 +401,7 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 	}
 	type userState struct {
 		sp      *core.Speculator
-		pending *core.Job
+		pending pendingJobs
 		qIdx    int
 	}
 	users := make([]*userState, len(traces))
@@ -356,22 +436,12 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 	// registered while its own engine work is measured, which preserves the
 	// previous "other users' jobs" semantics exactly.
 	out := &MultiUserOutcome{}
-	advance := func(u *userState, t sim.Time) error {
-		for u.pending != nil && u.pending.CompletesAt <= t {
-			next, err := u.sp.Complete(u.pending, u.pending.CompletesAt)
-			if err != nil {
-				return err
-			}
-			u.pending = next
-		}
-		return nil
-	}
 	for _, item := range all {
 		u := users[item.user]
 		at := item.ev.At()
 		// Complete due jobs for every user up to this instant.
 		for _, other := range users {
-			if err := advance(other, at); err != nil {
+			if err := other.pending.advance(other.sp, at); err != nil {
 				return nil, err
 			}
 		}
@@ -380,17 +450,13 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 			if err != nil {
 				return nil, err
 			}
-			if goOut.Canceled != nil {
-				u.pending = nil
-			}
-			if goOut.Issued != nil {
-				u.pending = goOut.Issued
-			}
+			u.pending.apply(goOut)
 			out.Timings = append(out.Timings, QueryTiming{
 				TraceIdx: item.user,
 				QueryIdx: u.qIdx,
 				Seconds:  res.Duration.Seconds(),
 				Rows:     res.RowCount,
+				RowsKey:  RowSetKey(res.Rows),
 			})
 			u.qIdx++
 			continue
@@ -399,12 +465,7 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 		if err != nil {
 			return nil, err
 		}
-		if evOut.Canceled != nil {
-			u.pending = nil
-		}
-		if evOut.Issued != nil {
-			u.pending = evOut.Issued
-		}
+		u.pending.apply(evOut)
 	}
 	for _, u := range users {
 		out.Stats = addStats(out.Stats, u.sp.Stats())
@@ -457,6 +518,7 @@ func RunMultiUserNormal(eng *engine.Engine, traces []*trace.Trace) ([]QueryTimin
 			QueryIdx: it.q.Index,
 			Seconds:  res.Duration.Seconds(),
 			Rows:     res.RowCount,
+			RowsKey:  RowSetKey(res.Rows),
 		})
 	}
 	return out, nil

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"specdb/internal/core"
+)
+
+// TestMetamorphicEquivalence replays the same generated traces under every
+// combination of speculation (off, on, on with extra workers) and buffer-pool
+// sharding (1, 4, 16 shards) and asserts the final query results are the same
+// row-sets everywhere. Speculation and sharding are performance transforms:
+// they may change plans, timings, and physical layout, but never what a query
+// returns.
+func TestMetamorphicEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metamorphic replay matrix is slow")
+	}
+	traces := tinyTraces(t, 2)
+	shards := []int{1, 4, 16}
+	type mode struct {
+		name    string
+		spec    bool
+		workers int
+	}
+	modes := []mode{
+		{name: "spec=off"},
+		{name: "spec=on", spec: true, workers: 1},
+		{name: "spec=on,workers=3", spec: true, workers: 3},
+	}
+
+	// keys[traceIdx][queryIdx] from the reference configuration: speculation
+	// off, one shard.
+	var reference [][]QueryTiming
+	run := func(t *testing.T, nshards int, m mode) [][]QueryTiming {
+		t.Helper()
+		env := tinyEnv(t, EnvConfig{PoolShards: nshards})
+		var out [][]QueryTiming
+		for i, tr := range traces {
+			var timings []QueryTiming
+			if m.spec {
+				cfg := core.DefaultConfig()
+				cfg.Workers = m.workers
+				if m.workers > 1 {
+					cfg.Scheduler = core.NewScheduler(m.workers, env.Eng.Pool)
+				}
+				spec, err := RunTraceSpeculative(env.Eng, i, tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				timings = spec.Timings
+			} else {
+				var err error
+				timings, err = RunTraceNormal(env.Eng, i, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			out = append(out, timings)
+		}
+		return out
+	}
+
+	for _, nshards := range shards {
+		for _, m := range modes {
+			name := fmt.Sprintf("shards=%d/%s", nshards, m.name)
+			t.Run(name, func(t *testing.T) {
+				got := run(t, nshards, m)
+				if reference == nil {
+					reference = got
+					return
+				}
+				for ti := range reference {
+					if len(got[ti]) != len(reference[ti]) {
+						t.Fatalf("trace %d: %d queries, reference has %d", ti, len(got[ti]), len(reference[ti]))
+					}
+					for qi := range reference[ti] {
+						want, have := reference[ti][qi], got[ti][qi]
+						if have.Rows != want.Rows || have.RowsKey != want.RowsKey {
+							t.Errorf("trace %d query %d: row-set (n=%d key=%x) differs from reference (n=%d key=%x)",
+								ti, qi, have.Rows, have.RowsKey, want.Rows, want.RowsKey)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specdb/internal/buffer"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// MeasurePoolThroughput measures wall-clock Get/Unpin throughput (ops/sec) of
+// a buffer pool with the given shard count under `workers` concurrent
+// goroutines, each performing opsPerWorker fetches over a page set four times
+// the pool size (so the workload constantly misses and evicts). Unlike every
+// other harness measurement this is real time, not simulated time: it exists
+// to quantify lock contention, which the simulated timeline deliberately
+// abstracts away. The caller supplies the wall clock (now = time.Now) so this
+// package itself stays clock-free per the determinism rule — only tests and
+// cmd/ tooling, which the rule exempts, pass a real clock in.
+func MeasurePoolThroughput(shards, workers, opsPerWorker int, now func() time.Time) (float64, error) {
+	const capacity = 64
+	disk := storage.NewDiskManager(0)
+	pool := buffer.NewShardedPool(disk, capacity, shards, sim.NewMeter())
+	ids := make([]storage.PageID, 4*capacity)
+	for i := range ids {
+		id, _, err := pool.New()
+		if err != nil {
+			return 0, err
+		}
+		pool.Unpin(id, true)
+		ids[i] = id
+	}
+	if err := pool.FlushAll(); err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := sim.NewRandStream(uint64(w)+1, "pool-throughput")
+			for i := 0; i < opsPerWorker; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if _, err := pool.Get(id); err != nil {
+					errs <- fmt.Errorf("harness: pool throughput worker %d: %w", w, err)
+					return
+				}
+				pool.Unpin(id, rng.Intn(4) == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := now().Sub(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return float64(workers*opsPerWorker) / elapsed.Seconds(), nil
+}

@@ -36,17 +36,22 @@ func TestProbeSpecDetail(t *testing.T) {
 	eng := env.Eng
 	cfg := core.DefaultConfig()
 	sp := core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), cfg)
-	var pending *core.Job
+	var pending pendingJobs
 	qIdx := 0
 	completedN := 0
 	advance := func(at sim.Time) {
-		for pending != nil && pending.CompletesAt <= at {
-			next, err := sp.Complete(pending, pending.CompletesAt)
+		for {
+			job := pending.next()
+			if job == nil || job.CompletesAt > at {
+				return
+			}
+			pending.remove(job)
+			next, err := sp.Complete(job, job.CompletesAt)
 			if err != nil {
 				t.Fatal(err)
 			}
 			completedN++
-			pending = next
+			pending.add(next...)
 		}
 	}
 	var issuedLog []string
@@ -59,12 +64,7 @@ func TestProbeSpecDetail(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if goOut.Canceled != nil {
-				pending = nil
-			}
-			if goOut.Issued != nil {
-				pending = goOut.Issued
-			}
+			pending.apply(goOut)
 			n := normal[qIdx].Seconds
 			s := res.Duration.Seconds()
 			usesSpec := strings.Contains(plan.Explain(res.Plan), "spec_")
@@ -85,12 +85,9 @@ func TestProbeSpecDetail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if evOut.Canceled != nil {
-			pending = nil
-		}
-		if evOut.Issued != nil {
-			pending = evOut.Issued
-			issuedLog = append(issuedLog, evOut.Issued.Manip.String())
+		pending.apply(evOut)
+		for _, job := range evOut.Issued {
+			issuedLog = append(issuedLog, job.Manip.String())
 		}
 	}
 	st := sp.Stats()

@@ -96,6 +96,13 @@ func TestLocksGolden(t *testing.T) {
 	golden(t, lint.LockDiscipline{}, "specdb/internal/fixlock", "locks")
 }
 
+// TestLocksShardGolden pins the strict mode added for the sharded buffer
+// pool: a struct with *Locked helpers has every non-Locked method checked,
+// unexported ones included.
+func TestLocksShardGolden(t *testing.T) {
+	golden(t, lint.LockDiscipline{}, "specdb/internal/fixshard", "locks_shard")
+}
+
 func TestObsPurityGolden(t *testing.T) {
 	golden(t, lint.ObsPurity{}, "specdb/internal/obs", "obspurity")
 }

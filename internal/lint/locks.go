@@ -18,11 +18,17 @@ import (
 //  2. a method whose name ends in "Locked" documents "caller holds the
 //     lock" — it must never acquire the receiver's own lock, which would
 //     self-deadlock on a plain Mutex.
+//
+// A struct that declares any *Locked helper opts into strict discipline:
+// the naming convention makes lock ownership explicit, so an unexported
+// method that relies on the caller's lock must say so in its name. On such
+// structs (the sharded buffer pool's shard is the canonical case) check 1
+// extends to every non-Locked method, exported or not.
 type LockDiscipline struct{}
 
 func (LockDiscipline) Name() string { return "locks" }
 func (LockDiscipline) Doc() string {
-	return "exported methods lock before touching guarded fields; *Locked helpers never re-lock"
+	return "exported methods lock before touching guarded fields; *Locked helpers never re-lock; structs with *Locked helpers hold all non-Locked methods to the exported standard"
 }
 
 var lockAcquire = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
@@ -48,6 +54,15 @@ func (r LockDiscipline) Check(pkg *Package) []Diagnostic {
 		if len(guarded) == 0 {
 			continue
 		}
+		// A *Locked helper anywhere on the struct signals strict discipline:
+		// unexported non-Locked methods are then checked like exported ones.
+		strict := false
+		for _, m := range st.methods {
+			if hasLockedSuffix(m.decl.Name.Name) {
+				strict = true
+				break
+			}
+		}
 		// Enforcement pass.
 		for _, m := range st.methods {
 			name := m.decl.Name.Name
@@ -60,7 +75,7 @@ func (r LockDiscipline) Check(pkg *Package) []Diagnostic {
 				}
 				continue
 			}
-			if !ast.IsExported(name) {
+			if !ast.IsExported(name) && !strict {
 				continue
 			}
 			reported := map[string]bool{}

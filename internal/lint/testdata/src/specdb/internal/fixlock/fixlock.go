@@ -57,8 +57,11 @@ func (b *Box) GoodEarlyReturn() int {
 // Cap reads an unguarded field; no lock needed.
 func (b *Box) Cap() int { return b.cap }
 
-// peek is unexported: it may rely on the caller's lock.
-func (b *Box) peek() int { return b.n }
+// peekLocked relies on the caller's lock. Box declares Locked helpers, so it
+// is under strict discipline: an unexported helper that skips locking must
+// carry the Locked suffix (a bare `peek` would be flagged — see Lax below for
+// the non-strict counterpart).
+func (b *Box) peekLocked() int { return b.n }
 
 // bumpLocked is the documented caller-holds-the-lock shape.
 func (b *Box) bumpLocked() { b.n++ }
@@ -70,10 +73,28 @@ func (b *Box) BadBumpLocked() {
 	b.mu.Unlock()
 }
 
-// Drain uses peek/bumpLocked correctly under one critical section.
+// Drain uses peekLocked/bumpLocked correctly under one critical section.
 func (b *Box) Drain() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.bumpLocked()
-	return b.peek()
+	return b.peekLocked()
 }
+
+// Lax has no *Locked helpers, so the relaxed discipline applies: unexported
+// methods may rely on the caller's lock without a Locked suffix.
+type Lax struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add establishes n as lock-guarded.
+func (l *Lax) Add(d int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n += d
+}
+
+// peek relies on Add's callers holding the lock; without a Locked helper on
+// the struct this stays un-flagged.
+func (l *Lax) peek() int { return l.n }

@@ -1,0 +1,62 @@
+// Package fixshard is a speclint test fixture for the lock rule's strict
+// mode: a lock-striped structure in the style of the sharded buffer pool,
+// where per-shard state is guarded by a per-shard mutex and *Locked helpers
+// do the work inside critical sections. Declaring any *Locked helper opts the
+// struct into strict discipline — every non-Locked method, exported or not,
+// must acquire the lock before touching guarded fields.
+package fixshard
+
+import "sync"
+
+// shard is one lock stripe: hits and resident are guarded by mu, cap is
+// fixed at construction.
+type shard struct {
+	mu       sync.Mutex
+	hits     int64
+	resident map[int]bool
+	cap      int
+}
+
+// hitLocked establishes hits as guarded (written under the caller's lock)
+// and opts shard into strict discipline.
+func (s *shard) hitLocked() { s.hits++ }
+
+// admitLocked establishes resident as guarded.
+func (s *shard) admitLocked(id int) {
+	s.resident[id] = true
+}
+
+// get locks before delegating to the Locked helpers: the correct strict-mode
+// shape for an unexported method.
+func (s *shard) get(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resident[id] {
+		s.hitLocked()
+		return true
+	}
+	s.admitLocked(id)
+	return false
+}
+
+// drain reads guarded fields without locking. shard has Locked helpers, so
+// strict discipline applies and this unexported method is flagged — either
+// it must lock, or it must be named drainLocked.
+func (s *shard) drain() int64 {
+	for id := range s.resident {
+		delete(s.resident, id)
+	}
+	return s.hits
+}
+
+// headroom touches only the unguarded cap field; no lock needed even under
+// strict discipline.
+func (s *shard) headroom() int { return s.cap }
+
+// statsLocked promises the caller holds the lock, then self-locks anyway —
+// the existing Locked-suffix check still applies in strict mode.
+func (s *shard) statsLocked() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}

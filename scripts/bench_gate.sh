@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_gate.sh — CI bench-regression gate.
+#
+# Replays the spec-on vs spec-off benchmark (go test -bench -benchtime=1x)
+# and diffs the live improvement metric against the committed baseline in
+# BENCH_spec.json, failing on a drift beyond ±TOLERANCE_PP percentage points.
+# The improvement metric is simulated time, so it is machine-independent: any
+# drift is a real behavior change, not noise.
+#
+# Also runs the 8-worker parallel pool benchmark and reports its (wall-clock,
+# machine-dependent) ops/sec for the record; that number is informational and
+# never gates.
+#
+# Usage: scripts/bench_gate.sh [baseline.json]
+set -euo pipefail
+
+baseline_file="${1:-BENCH_spec.json}"
+tolerance_pp="${TOLERANCE_PP:-1.0}"
+
+if [[ ! -f "$baseline_file" ]]; then
+  echo "bench_gate: baseline $baseline_file not found" >&2
+  exit 1
+fi
+
+baseline=$(awk -F': *' '/"improvement_pct"/ {gsub(/[ ,]/, "", $2); print $2}' "$baseline_file")
+if [[ -z "$baseline" ]]; then
+  echo "bench_gate: no improvement_pct in $baseline_file" >&2
+  exit 1
+fi
+
+echo "bench_gate: running BenchmarkSpecBench (benchtime=1x)..."
+out=$(go test -run '^$' -bench '^BenchmarkSpecBench$' -benchtime=1x .)
+echo "$out"
+
+live=$(echo "$out" | awk '/improvement_%/ {
+  for (i = 2; i <= NF; i++) if ($i == "improvement_%") { print $(i-1); exit }
+}')
+if [[ -z "$live" ]]; then
+  echo "bench_gate: benchmark produced no improvement_% metric" >&2
+  exit 1
+fi
+
+echo "bench_gate: improvement live=${live}% baseline=${baseline}% tolerance=±${tolerance_pp}pp"
+awk -v live="$live" -v base="$baseline" -v tol="$tolerance_pp" 'BEGIN {
+  d = live - base; if (d < 0) d = -d
+  exit !(d <= tol)
+}' || {
+  echo "bench_gate: FAIL — improvement metric drifted more than ${tolerance_pp}pp from baseline" >&2
+  exit 1
+}
+
+echo "bench_gate: running parallel pool throughput benchmark (informational)..."
+go test -run '^$' -bench '^BenchmarkPoolParallel$' -benchtime=1x ./internal/buffer
+
+echo "bench_gate: OK"

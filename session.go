@@ -45,10 +45,13 @@ type Session struct {
 	mgr *SessionManager
 	id  int64
 
-	mu      sync.Mutex
-	sp      *core.Speculator
-	clock   *sim.Clock
-	pending *core.Job
+	mu    sync.Mutex
+	sp    *core.Speculator
+	clock *sim.Clock
+	// pending holds scheduled manipulation completions ordered by
+	// CompletesAt (FIFO on ties). At most the speculator's worker cap — one
+	// by default.
+	pending []*core.Job
 	closed  bool
 	// recorded holds the session's interaction for TraceJSON.
 	recorded []trace.Event
@@ -78,6 +81,8 @@ func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.L
 		}
 		c.WaitForCompletion = cfg.WaitForCompletion
 		c.NamePrefix = prefix
+		c.Workers = db.specWorkers
+		c.Scheduler = db.sched
 		s.sp = core.NewSpeculator(db.eng, learner, c)
 	}
 	return s
@@ -93,12 +98,36 @@ func (s *Session) checkLive() error {
 		return fmt.Errorf("specdb: session is closed")
 	}
 	if err := s.ctx.Err(); err != nil {
-		if s.sp != nil && s.sp.CancelOutstanding() != nil {
+		if s.sp != nil && len(s.sp.CancelOutstanding()) > 0 {
+			// Everything pending was outstanding; it is all canceled now.
 			s.pending = nil
 		}
 		return fmt.Errorf("specdb: session canceled: %w", err)
 	}
 	return nil
+}
+
+// applyOutcome folds a speculator outcome into the pending completions:
+// canceled (or early-completed) jobs are unscheduled, issued jobs scheduled
+// in completion order. Callers hold s.mu.
+func (s *Session) applyOutcome(out core.EventOutcome) {
+	for _, job := range out.Canceled {
+		for i, j := range s.pending {
+			if j == job {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, job := range out.Issued {
+		i := len(s.pending)
+		for i > 0 && s.pending[i-1].CompletesAt > job.CompletesAt {
+			i--
+		}
+		s.pending = append(s.pending, nil)
+		copy(s.pending[i+1:], s.pending[i:])
+		s.pending[i] = job
+	}
 }
 
 // recoverTo converts a panic escaping a session call — an internal bug —
@@ -133,19 +162,19 @@ func (s *Session) Think(d time.Duration) (err error) {
 // completeDue finalizes pending manipulations due by t, advancing the clock
 // to each completion instant. Callers hold s.mu.
 func (s *Session) completeDue(t sim.Time) error {
-	for s.pending != nil && s.pending.CompletesAt <= t {
-		job := s.pending
+	for len(s.pending) > 0 && s.pending[0].CompletesAt <= t {
+		job := s.pending[0]
+		// The job is no longer scheduled either way; dropping it first means
+		// one poisoned completion cannot wedge the session forever.
+		s.pending = s.pending[1:]
 		if job.CompletesAt > s.clock.Now() {
 			s.clock.AdvanceTo(job.CompletesAt)
 		}
 		next, err := s.sp.Complete(job, job.CompletesAt)
 		if err != nil {
-			// The job is no longer outstanding either way; drop it so one
-			// poisoned completion cannot wedge the session forever.
-			s.pending = nil
 			return fmt.Errorf("specdb: completing manipulation: %w", err)
 		}
-		s.pending = next
+		s.applyOutcome(core.EventOutcome{Issued: next})
 	}
 	return nil
 }
@@ -166,12 +195,7 @@ func (s *Session) apply(ev trace.Event) (err error) {
 		return err
 	}
 	s.record(ev)
-	if out.Canceled != nil {
-		s.pending = nil
-	}
-	if out.Issued != nil {
-		s.pending = out.Issued
-	}
+	s.applyOutcome(out)
 	return nil
 }
 
@@ -268,12 +292,7 @@ func (s *Session) Go() (res *Result, err error) {
 	eres, out, err := s.sp.OnGo(s.clock.Now())
 	// Even on error the outcome's job bookkeeping is authoritative: a wait
 	// consumes the pending completion before the failure can occur.
-	if out.Canceled != nil {
-		s.pending = nil
-	}
-	if out.Issued != nil {
-		s.pending = out.Issued
-	}
+	s.applyOutcome(out)
 	if err != nil {
 		return nil, err
 	}

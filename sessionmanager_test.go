@@ -147,10 +147,10 @@ func TestGoWaitForCompletionAdvancesClock(t *testing.T) {
 	if err := s.AddSelection("lineitem", "l_quantity", "=", 1); err != nil {
 		t.Fatal(err)
 	}
-	job := s.pending
-	if job == nil {
+	if len(s.pending) == 0 {
 		t.Fatal("no manipulation in flight")
 	}
+	job := s.pending[0]
 	completesAt := time.Duration(job.CompletesAt)
 	// Stop thinking just before the manipulation finishes: GO should wait out
 	// the sliver rather than cancel.

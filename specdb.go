@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"specdb/internal/core"
 	"specdb/internal/engine"
 	"specdb/internal/fault"
 	"specdb/internal/plan"
@@ -45,6 +46,18 @@ type Options struct {
 	// BufferPoolPages sizes the buffer pool (default 46 pages — the
 	// paper's 32 MB pool at this repository's data scale).
 	BufferPoolPages int
+	// PoolShards is the number of lock-striped buffer-pool shards (default
+	// 1). With one shard the pool is byte-identical to the historical
+	// single-mutex pool; more shards reduce lock contention when many
+	// sessions run concurrently. The pool clamps the count so every shard
+	// keeps at least two frames.
+	PoolShards int
+	// SpecWorkers caps concurrently outstanding speculative manipulations
+	// per session (default 1, the paper's one-at-a-time convention, and
+	// byte-identical to historical behavior). Higher values let a session's
+	// speculator keep several manipulations in flight, subject to the shared
+	// scheduler's admission control against buffer-pool pressure.
+	SpecWorkers int
 	// UseOptionalViews lets the optimizer consider non-forced materialized
 	// views (query-materialization semantics).
 	UseOptionalViews bool
@@ -95,6 +108,11 @@ func (c FaultConfig) internal() fault.Config {
 // DB is a database instance with a speculative query processor attached.
 type DB struct {
 	eng *engine.Engine
+	// sched is the speculation scheduler shared by every session: it caps
+	// concurrently outstanding manipulations at SpecWorkers and admits extra
+	// jobs only while the buffer pool has headroom.
+	sched       *core.Scheduler
+	specWorkers int
 }
 
 // Open creates an empty database.
@@ -103,11 +121,19 @@ func Open(opts Options) *DB {
 	if pool == 0 {
 		pool = 46
 	}
-	return &DB{eng: engine.New(engine.Config{
+	workers := opts.SpecWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	eng := engine.New(engine.Config{
 		BufferPoolPages: pool,
+		PoolShards:      opts.PoolShards,
 		UseViews:        opts.UseOptionalViews,
 		Fault:           opts.Fault.internal(),
-	})}
+	})
+	sched := core.NewScheduler(workers, eng.Pool)
+	sched.AttachMetrics(eng.Metrics())
+	return &DB{eng: eng, sched: sched, specWorkers: workers}
 }
 
 // LoadTPCH populates the database with the paper's TPC-H-subset dataset at
