@@ -56,6 +56,23 @@ func BenchmarkSpecBench(b *testing.B) {
 	}
 }
 
+// BenchmarkScaledCSE reproduces the BENCH_spec.json scaled-session metrics —
+// the 64-session cross-session CSE comparison (waste with shared speculation
+// off vs on, shared-build count, dedup savings) — so the CI bench gate can
+// diff the waste reduction against the committed baseline with ±1pp tolerance.
+func BenchmarkScaledCSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunScaledBench("100MB", 64, benchData)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WasteReductionPct(), "waste_reduction_%")
+		b.ReportMetric(float64(res.SharedBuilds), "shared_builds")
+		b.ReportMetric(res.DedupSavedS, "dedup_saved_s")
+		b.ReportMetric(res.HitRateOn-res.HitRateOff, "hit_rate_delta")
+	}
+}
+
 // BenchmarkParallelPoolThroughput measures the 8-session sharded-pool
 // throughput headline (wall-clock, machine-dependent): the 8-shard pool
 // versus the single-mutex pool under 8 concurrent workers. The sharded

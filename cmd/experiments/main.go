@@ -41,6 +41,7 @@ func main() {
 	dataSeed := flag.Uint64("dataseed", 42, "dataset seed")
 	scalesFlag := flag.String("scales", "100MB,500MB,1GB", "dataset scales to run")
 	benchOut := flag.String("benchout", "BENCH_spec.json", "output path for -exp bench")
+	scaledSessions := flag.Int("scaledsessions", 64, "concurrent sessions of the bench's scaled cross-session CSE comparison")
 	flag.Parse()
 
 	scales := strings.Split(*scalesFlag, ",")
@@ -88,13 +89,13 @@ func main() {
 	// bench runs only when named explicitly: it writes a file, so it must not
 	// ride along with -exp all.
 	if wanted["bench"] {
-		bench(traces, scales[0], *users, *seed, *dataSeed, *benchOut)
+		bench(traces, scales[0], *users, *seed, *dataSeed, *scaledSessions, *benchOut)
 	}
 }
 
 // bench writes the spec-on vs spec-off benchmark report (see BenchResult in
 // internal/harness for the schema) for the first requested scale.
-func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64, path string) {
+func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64, scaledSessions int, path string) {
 	header(fmt.Sprintf("BENCH(%s)  spec-on vs spec-off → %s", scale, path))
 	res, err := harness.RunBench(scale, traces, dataSeed)
 	if err != nil {
@@ -102,6 +103,18 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 	}
 	res.Users = users
 	res.Seed = seed
+	scaled, err := harness.RunScaledBench(scale, scaledSessions, dataSeed)
+	if err != nil {
+		fatal(err)
+	}
+	res.ScaledSessions = scaled.Sessions
+	res.SharedBuilds = scaled.SharedBuilds
+	res.DedupSavedS = scaled.DedupSavedS
+	res.ScaledWasteOffS = scaled.WasteOffS
+	res.ScaledWasteOnS = scaled.WasteOnS
+	res.ScaledWasteReductionPct = scaled.WasteReductionPct()
+	res.ScaledHitRateOff = scaled.HitRateOff
+	res.ScaledHitRateOn = scaled.HitRateOn
 	const poolWorkers, poolOps = 8, 40000
 	if res.ParallelPool8ShardOpsPerS, err = harness.MeasurePoolThroughput(8, poolWorkers, poolOps, time.Now); err != nil {
 		fatal(err)
@@ -124,6 +137,10 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 		res.Queries, res.RelativeResponseTime, res.ImprovementPct)
 	fmt.Printf("  hit rate %.2f   waste %.1fs   incomplete at GO %.0f%%\n",
 		res.HitRate, res.WasteS, res.IncompletePct)
+	fmt.Printf("  scaled CSE (%d sessions): shared builds %d, dedup saved %.1fs\n",
+		res.ScaledSessions, res.SharedBuilds, res.DedupSavedS)
+	fmt.Printf("  scaled waste %.1fs → %.1fs (−%.1f%%)   hit rate %.2f → %.2f\n",
+		res.ScaledWasteOffS, res.ScaledWasteOnS, res.ScaledWasteReductionPct, res.ScaledHitRateOff, res.ScaledHitRateOn)
 	fmt.Printf("  parallel pool (8 workers): 8-shard %.0f ops/s vs single-mutex %.0f ops/s (%.2fx)\n",
 		res.ParallelPool8ShardOpsPerS, res.ParallelPool1ShardOpsPerS, res.ParallelPoolSpeedup)
 }

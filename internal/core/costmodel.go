@@ -150,6 +150,13 @@ func (cm *CostModel) materializeDuration(g *qgraph.Graph, execCost sim.Duration,
 	return execCost + writeCost + analyzeCost
 }
 
+// MinEstPages is the smallest footprint the cost model ever assigns a priced
+// manipulation: estimatePages clamps every materialization estimate to at
+// least one page. Admission control uses it as the base of its conservative
+// floor for jobs whose EstPages was never filled in — a zero estimate means
+// "unscored", not "free".
+const MinEstPages = 1
+
 // estimatePages converts an estimated row count for sub-query g into pages,
 // using the combined row width of g's relations.
 func (cm *CostModel) estimatePages(g *qgraph.Graph, rows float64) float64 {

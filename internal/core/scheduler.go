@@ -29,6 +29,15 @@ type Scheduler struct {
 	inflight int
 	pool     *buffer.Pool
 	reserve  int // frames always left to the foreground working set
+	// floorPages is the conservative footprint assumed for a job with no
+	// cost estimate. The cost model never prices a materialization below
+	// MinEstPages, so EstPages == 0 means "unscored", not "free" — admission
+	// assumes half the foreground reserve rather than zero.
+	floorPages int
+	// cse, when attached, lets admission cost shared builds once globally: a
+	// job whose subplan is already registered (built or building) adds no new
+	// pages, so its per-copy estimate is not held against the pool headroom.
+	cse *SharedBuilds
 
 	obsAdmitted, obsDeferred *obs.Counter
 }
@@ -42,11 +51,24 @@ func NewScheduler(workers int, pool *buffer.Pool) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{workers: workers, pool: pool}
+	s := &Scheduler{workers: workers, pool: pool, floorPages: MinEstPages}
 	if pool != nil {
 		s.reserve = pool.Capacity() / 4
+		if f := s.reserve / 2; f > s.floorPages {
+			s.floorPages = f
+		}
 	}
 	return s
+}
+
+// AttachCSE wires the shared-build registry into admission decisions.
+func (s *Scheduler) AttachCSE(sb *SharedBuilds) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cse = sb
 }
 
 // AttachMetrics mirrors admission decisions into reg.
@@ -81,9 +103,21 @@ func (s *Scheduler) Inflight() int {
 // AdmitExtra decides whether a speculator may go beyond its first
 // outstanding job with a manipulation whose retained footprint is estPages:
 // a worker slot must be free and the footprint must fit in the pool's
-// current headroom minus the foreground reserve. It does not claim the slot
-// — the speculator calls Acquire from issue() once the job really starts.
+// current headroom minus the foreground reserve. A missing estimate
+// (estPages <= 0) is floored to floorPages — the cost model never prices
+// real work at zero, so an unscored footprint must not auto-admit. It does
+// not claim the slot — the speculator calls Acquire from issue() once the
+// job really starts.
 func (s *Scheduler) AdmitExtra(estPages int) bool {
+	return s.AdmitExtraKeyed("", estPages)
+}
+
+// AdmitExtraKeyed is AdmitExtra with the manipulation's key: when a
+// shared-build registry is attached and the key's subplan is already
+// registered (ready or in flight), the job adds no new pages — the build
+// exists once globally — so admission charges it zero footprint instead of
+// the per-copy estimate.
+func (s *Scheduler) AdmitExtraKeyed(key string, estPages int) bool {
 	if s == nil {
 		return true
 	}
@@ -95,7 +129,14 @@ func (s *Scheduler) AdmitExtra(estPages int) bool {
 		}
 		return false
 	}
-	if s.pool != nil && estPages > s.pool.Headroom()-s.reserve {
+	pages := estPages
+	switch {
+	case s.cse != nil && key != "" && s.cse.Known(sharedGraphKey(key)):
+		pages = 0
+	case pages <= 0:
+		pages = s.floorPages
+	}
+	if s.pool != nil && pages > s.pool.Headroom()-s.reserve {
 		if s.obsDeferred != nil {
 			s.obsDeferred.Inc()
 		}
@@ -105,6 +146,16 @@ func (s *Scheduler) AdmitExtra(estPages int) bool {
 		s.obsAdmitted.Inc()
 	}
 	return true
+}
+
+// sharedGraphKey strips a materialization manipulation key ("mat|<graph>")
+// down to the registry's graph key; other manipulation kinds are never
+// shared, so their keys pass through unchanged (and miss the registry).
+func sharedGraphKey(key string) string {
+	if len(key) > 4 && key[:4] == "mat|" {
+		return key[4:]
+	}
+	return key
 }
 
 // Acquire claims one worker slot for an issued job. Every issued job holds

@@ -69,6 +69,17 @@ type Config struct {
 	// every speculator of one engine. Nil admits everything (single-session
 	// default).
 	Scheduler *Scheduler
+	// CSE, when non-nil, is the engine-wide shared-build registry
+	// (DESIGN.md §11): identical materialization subplans across sessions are
+	// built once and refcounted instead of duplicated. Nil (the default)
+	// keeps the historical per-session build behavior, decision for decision.
+	CSE *SharedBuilds
+	// BudgetPages caps this session's retained speculative footprint: the
+	// summed EstPages of its outstanding manipulations and completed
+	// materializations it still holds. Candidates that would exceed the
+	// budget are skipped (Stats.BudgetDeferred). 0 (the default) disables
+	// the budget.
+	BudgetPages int
 
 	// Failure containment (DESIGN.md §8). Speculation is best-effort: a
 	// failed manipulation must never fail the session. MaxManipAttempts
@@ -145,6 +156,16 @@ type Stats struct {
 	Abandoned      int
 	BreakerTrips   int
 	BreakerResumes int
+	// Cross-session CSE (DESIGN.md §11). SharedBuilds counts materializations
+	// this speculator built into the shared registry; SharedAttached counts
+	// ready shared builds adopted instead of rebuilt; DedupSaved is the build
+	// time those adoptions avoided. BudgetDeferred counts candidates skipped
+	// because the per-session page budget (Config.BudgetPages) was exhausted.
+	// All zero with Config.CSE == nil and Config.BudgetPages == 0.
+	SharedBuilds   int
+	SharedAttached int
+	DedupSaved     sim.Duration
+	BudgetDeferred int
 	// Hits counts final queries whose plan used at least one completed
 	// speculative materialization; Misses counts the rest. Hits+Misses is
 	// the number of GO events answered.
@@ -172,6 +193,11 @@ type Job struct {
 	// jobID is the engine contention-model registration, held from issue
 	// until completion or cancellation.
 	jobID int64
+
+	// cseKey is the shared-build registry claim this job holds ("" when the
+	// job is not a shared build): the manipulation graph's canonical CSEKey.
+	// Cancel/abort withdraw the claim; Complete marks the build ready.
+	cseKey string
 
 	// span traces the issue→completion/cancellation window.
 	span *obs.ActiveSpan
@@ -228,6 +254,25 @@ type Speculator struct {
 	// stagedRels tracks data-staging results for garbage collection.
 	stagedRels map[string]bool
 
+	// Cross-session CSE state (nil/empty when cfg.CSE is nil). sharedKeys
+	// marks graph keys in completed that are refcounted registry builds;
+	// sharedOwned marks the subset this speculator materialized itself (the
+	// rest were adopted from other sessions).
+	cse         *SharedBuilds
+	sharedKeys  map[string]bool
+	sharedOwned map[string]bool
+	// retainedPages is the summed EstPages of outstanding jobs plus held
+	// completed materializations — the footprint Config.BudgetPages caps.
+	// completedPages remembers each held materialization's contribution.
+	retainedPages  int
+	completedPages map[string]int
+
+	// wasteCharges ledgers every Stats.Waste charge by build identity (the
+	// speculative table name for materializations, key@issue-instant
+	// otherwise). Each executed build may be charged at most once — the
+	// invariant TestWasteChargedOncePerBuild enforces.
+	wasteCharges map[string]int
+
 	stats Stats
 
 	// Failure containment state (DESIGN.md §8): per-key consecutive failure
@@ -246,6 +291,8 @@ type Speculator struct {
 	obsCanceled, obsGC, obsWasteNs              *obs.Counter
 	obsFailed, obsAborted, obsAbandoned         *obs.Counter
 	obsUndoFailures, obsDeferred                *obs.Counter
+	obsWaitedAtGo, obsSuspended                 *obs.Counter
+	obsBudgetDeferred                           *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -280,16 +327,21 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 			RiskAversion:         cfg.RiskAversion,
 			CompressionThreshold: cfg.CompressionThreshold,
 		},
-		cfg:           cfg,
-		partial:       qgraph.New(),
-		seenSels:      make(map[string]qgraph.Selection),
-		seenJoins:     make(map[string]qgraph.Join),
-		completed:     make(map[string]string),
-		completedCost: make(map[string]sim.Duration),
-		stagedRels:    make(map[string]bool),
-		attempts:      make(map[string]int),
-		abandoned:     make(map[string]bool),
-		breaker:       breaker,
+		cfg:            cfg,
+		cse:            cfg.CSE,
+		partial:        qgraph.New(),
+		seenSels:       make(map[string]qgraph.Selection),
+		seenJoins:      make(map[string]qgraph.Join),
+		completed:      make(map[string]string),
+		completedCost:  make(map[string]sim.Duration),
+		stagedRels:     make(map[string]bool),
+		sharedKeys:     make(map[string]bool),
+		sharedOwned:    make(map[string]bool),
+		completedPages: make(map[string]int),
+		wasteCharges:   make(map[string]int),
+		attempts:       make(map[string]int),
+		abandoned:      make(map[string]bool),
+		breaker:        breaker,
 
 		obsIssued:    eng.Metrics().Counter("spec.issued"),
 		obsCompleted: eng.Metrics().Counter("spec.completed"),
@@ -304,11 +356,45 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 
 		obsUndoFailures: eng.Metrics().Counter("spec.undo_failures"),
 		obsDeferred:     eng.Metrics().Counter("spec.deferred"),
+
+		obsWaitedAtGo:     eng.Metrics().Counter("spec.waited_at_go"),
+		obsSuspended:      eng.Metrics().Counter("spec.suspended"),
+		obsBudgetDeferred: eng.Metrics().Counter("spec.budget_deferred"),
 	}
 }
 
 // Breaker exposes the per-session circuit breaker (for tests/diagnostics).
 func (sp *Speculator) Breaker() *fault.Breaker { return sp.breaker }
+
+// chargeWaste charges d of never-useful manipulation time to Stats.Waste and
+// the spec.waste_ns mirror. buildID identifies the executed build being
+// charged — the speculative table name for materializations, key@issue-instant
+// for the rest — and feeds the per-build ledger behind WasteCharges: a single
+// execution's cost must hit Waste at most once, however it terminates
+// (canceled, aborted, or garbage-collected unused).
+func (sp *Speculator) chargeWaste(buildID string, d sim.Duration) {
+	sp.stats.Waste += d
+	sp.obsWasteNs.Add(int64(d))
+	sp.wasteCharges[buildID]++
+}
+
+// wasteBuildID names a job's execution for the waste ledger.
+func wasteBuildID(job *Job) string {
+	if job.tableName != "" {
+		return job.tableName
+	}
+	return fmt.Sprintf("%s@%d", job.Manip.Key(), int64(job.IssuedAt))
+}
+
+// WasteCharges exposes the per-build waste ledger (build identity → number of
+// charges) for the charged-once invariant test. The returned map is a copy.
+func (sp *Speculator) WasteCharges() map[string]int {
+	out := make(map[string]int, len(sp.wasteCharges))
+	for k, v := range sp.wasteCharges {
+		out[k] = v
+	}
+	return out
+}
 
 // Stats reports session counters.
 func (sp *Speculator) Stats() Stats { return sp.stats }
@@ -394,7 +480,23 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
 		return sp.fillSlots(now)
 	}
 	if job.Manip.Kind == ManipMaterialize {
-		sp.completedCost[job.Manip.Graph.Key()] = job.CompletesAt.Sub(job.IssuedAt)
+		gk := job.Manip.Graph.Key()
+		sp.completedPages[gk] = job.Manip.EstPages
+		if job.cseKey != "" {
+			// A shared build: the registry owns its waste accounting (charged
+			// once across all consumers at the last release), so the
+			// per-session completedCost stays empty for it.
+			sp.cse.FinishBuild(job.cseKey, job.CompletesAt.Sub(job.IssuedAt))
+			sp.sharedKeys[gk] = true
+			sp.sharedOwned[gk] = true
+		} else {
+			sp.completedCost[gk] = job.CompletesAt.Sub(job.IssuedAt)
+		}
+	} else {
+		// Indexes, histograms, and staged pages become durable catalog
+		// improvements at completion; they stop counting against the
+		// session's retained-footprint budget.
+		sp.releaseRetained(job.Manip.EstPages)
 	}
 	sp.stats.Completed++
 	sp.obsCompleted.Inc()
@@ -478,9 +580,7 @@ func (sp *Speculator) finalize(job *Job) error {
 // manipulation's retry budget and the session breaker.
 func (sp *Speculator) abort(job *Job, now sim.Time, cause error) {
 	sp.undo(job)
-	elapsed := job.CompletesAt.Sub(job.IssuedAt)
-	sp.stats.Waste += elapsed
-	sp.obsWasteNs.Add(int64(elapsed))
+	sp.chargeWaste(wasteBuildID(job), job.CompletesAt.Sub(job.IssuedAt))
 	sp.stats.Aborted++
 	sp.obsAborted.Inc()
 	if job.span != nil {
@@ -567,6 +667,7 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 			waited = waitJob.CompletesAt.Sub(now)
 			out.Waited = waited
 			sp.stats.WaitedAtGo++
+			sp.obsWaitedAtGo.Inc()
 		}
 	}
 	if sp.partial.IsEmpty() {
@@ -691,17 +792,28 @@ func (sp *Speculator) collectGarbage() error {
 		if v != nil && sp.partial.Contains(v.Graph) {
 			continue
 		}
+		if sp.sharedKeys[key] {
+			// A refcounted shared build: this session releases its reference;
+			// only the last consumer drops the table, and only then — if no
+			// consumer's final query ever read the view — is the build cost
+			// charged as waste, once across all sessions (DESIGN.md §11).
+			if err := sp.releaseShared(key, true); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := sp.eng.DropTable(table); err != nil {
 			return err
 		}
 		delete(sp.completed, key)
+		sp.releaseRetained(sp.completedPages[key])
+		delete(sp.completedPages, key)
 		sp.stats.GarbageCollected++
 		sp.obsGC.Inc()
 		// A build cost still in completedCost means no final query ever read
 		// the view: the whole materialization was wasted work.
 		if c, ok := sp.completedCost[key]; ok {
-			sp.stats.Waste += c
-			sp.obsWasteNs.Add(int64(c))
+			sp.chargeWaste(table, c)
 			delete(sp.completedCost, key)
 		}
 	}
@@ -714,6 +826,58 @@ func (sp *Speculator) collectGarbage() error {
 		}
 	}
 	return nil
+}
+
+// releaseShared drops this speculator's reference on shared build key,
+// removing it from the session's prepared set. The last consumer to release
+// drops the backing table; chargeIfUnused selects garbage-collection
+// semantics (an unused build's cost is charged to the dropper's waste, once
+// globally) versus shutdown semantics (teardown is not waste, matching the
+// single-session convention).
+func (sp *Speculator) releaseShared(key string, chargeIfUnused bool) error {
+	drop, table, cost, charge := sp.cse.Release(key, chargeIfUnused)
+	delete(sp.completed, key)
+	delete(sp.sharedKeys, key)
+	if sp.sharedOwned[key] {
+		delete(sp.sharedOwned, key)
+		if chargeIfUnused {
+			sp.stats.GarbageCollected++
+		}
+	}
+	sp.releaseRetained(sp.completedPages[key])
+	delete(sp.completedPages, key)
+	if !drop {
+		return nil
+	}
+	if err := sp.eng.DropTable(table); err != nil {
+		return err
+	}
+	sp.obsGC.Inc()
+	if charge {
+		sp.chargeWaste(table, cost)
+	}
+	return nil
+}
+
+// adoptSharedBuild attaches a ready shared build to this session's prepared
+// set: the view rewrites this session's queries and is refcounted until this
+// session garbage-collects or shuts down. No job is issued and no build time
+// is spent — the avoided cost is recorded as DedupSaved.
+func (sp *Speculator) adoptSharedBuild(key, table string, cost sim.Duration, estPages int) {
+	sp.completed[key] = table
+	sp.sharedKeys[key] = true
+	sp.completedPages[key] = estPages
+	sp.retainedPages += estPages
+	sp.stats.SharedAttached++
+	sp.stats.DedupSaved += cost
+}
+
+// releaseRetained returns pages to the session's budget headroom.
+func (sp *Speculator) releaseRetained(pages int) {
+	sp.retainedPages -= pages
+	if sp.retainedPages < 0 {
+		sp.retainedPages = 0
+	}
 }
 
 // sortedKeys returns a map's keys in sorted order so that engine-mutating
@@ -732,6 +896,7 @@ func sortedKeys[V any](m map[string]V) []string {
 func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 	if sp.cfg.SuspendWhenBusy > 0 && sp.eng.ActiveJobs() >= sp.cfg.SuspendWhenBusy {
 		sp.stats.Suspended++
+		sp.obsSuspended.Inc()
 		return nil, nil
 	}
 	// Failure containment: honor the post-failure backoff. A no-op on the
@@ -744,6 +909,9 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 		elapsed = now.Sub(sp.formStart).Seconds()
 	}
 	candidates := EnumerateManipulations(sp.partial, sp.cfg.Ops, sp.cfg.SelectionsOnly, sp.isKnown)
+	if sp.cse != nil {
+		return sp.maybeIssueShared(candidates, elapsed, now)
+	}
 	var best *Manipulation
 	for i := range candidates {
 		m := &candidates[i]
@@ -761,6 +929,14 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 		}
 	}
 	if best == nil {
+		return nil, nil
+	}
+	// Per-session budget: a candidate that would push the session's retained
+	// speculative footprint past BudgetPages is skipped. Inactive (and
+	// decision-identical to history) at the 0 default.
+	if sp.cfg.BudgetPages > 0 && sp.retainedPages+best.EstPages > sp.cfg.BudgetPages {
+		sp.stats.BudgetDeferred++
+		sp.obsBudgetDeferred.Inc()
 		return nil, nil
 	}
 	// Extra jobs (beyond this speculator's first outstanding manipulation)
@@ -788,9 +964,112 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 		sp.noteFailure(best.Key(), now, err)
 		return nil, nil
 	}
+	sp.retainedPages += best.EstPages
 	sp.outstanding = append(sp.outstanding, job)
 	sp.stats.Issued++
 	return job, nil
+}
+
+// maybeIssueShared is maybeIssue's candidate loop under cross-session CSE
+// (cfg.CSE != nil). Candidates are walked in descending benefit order (stable
+// on ties, preserving enumeration order): a ready shared build is adopted in
+// place — no job, no slot, no build time — and the walk continues; an
+// in-flight one is skipped rather than duplicated (its owner's completion
+// will make it adoptable); only a novel subplan is claimed in the registry
+// and issued. At most one job is issued per call, exactly like the default
+// path — fillSlots drives repeated calls while slots remain.
+func (sp *Speculator) maybeIssueShared(candidates []Manipulation, elapsed float64, now sim.Time) (*Job, error) {
+	scored := make([]*Manipulation, 0, len(candidates))
+	for i := range candidates {
+		m := &candidates[i]
+		if sp.abandoned[m.Key()] {
+			continue
+		}
+		if err := sp.cm.Score(m, elapsed); err != nil {
+			return nil, err
+		}
+		// Adopt ready shared builds BEFORE the benefit filter: once another
+		// session's build of this subplan is registered, its view already
+		// rewrites this session's plans, so the candidate's score collapses
+		// to ~zero precisely because the work is done. Attaching refcounts
+		// the freeload — the build cannot then be dropped out from under
+		// this session, and its cost is credited as dedup savings, not spent
+		// again. Adoption occupies no worker slot and is never budget-gated
+		// (the pages exist once globally, whoever holds references).
+		if m.Kind == ManipMaterialize {
+			gk := CSEKey(m.Graph)
+			if table, cost, ok := sp.cse.Attach(gk); ok {
+				sp.adoptSharedBuild(gk, table, cost, m.EstPages)
+				continue
+			}
+		}
+		if m.Benefit < sp.cfg.MinBenefit {
+			continue
+		}
+		scored = append(scored, m)
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].Benefit > scored[j].Benefit })
+	for _, m := range scored {
+		claimed := false
+		gk := ""
+		if m.Kind == ManipMaterialize {
+			gk = CSEKey(m.Graph)
+			if table, cost, ok := sp.cse.Attach(gk); ok {
+				// Became ready since the scoring pass (a concurrent session
+				// finished it): adopt instead of building.
+				sp.adoptSharedBuild(gk, table, cost, m.EstPages)
+				continue // the slot is still free for the next candidate
+			}
+			if inflight, _ := sp.cse.State(gk); inflight {
+				sp.cse.NoteInflightSkip()
+				continue // another session is building it; adopt once ready
+			}
+			if !sp.cse.TryClaim(gk, m.EstPages) {
+				continue // lost a concurrent claim race; re-evaluate later
+			}
+			claimed = true
+		}
+		if sp.cfg.BudgetPages > 0 && sp.retainedPages+m.EstPages > sp.cfg.BudgetPages {
+			if claimed {
+				sp.cse.AbortClaim(gk)
+			}
+			sp.stats.BudgetDeferred++
+			sp.obsBudgetDeferred.Inc()
+			continue
+		}
+		if len(sp.outstanding) > 0 && !sp.sched.AdmitExtraKeyed(m.Key(), m.EstPages) {
+			if claimed {
+				sp.cse.AbortClaim(gk)
+			}
+			sp.stats.Deferred++
+			sp.obsDeferred.Inc()
+			continue
+		}
+		if !sp.breaker.Allow(now) {
+			if claimed {
+				sp.cse.AbortClaim(gk)
+			}
+			return nil, nil
+		}
+		job, err := sp.issue(*m, now)
+		if err != nil {
+			if claimed {
+				sp.cse.AbortClaim(gk)
+			}
+			sp.noteFailure(m.Key(), now, err)
+			return nil, nil
+		}
+		if claimed {
+			job.cseKey = gk
+			sp.cse.SetTable(gk, job.tableName)
+			sp.stats.SharedBuilds++
+		}
+		sp.retainedPages += m.EstPages
+		sp.outstanding = append(sp.outstanding, job)
+		sp.stats.Issued++
+		return job, nil
+	}
+	return nil, nil
 }
 
 // isKnown filters the enumeration against running and completed work and
@@ -803,14 +1082,25 @@ func (sp *Speculator) isKnown(key string) bool {
 	}
 	switch {
 	case len(key) > 4 && key[:4] == "mat|":
-		if _, ok := sp.completed[key[4:]]; ok {
+		gk := key[4:]
+		if _, ok := sp.completed[gk]; ok {
 			return true
 		}
 		// An identical view may pre-exist (Figure 6's Spec+Views mode).
 		for _, v := range sp.eng.Catalog.Views() {
-			if "mat|"+v.Graph.Key() == key {
-				return true
+			if "mat|"+v.Graph.Key() != key {
+				continue
 			}
+			if sp.cse != nil {
+				if _, ready := sp.cse.State(gk); ready {
+					// Another session's ready shared build: keep the subplan
+					// enumerable so the candidate loop can adopt (refcount)
+					// it instead of silently freeloading on a view that may
+					// be dropped out from under this session.
+					continue
+				}
+			}
+			return true
 		}
 	case len(key) > 4 && key[:4] == "idx|":
 		rel, col, ok := splitRelCol(key[4:])
@@ -927,12 +1217,19 @@ func (sp *Speculator) cancelAt(job *Job, at sim.Time, outcome string) {
 	end := job.IssuedAt
 	if at > 0 {
 		end = at
-		if e := at.Sub(job.IssuedAt); e >= 0 && e < elapsed {
+		switch e := at.Sub(job.IssuedAt); {
+		case e < 0:
+			// The job was issued at a future instant (a GO that waited for a
+			// completion issues follow-ups at now+waited) and is canceled
+			// before that instant ever arrives: it never ran, so charging its
+			// full duration — as this path once did — overstates waste.
+			elapsed = 0
+			end = job.IssuedAt
+		case e < elapsed:
 			elapsed = e
 		}
 	}
-	sp.stats.Waste += elapsed
-	sp.obsWasteNs.Add(int64(elapsed))
+	sp.chargeWaste(wasteBuildID(job), elapsed)
 	sp.obsCanceled.Inc()
 	if job.span != nil {
 		job.span.Annotate("outcome", outcome)
@@ -958,6 +1255,11 @@ func (sp *Speculator) recordHit(node plan.Node) {
 					hit = true
 					delete(sp.completedCost, key)
 				}
+				// Any shared build this query read — adopted by this session
+				// or not — is paid for: its cost must never be charged as
+				// waste by whichever session releases it last. Nil-safe
+				// no-op without CSE.
+				sp.cse.MarkPaidTable(a.Table.Name)
 			}
 		})
 	}
@@ -993,6 +1295,14 @@ func (sp *Speculator) cancel(job *Job) {
 // undo reverts a job's hidden side effects (shared by cancellation and by
 // completion-failure rollback, where EndJob has already run).
 func (sp *Speculator) undo(job *Job) {
+	if job.cseKey != "" {
+		// Withdraw the shared-build claim: no session can have attached while
+		// the build was in flight, so the entry simply disappears and another
+		// session may claim the subplan afresh.
+		sp.cse.AbortClaim(job.cseKey)
+		job.cseKey = ""
+	}
+	sp.releaseRetained(job.Manip.EstPages)
 	switch job.Manip.Kind {
 	case ManipMaterialize:
 		// The table was never registered as a view; drop it. Its buffer-pool
@@ -1037,6 +1347,15 @@ func (sp *Speculator) Shutdown() error {
 	}
 	sp.outstanding = nil
 	for _, key := range sortedKeys(sp.completed) {
+		if sp.sharedKeys[key] {
+			// Shutdown releases the session's shared-build references without
+			// charging waste (teardown, like the single-session convention);
+			// the last consumer's release drops the table.
+			if err := sp.releaseShared(key, false); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := sp.eng.DropTable(sp.completed[key]); err != nil {
 			return err
 		}

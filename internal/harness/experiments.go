@@ -650,6 +650,29 @@ type BenchResult struct {
 	GarbageCollected    int `json:"garbage_collected"`
 	Hits                int `json:"hits"`
 	Misses              int `json:"misses"`
+	// WaitedAtGo and Suspended are the TRUE sums over every trace of the
+	// corpus (computed with addStatsAll from the per-trace stats). The legacy
+	// aggregate dropped both fields — see addStats — and the ablation
+	// experiments' pinned text outputs still do; only the bench report carries
+	// the real aggregates.
+	WaitedAtGo int `json:"waited_at_go"`
+	Suspended  int `json:"suspended"`
+
+	// Scaled-session cross-session CSE comparison (DESIGN.md §11): the same
+	// ScaledSessions-session merged replay run twice — shared speculation off,
+	// then on — over identical traces and a fresh identical dataset each time.
+	ScaledSessions int `json:"scaled_sessions"`
+	// SharedBuilds counts registry builds that reached >= 2 consumers in the
+	// CSE-on run; DedupSavedS is the total build time attachments avoided.
+	SharedBuilds int     `json:"shared_builds"`
+	DedupSavedS  float64 `json:"dedup_saved_s"`
+	// ScaledWasteOffS / ScaledWasteOnS are total wasted manipulation seconds
+	// without and with CSE; ScaledWasteReductionPct = 100·(1 − on/off).
+	ScaledWasteOffS         float64 `json:"scaled_waste_off_s"`
+	ScaledWasteOnS          float64 `json:"scaled_waste_on_s"`
+	ScaledWasteReductionPct float64 `json:"scaled_waste_reduction_pct"`
+	ScaledHitRateOff        float64 `json:"scaled_hit_rate_off"`
+	ScaledHitRateOn         float64 `json:"scaled_hit_rate_on"`
 
 	// Parallel buffer-pool throughput: wall-clock Get/Unpin ops/sec of 8
 	// concurrent sessions against the 8-shard and single-mutex pools (see
@@ -698,6 +721,9 @@ func RunBench(scaleName string, traces []*trace.Trace, seed uint64) (*BenchResul
 		Misses:              pr.Stats.Misses,
 		WasteS:              pr.Stats.Waste.Seconds(),
 	}
+	full := SumStatsAll(pr.PerTrace)
+	res.WaitedAtGo = full.WaitedAtGo
+	res.Suspended = full.Suspended
 	if off > 0 {
 		res.RelativeResponseTime = on / off
 		res.ImprovementPct = (1 - on/off) * 100
@@ -710,6 +736,72 @@ func RunBench(scaleName string, traces []*trace.Trace, seed uint64) (*BenchResul
 	}
 	if pr.Stats.MaterializationsIssued > 0 {
 		res.AvgMaterializationS = pr.Stats.MaterializationTime.Seconds() / float64(pr.Stats.MaterializationsIssued)
+	}
+	return res, nil
+}
+
+// ScaledBenchResult is one cross-session CSE comparison at scale: the same
+// merged replay of Sessions short sessions, run with shared speculation off
+// and then on, over identical traces and identical fresh datasets.
+type ScaledBenchResult struct {
+	Sessions     int
+	WasteOffS    float64
+	WasteOnS     float64
+	HitRateOff   float64
+	HitRateOn    float64
+	SharedBuilds int
+	DedupSavedS  float64
+}
+
+// WasteReductionPct is 100·(1 − on/off), the headline scaled metric the bench
+// gate tracks (0 when the off run wasted nothing).
+func (r *ScaledBenchResult) WasteReductionPct() float64 {
+	if r.WasteOffS == 0 {
+		return 0
+	}
+	return (1 - r.WasteOnS/r.WasteOffS) * 100
+}
+
+// RunScaledBench runs the scaled-session CSE experiment: sessions concurrent
+// simulated sessions over one database, CSE off versus on. Each mode gets a
+// fresh identically seeded environment, so the replays differ only in the
+// shared-build registry.
+func RunScaledBench(scaleName string, sessions int, seed uint64) (*ScaledBenchResult, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := ScaledCorpus(tpch.Vocabulary(), sessions, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScaledBenchResult{Sessions: sessions}
+	for _, cse := range []bool{false, true} {
+		env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed, BufferPoolPages: PoolPages96MB})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		if cse {
+			cfg.CSE = core.NewSharedBuilds(env.Eng.Metrics())
+		}
+		out, err := RunScaledSessions(env.Eng, traces, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hitRate := 0.0
+		if t := out.Stats.Hits + out.Stats.Misses; t > 0 {
+			hitRate = float64(out.Stats.Hits) / float64(t)
+		}
+		if cse {
+			res.WasteOnS = out.Stats.Waste.Seconds()
+			res.HitRateOn = hitRate
+			res.SharedBuilds = out.SharedBuilds
+			res.DedupSavedS = out.DedupSaved.Seconds()
+		} else {
+			res.WasteOffS = out.Stats.Waste.Seconds()
+			res.HitRateOff = hitRate
+		}
 	}
 	return res, nil
 }

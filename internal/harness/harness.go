@@ -341,7 +341,11 @@ func DefaultLearnerConfig() core.LearnerConfig { return core.DefaultLearnerConfi
 type PairedRun struct {
 	Normal []QueryTiming
 	Spec   []QueryTiming
-	Stats  core.Stats // aggregated speculation counters
+	Stats  core.Stats // aggregated speculation counters (see addStats)
+	// PerTrace holds each trace's un-aggregated speculation counters, so
+	// callers that need the fields addStats drops (WaitedAtGo, Suspended) can
+	// sum them exactly without disturbing the pinned Stats aggregate.
+	PerTrace []core.Stats
 }
 
 // RunPaired executes the paired replay for a corpus.
@@ -359,6 +363,7 @@ func RunPaired(env *Env, traces []*trace.Trace, cfg core.Config) (*PairedRun, er
 		}
 		out.Spec = append(out.Spec, so.Timings...)
 		out.Stats = addStats(out.Stats, so.Stats)
+		out.PerTrace = append(out.PerTrace, so.Stats)
 	}
 	if len(out.Normal) != len(out.Spec) {
 		return nil, fmt.Errorf("harness: paired runs disagree: %d vs %d queries", len(out.Normal), len(out.Spec))
@@ -375,7 +380,8 @@ func addStats(a, b core.Stats) core.Stats {
 	// WaitedAtGo and Suspended are intentionally NOT summed: the ablation
 	// experiments have always reported them from the aggregate's zero value,
 	// and their printed outputs are pinned. Exact per-session values are
-	// available through specdb.Session.Stats / SessionManager.Stats.
+	// available through specdb.Session.Stats / SessionManager.Stats, through
+	// PairedRun.PerTrace, or via addStatsAll for new aggregates.
 	a.MaterializationsIssued += b.MaterializationsIssued
 	a.MaterializationTime += b.MaterializationTime
 	a.GarbageCollected += b.GarbageCollected
@@ -383,6 +389,37 @@ func addStats(a, b core.Stats) core.Stats {
 	a.Misses += b.Misses
 	a.Waste += b.Waste
 	return a
+}
+
+// addStatsAll sums EVERY Stats field, unlike addStats, whose omissions are
+// pinned into historical experiment outputs. New aggregates (the bench
+// report's true waited/suspended counts, the scaled-session experiments) use
+// this complete summation.
+func addStatsAll(a, b core.Stats) core.Stats {
+	a = addStats(a, b)
+	a.WaitedAtGo += b.WaitedAtGo
+	a.Suspended += b.Suspended
+	a.Deferred += b.Deferred
+	a.Failed += b.Failed
+	a.Aborted += b.Aborted
+	a.Abandoned += b.Abandoned
+	a.BreakerTrips += b.BreakerTrips
+	a.BreakerResumes += b.BreakerResumes
+	a.SharedBuilds += b.SharedBuilds
+	a.SharedAttached += b.SharedAttached
+	a.DedupSaved += b.DedupSaved
+	a.BudgetDeferred += b.BudgetDeferred
+	return a
+}
+
+// SumStatsAll fully aggregates a per-session stats slice (every field summed;
+// see addStatsAll).
+func SumStatsAll(per []core.Stats) core.Stats {
+	var total core.Stats
+	for _, s := range per {
+		total = addStatsAll(total, s)
+	}
+	return total
 }
 
 // MultiUserOutcome reports a simultaneous multi-user replay.
@@ -396,8 +433,24 @@ type MultiUserOutcome struct {
 // user has an independent Speculator, and the engine's contention model sees
 // the other users' in-flight manipulations.
 func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) (*MultiUserOutcome, error) {
-	if err := eng.ColdStart(); err != nil {
+	timings, perUser, err := runMultiUserSpec(eng, traces, cfg)
+	if err != nil {
 		return nil, err
+	}
+	out := &MultiUserOutcome{Timings: timings}
+	for _, s := range perUser {
+		out.Stats = addStats(out.Stats, s)
+	}
+	return out, nil
+}
+
+// runMultiUserSpec is the merged-event replay loop shared by the multi-user
+// and scaled-session experiments. It returns each user's un-aggregated stats
+// (snapshotted before that user's Shutdown) so callers pick their own
+// aggregation.
+func runMultiUserSpec(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) ([]QueryTiming, []core.Stats, error) {
+	if err := eng.ColdStart(); err != nil {
+		return nil, nil, err
 	}
 	type userState struct {
 		sp      *core.Speculator
@@ -435,23 +488,23 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 	// maintains an active-job count by hand. A speculator's own job is never
 	// registered while its own engine work is measured, which preserves the
 	// previous "other users' jobs" semantics exactly.
-	out := &MultiUserOutcome{}
+	var timings []QueryTiming
 	for _, item := range all {
 		u := users[item.user]
 		at := item.ev.At()
 		// Complete due jobs for every user up to this instant.
 		for _, other := range users {
 			if err := other.pending.advance(other.sp, at); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if item.ev.Kind == trace.EvGo {
 			res, goOut, err := u.sp.OnGo(at)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			u.pending.apply(goOut)
-			out.Timings = append(out.Timings, QueryTiming{
+			timings = append(timings, QueryTiming{
 				TraceIdx: item.user,
 				QueryIdx: u.qIdx,
 				Seconds:  res.Duration.Seconds(),
@@ -463,17 +516,65 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 		}
 		evOut, err := u.sp.OnEvent(item.ev, at)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		u.pending.apply(evOut)
 	}
-	for _, u := range users {
-		out.Stats = addStats(out.Stats, u.sp.Stats())
+	perUser := make([]core.Stats, len(users))
+	for i, u := range users {
+		perUser[i] = u.sp.Stats()
 		if err := u.sp.Shutdown(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	return timings, perUser, nil
+}
+
+// ScaledOutcome reports one scaled-session replay: hundreds of concurrent
+// simulated sessions over one database (DESIGN.md §11's evaluation setting).
+type ScaledOutcome struct {
+	Timings []QueryTiming
+	// PerUser holds each session's stats; Stats is their COMPLETE sum
+	// (addStatsAll — unlike the pinned multi-user aggregate).
+	PerUser []core.Stats
+	Stats   core.Stats
+	// SharedBuilds / DedupSaved snapshot the shared-build registry's lifetime
+	// aggregates (zero when cfg.CSE was nil).
+	SharedBuilds int
+	DedupSaved   sim.Duration
+}
+
+// RunScaledSessions replays traces as simultaneous sessions with full stats
+// aggregation. The caller supplies the config — including, for cross-session
+// CSE runs, a shared core.SharedBuilds registry and a shared core.Scheduler —
+// so CSE on/off comparisons replay the identical merged event sequence.
+func RunScaledSessions(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) (*ScaledOutcome, error) {
+	timings, perUser, err := runMultiUserSpec(eng, traces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScaledOutcome{Timings: timings, PerUser: perUser, Stats: SumStatsAll(perUser)}
+	out.SharedBuilds, out.DedupSaved = cfg.CSE.Snapshot()
 	return out, nil
+}
+
+// ScaledCorpus generates the scaled-session trace corpus: sessions short
+// traces (a handful of queries each) with per-session seeds derived from
+// seed, so hundreds of sessions replay in reasonable test time while still
+// overlapping heavily in the subplans they speculate.
+func ScaledCorpus(v *trace.Vocabulary, sessions int, seed uint64) ([]*trace.Trace, error) {
+	traces := make([]*trace.Trace, 0, sessions)
+	for i := 0; i < sessions; i++ {
+		cfg := trace.DefaultGenConfig(fmt.Sprintf("scaled%03d", i+1), seed+uint64(i)*1000003)
+		cfg.NumQueries = 4
+		cfg.NumTasks = 1
+		t, err := trace.Generate(v, cfg)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, t)
+	}
+	return traces, nil
 }
 
 // RunMultiUserNormal replays several traces simultaneously WITHOUT

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"specdb/internal/core"
+	"specdb/internal/tpch"
 )
 
 // TestMetamorphicEquivalence replays the same generated traces under every
@@ -85,5 +86,88 @@ func TestMetamorphicEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestMetamorphicScaledCSE replays the same 64-session merged event sequence
+// under cross-session CSE off/on × workers {1, 3} and asserts the cross-
+// session layer is a pure performance transform: per-query result row
+// multisets are identical everywhere, every session satisfies the quiesce
+// identity, and shared builds really happen in the CSE runs.
+func TestMetamorphicScaledCSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled metamorphic replay matrix is slow")
+	}
+	const sessions = 64
+	traces, err := ScaledCorpus(tpch.Vocabulary(), sessions, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type mode struct {
+		name    string
+		cse     bool
+		workers int
+	}
+	modes := []mode{
+		{name: "cse=off,workers=1", workers: 1},
+		{name: "cse=off,workers=3", workers: 3},
+		{name: "cse=on,workers=1", cse: true, workers: 1},
+		{name: "cse=on,workers=3", cse: true, workers: 3},
+	}
+
+	// reference[user][queryIdx] from cse=off workers=1.
+	var reference map[string]QueryTiming
+	key := func(qt QueryTiming) string { return fmt.Sprintf("%d/%d", qt.TraceIdx, qt.QueryIdx) }
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			env := tinyEnv(t, EnvConfig{BufferPoolPages: PoolPages96MB})
+			cfg := core.DefaultConfig()
+			cfg.Workers = m.workers
+			cfg.Scheduler = core.NewScheduler(m.workers, env.Eng.Pool)
+			if m.cse {
+				cfg.CSE = core.NewSharedBuilds(env.Eng.Metrics())
+				cfg.Scheduler.AttachCSE(cfg.CSE)
+			}
+			out, err := RunScaledSessions(env.Eng, traces, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reference == nil {
+				reference = map[string]QueryTiming{}
+				for _, qt := range out.Timings {
+					reference[key(qt)] = qt
+				}
+				return
+			}
+			if len(out.Timings) != len(reference) {
+				t.Fatalf("%d queries answered, reference has %d", len(out.Timings), len(reference))
+			}
+			for _, qt := range out.Timings {
+				want, ok := reference[key(qt)]
+				if !ok {
+					t.Fatalf("query %s missing from reference", key(qt))
+				}
+				if qt.Rows != want.Rows || qt.RowsKey != want.RowsKey {
+					t.Errorf("query %s: row-set (n=%d key=%x) differs from reference (n=%d key=%x)",
+						key(qt), qt.Rows, qt.RowsKey, want.Rows, want.RowsKey)
+				}
+			}
+			for u, st := range out.PerUser {
+				terminal := st.Completed + st.CanceledInvalidated + st.CanceledAtGo + st.CanceledOnClose + st.Aborted
+				if st.Issued != terminal {
+					t.Errorf("session %d: quiesce identity violated: issued %d != terminal %d (%+v)", u, st.Issued, terminal, st)
+				}
+			}
+			if m.cse {
+				if out.Stats.SharedAttached == 0 {
+					t.Error("CSE run attached no shared builds")
+				}
+				if out.SharedBuilds == 0 {
+					t.Error("CSE run produced no shared (>= 2 consumer) builds")
+				}
+			} else if out.Stats.SharedAttached != 0 || out.SharedBuilds != 0 {
+				t.Errorf("CSE-off run reports sharing: %+v", out.Stats)
+			}
+		})
 	}
 }

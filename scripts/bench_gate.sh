@@ -7,9 +7,15 @@
 # The improvement metric is simulated time, so it is machine-independent: any
 # drift is a real behavior change, not noise.
 #
+# Also replays the 64-session cross-session CSE benchmark and gates its waste
+# reduction (±TOLERANCE_PP) and dedup savings (±1% relative) against the
+# baseline, requiring at least one shared (deduplicated) build.
+#
 # Also runs the 8-worker parallel pool benchmark and reports its (wall-clock,
-# machine-dependent) ops/sec for the record; that number is informational and
-# never gates.
+# machine-dependent) ops/sec for the record; that number — and the committed
+# parallel_pool_speedup — is informational and never gates. On a single-CPU
+# runner (GOMAXPROCS=1) the speedup is expected to sit at or below 1× because
+# the workers cannot actually run in parallel.
 #
 # Usage: scripts/bench_gate.sh [baseline.json]
 set -euo pipefail
@@ -22,7 +28,27 @@ if [[ ! -f "$baseline_file" ]]; then
   exit 1
 fi
 
-baseline=$(awk -F': *' '/"improvement_pct"/ {gsub(/[ ,]/, "", $2); print $2}' "$baseline_file")
+# json_num <field> — pull a bare numeric field out of the baseline JSON.
+json_num() {
+  awk -F': *' -v f="\"$1\"" '$1 ~ f {gsub(/[ ,]/, "", $2); print $2; exit}' "$baseline_file"
+}
+
+# metric <benchmark output> <unit> — value preceding a go-bench metric unit.
+metric() {
+  echo "$1" | awk -v u="$2" '{
+    for (i = 2; i <= NF; i++) if ($i == u) { print $(i-1); exit }
+  }'
+}
+
+# within_pp <live> <base> <tolerance> — absolute difference check.
+within_pp() {
+  awk -v live="$1" -v base="$2" -v tol="$3" 'BEGIN {
+    d = live - base; if (d < 0) d = -d
+    exit !(d <= tol)
+  }'
+}
+
+baseline=$(json_num improvement_pct)
 if [[ -z "$baseline" ]]; then
   echo "bench_gate: no improvement_pct in $baseline_file" >&2
   exit 1
@@ -32,24 +58,65 @@ echo "bench_gate: running BenchmarkSpecBench (benchtime=1x)..."
 out=$(go test -run '^$' -bench '^BenchmarkSpecBench$' -benchtime=1x .)
 echo "$out"
 
-live=$(echo "$out" | awk '/improvement_%/ {
-  for (i = 2; i <= NF; i++) if ($i == "improvement_%") { print $(i-1); exit }
-}')
+live=$(metric "$out" "improvement_%")
 if [[ -z "$live" ]]; then
   echo "bench_gate: benchmark produced no improvement_% metric" >&2
   exit 1
 fi
 
 echo "bench_gate: improvement live=${live}% baseline=${baseline}% tolerance=±${tolerance_pp}pp"
-awk -v live="$live" -v base="$baseline" -v tol="$tolerance_pp" 'BEGIN {
-  d = live - base; if (d < 0) d = -d
-  exit !(d <= tol)
-}' || {
+within_pp "$live" "$baseline" "$tolerance_pp" || {
   echo "bench_gate: FAIL — improvement metric drifted more than ${tolerance_pp}pp from baseline" >&2
   exit 1
 }
 
+base_waste_red=$(json_num scaled_waste_reduction_pct)
+base_dedup=$(json_num dedup_saved_s)
+if [[ -n "$base_waste_red" && -n "$base_dedup" ]]; then
+  echo "bench_gate: running BenchmarkScaledCSE (benchtime=1x)..."
+  scaled=$(go test -run '^$' -bench '^BenchmarkScaledCSE$' -benchtime=1x .)
+  echo "$scaled"
+
+  live_waste_red=$(metric "$scaled" "waste_reduction_%")
+  live_shared=$(metric "$scaled" "shared_builds")
+  live_dedup=$(metric "$scaled" "dedup_saved_s")
+  if [[ -z "$live_waste_red" || -z "$live_shared" || -z "$live_dedup" ]]; then
+    echo "bench_gate: scaled benchmark produced no CSE metrics" >&2
+    exit 1
+  fi
+
+  echo "bench_gate: scaled waste reduction live=${live_waste_red}% baseline=${base_waste_red}% tolerance=±${tolerance_pp}pp"
+  within_pp "$live_waste_red" "$base_waste_red" "$tolerance_pp" || {
+    echo "bench_gate: FAIL — scaled waste reduction drifted more than ${tolerance_pp}pp from baseline" >&2
+    exit 1
+  }
+
+  awk -v n="$live_shared" 'BEGIN { exit !(n + 0 >= 1) }' || {
+    echo "bench_gate: FAIL — cross-session CSE deduplicated no builds (shared_builds=${live_shared})" >&2
+    exit 1
+  }
+
+  # dedup_saved_s is simulated seconds, so compare relatively: ±1% of baseline.
+  echo "bench_gate: dedup saved live=${live_dedup}s baseline=${base_dedup}s tolerance=±1%"
+  awk -v live="$live_dedup" -v base="$base_dedup" 'BEGIN {
+    d = live - base; if (d < 0) d = -d
+    exit !(d <= base * 0.01)
+  }' || {
+    echo "bench_gate: FAIL — dedup_saved_s drifted more than 1% from baseline" >&2
+    exit 1
+  }
+else
+  echo "bench_gate: baseline has no scaled CSE metrics; skipping scaled gate" >&2
+fi
+
 echo "bench_gate: running parallel pool throughput benchmark (informational)..."
 go test -run '^$' -bench '^BenchmarkPoolParallel$' -benchtime=1x ./internal/buffer
+
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}"
+if [[ "$gomaxprocs" == "1" ]]; then
+  echo "bench_gate: GOMAXPROCS=1 — parallel_pool_speedup is informational only (no true parallelism; ≤1× is expected, not a regression)"
+else
+  echo "bench_gate: parallel pool numbers are wall-clock and informational; they never gate"
+fi
 
 echo "bench_gate: OK"

@@ -28,6 +28,11 @@ type SessionConfig struct {
 	// than losing it, the final query is delayed until the manipulation
 	// completes. The session clock advances by the wait.
 	WaitForCompletion bool
+	// BudgetPages overrides the DB's default per-session speculation budget
+	// (Options.SpecBudgetPages) for this session: the retained speculative
+	// footprint this session may hold, in pages. 0 inherits the DB default;
+	// negative disables the budget for this session.
+	BudgetPages int
 }
 
 // Session is the programmatic equivalent of the paper's visual query
@@ -83,6 +88,13 @@ func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.L
 		c.NamePrefix = prefix
 		c.Workers = db.specWorkers
 		c.Scheduler = db.sched
+		c.CSE = db.cse
+		switch {
+		case cfg.BudgetPages > 0:
+			c.BudgetPages = cfg.BudgetPages
+		case cfg.BudgetPages == 0:
+			c.BudgetPages = db.budgetPages
+		}
 		s.sp = core.NewSpeculator(db.eng, learner, c)
 	}
 	return s
@@ -333,6 +345,16 @@ type Stats struct {
 	// a successful half-open probe.
 	BreakerTrips   int
 	BreakerResumes int
+	// Cross-session CSE counters (zero unless Options.SharedSpeculation).
+	// SharedBuilds counts materializations this session built into the
+	// shared registry; SharedAttached counts ready shared builds adopted
+	// instead of rebuilt; DedupSaved is the build time those adoptions
+	// avoided. BudgetDeferred counts candidates skipped by the per-session
+	// page budget.
+	SharedBuilds   int
+	SharedAttached int
+	DedupSaved     time.Duration
+	BudgetDeferred int
 	// Hits counts final queries answered using at least one completed
 	// speculative materialization; Misses counts the rest.
 	Hits   int
@@ -364,6 +386,10 @@ func (s *Session) Stats() Stats {
 		Abandoned:           st.Abandoned,
 		BreakerTrips:        st.BreakerTrips,
 		BreakerResumes:      st.BreakerResumes,
+		SharedBuilds:        st.SharedBuilds,
+		SharedAttached:      st.SharedAttached,
+		DedupSaved:          time.Duration(st.DedupSaved),
+		BudgetDeferred:      st.BudgetDeferred,
 		Hits:                st.Hits,
 		Misses:              st.Misses,
 		Waste:               time.Duration(st.Waste),

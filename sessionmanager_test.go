@@ -381,3 +381,121 @@ func TestConcurrentSessionsStress(t *testing.T) {
 		t.Fatalf("%d pages still staged after all sessions closed", got)
 	}
 }
+
+// TestScaledSessionsSharedSpeculation is the hundred-session-scale version of
+// the stress test with cross-session CSE on: 96 concurrent sessions, heavily
+// overlapping subplans (12 distinct selections across all of them), refcounted
+// shared builds, per-session budgets, and extra workers. Run under -race this
+// is the CSE layer's safety net; at quiesce it checks the whole substrate —
+// lifecycle identities, the shared registry drained, no leaked tables.
+func TestScaledSessionsSharedSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled concurrent stress is slow")
+	}
+	db := Open(Options{
+		BufferPoolPages:   138,
+		PoolShards:        8,
+		SpecWorkers:       2,
+		SharedSpeculation: true,
+		SpecBudgetPages:   64,
+	})
+	if err := db.LoadTPCH("100MB", 42); err != nil {
+		t.Fatal(err)
+	}
+	m := db.NewSessionManager()
+	before := tableSet(db)
+
+	const users = 96
+	sessions := make([]*Session, users)
+	errCh := make(chan error, users)
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := m.Open(SessionConfig{SelectionsOnly: i%3 == 0})
+			sessions[i] = s
+			// Only 12 distinct subplans across 96 sessions: most sessions
+			// speculate a subplan someone else is also speculating, which is
+			// exactly the CSE layer's target workload.
+			if err := s.AddSelection("lineitem", "l_quantity", "=", 1+i%12); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Think(30 * time.Second); err != nil {
+				errCh <- err
+				return
+			}
+			if i%2 == 0 {
+				if err := s.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey"); err != nil {
+					errCh <- err
+					return
+				}
+				if err := s.Think(30 * time.Second); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if _, err := s.Go(); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Clear(); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Per-session lifecycle identities at quiesce, and the cross-session
+	// waste ledger: one build execution is charged at most once globally.
+	globalCharges := map[string]int{}
+	var attached int
+	for i, s := range sessions {
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		terminal := st.Completed + st.CanceledInvalidated + st.CanceledAtGo + st.CanceledOnClose + st.Aborted
+		if st.Issued != terminal {
+			t.Errorf("session %d: issued %d != terminal %d (%+v)", i, st.Issued, terminal, st)
+		}
+		if st.GarbageCollected > st.Completed {
+			t.Errorf("session %d: GC'd %d > completed %d", i, st.GarbageCollected, st.Completed)
+		}
+		attached += st.SharedAttached
+		for id, n := range s.sp.WasteCharges() {
+			globalCharges[id] += n
+		}
+	}
+	for id, n := range globalCharges {
+		if n > 1 {
+			t.Errorf("build %s charged to waste %d times across sessions", id, n)
+		}
+	}
+	if attached == 0 {
+		t.Error("no session attached to a shared build despite 8x subplan overlap")
+	}
+
+	if err := m.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The registry must be fully drained: every shared build released by its
+	// last holder and its backing table dropped.
+	if got := db.cse.RetainedPages(); got != 0 {
+		t.Fatalf("shared-build registry retains %d pages after CloseAll", got)
+	}
+	if leaked := newTables(db, before); len(leaked) != 0 {
+		t.Fatalf("speculative tables leaked: %v", leaked)
+	}
+	if got := db.eng.ActiveJobs(); got != 0 {
+		t.Fatalf("ActiveJobs = %d after all sessions closed", got)
+	}
+	if got := db.eng.Pool.StagedCount(); got != 0 {
+		t.Fatalf("%d pages still staged after all sessions closed", got)
+	}
+}

@@ -58,6 +58,17 @@ type Options struct {
 	// speculator keep several manipulations in flight, subject to the shared
 	// scheduler's admission control against buffer-pool pressure.
 	SpecWorkers int
+	// SharedSpeculation enables the cross-session manipulation CSE layer
+	// (DESIGN.md §11): sessions speculating the same subplan materialize it
+	// once into a refcounted shared build instead of each building a private
+	// copy. Default false — single-session behavior is byte-identical to
+	// history.
+	SharedSpeculation bool
+	// SpecBudgetPages caps each session's retained speculative footprint
+	// (outstanding manipulations plus held materializations, in pages).
+	// Candidates that would exceed it are skipped. 0 disables the budget.
+	// Individual sessions may override it via SessionConfig.BudgetPages.
+	SpecBudgetPages int
 	// UseOptionalViews lets the optimizer consider non-forced materialized
 	// views (query-materialization semantics).
 	UseOptionalViews bool
@@ -113,6 +124,12 @@ type DB struct {
 	// jobs only while the buffer pool has headroom.
 	sched       *core.Scheduler
 	specWorkers int
+	// cse is the cross-session shared-build registry (nil unless
+	// Options.SharedSpeculation).
+	cse *core.SharedBuilds
+	// budgetPages is the default per-session speculation budget
+	// (Options.SpecBudgetPages; 0 = unlimited).
+	budgetPages int
 }
 
 // Open creates an empty database.
@@ -133,7 +150,12 @@ func Open(opts Options) *DB {
 	})
 	sched := core.NewScheduler(workers, eng.Pool)
 	sched.AttachMetrics(eng.Metrics())
-	return &DB{eng: eng, sched: sched, specWorkers: workers}
+	db := &DB{eng: eng, sched: sched, specWorkers: workers, budgetPages: opts.SpecBudgetPages}
+	if opts.SharedSpeculation {
+		db.cse = core.NewSharedBuilds(eng.Metrics())
+		sched.AttachCSE(db.cse)
+	}
+	return db
 }
 
 // LoadTPCH populates the database with the paper's TPC-H-subset dataset at
