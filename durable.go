@@ -1,0 +1,68 @@
+package specdb
+
+import (
+	"errors"
+	"fmt"
+
+	"specdb/internal/core"
+	"specdb/internal/engine"
+)
+
+// OpenDurable opens a database backed by the page file at opts.Storage.Path,
+// creating it when absent. On an existing file, recovery replays the
+// write-ahead log to the last committed statement and restores the catalog,
+// base tables, indexes, histograms, materialized views, and the learned user
+// profile; speculative spec_s<id> namespaces do not survive (by design —
+// they are cheap to rebuild and only valid for a live formulation).
+//
+//	db, err := specdb.OpenDurable(specdb.Options{
+//		Storage: specdb.StorageConfig{Path: "/data/specdb.pages"},
+//	})
+//	...
+//	defer db.Close()
+//
+// Durability is statement-grained: every successful non-speculative mutating
+// statement is a commit point. A crash between commits rolls back to the
+// previous one.
+func OpenDurable(opts Options) (*DB, error) {
+	if opts.Storage.Path == "" {
+		return nil, errors.New("specdb: OpenDurable requires Options.Storage.Path")
+	}
+	cfg := baseConfig(opts)
+	cfg.Storage = engine.StorageConfig{
+		Path:            opts.Storage.Path,
+		CheckpointBytes: opts.Storage.CheckpointBytes,
+		Sync:            opts.Storage.Sync,
+	}
+	eng, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := assemble(opts, eng)
+	db.learner = core.NewLearner(core.DefaultLearnerConfig())
+	if p := eng.RecoveredProfile(); len(p) > 0 {
+		if err := db.learner.ImportProfile(p); err != nil {
+			return nil, errors.Join(
+				fmt.Errorf("specdb: restore learned profile: %w", err),
+				eng.Close(),
+			)
+		}
+	}
+	eng.SetProfileSource(db.learner.ExportProfile)
+	return db, nil
+}
+
+// Close commits the current state — including the latest learned profile —
+// and releases the durable backend. On in-memory databases it is a no-op.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint commits and folds the write-ahead log into the page file,
+// truncating the log. A no-op on in-memory databases.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Durable reports whether the database is backed by a page file.
+func (db *DB) Durable() bool { return db.eng.Durable() }
+
+// ProfileLearned reports whether a learned user profile was restored from
+// durable storage at open.
+func (db *DB) ProfileLearned() bool { return len(db.eng.RecoveredProfile()) > 0 }

@@ -1,0 +1,119 @@
+package specdb
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestOpenDurableRoundTrip exercises the public durability API end to end: a
+// durable database is loaded, a speculative session trains the shared profile
+// and leaves namespaced objects behind, and after Close + OpenDurable the base
+// tables answer identically, the profile is restored, and the speculative
+// namespace is gone.
+func TestOpenDurableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.pages")
+	opts := Options{BufferPoolPages: 64, Storage: StorageConfig{Path: path}}
+
+	db, err := OpenDurable(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() {
+		t.Fatal("OpenDurable returned a non-durable DB")
+	}
+	if db.ProfileLearned() {
+		t.Fatal("fresh database claims a recovered profile")
+	}
+	if err := db.LoadTPCH("100MB", 42); err != nil {
+		t.Fatal(err)
+	}
+
+	// A session trains the shared durable learner and speculates.
+	s := db.NewSession(SessionConfig{})
+	if err := s.AddSelection("lineitem", "l_quantity", "<", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Think(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Go(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const probe = "SELECT * FROM lineitem WHERE lineitem.l_quantity < 4"
+	ref, err := db.Exec(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := db.Tables()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDurable(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := re.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if !re.ProfileLearned() {
+		t.Error("learned profile did not survive the restart")
+	}
+	if got := re.Tables(); !reflect.DeepEqual(got, tables) {
+		t.Fatalf("recovered tables %v, want %v", got, tables)
+	}
+	got, err := re.Exec(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowCount != ref.RowCount || !reflect.DeepEqual(got.Rows, ref.Rows) {
+		t.Errorf("recovered probe returned %d rows, want %d", got.RowCount, ref.RowCount)
+	}
+	// A new session on the recovered DB shares the restored profile and can
+	// speculate from a clean slate.
+	s2 := re.NewSession(SessionConfig{})
+	if err := s2.AddSelection("lineitem", "l_quantity", "<", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Think(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Go(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDurableRequiresPath(t *testing.T) {
+	if _, err := OpenDurable(Options{}); err == nil {
+		t.Fatal("OpenDurable without a path succeeded")
+	}
+}
+
+// TestInMemoryDurabilityNoOps pins that the in-memory DB's durability surface
+// is inert: Open ignores Options.Storage, and Close/Checkpoint are no-ops.
+func TestInMemoryDurabilityNoOps(t *testing.T) {
+	db := Open(Options{Storage: StorageConfig{Path: "ignored"}})
+	if db.Durable() {
+		t.Fatal("Open honored Options.Storage; only OpenDurable may")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

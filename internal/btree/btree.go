@@ -65,6 +65,24 @@ func New(pool storage.PagePool, pageSize int) (*BTree, error) {
 	return t, nil
 }
 
+// Open rehydrates a tree from recovered metadata: the root, page list,
+// height, and entry count a durable backend persisted at the last commit.
+// The node pages themselves are already durable, so no rebuild happens —
+// traversals simply fetch them through the pool like any other access.
+func Open(pool storage.PagePool, pageSize int, root storage.PageID, pages []storage.PageID, height int, entries int64) *BTree {
+	t := &BTree{pool: pool, capacity: pageSize, root: root, height: height, entries: entries}
+	t.pages = make([]storage.PageID, len(pages))
+	copy(t.pages, pages)
+	return t
+}
+
+// Root reports the root page (persisted by durable backends at commit).
+func (t *BTree) Root() storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
 // Height reports the number of levels (1 for a lone leaf).
 func (t *BTree) Height() int {
 	t.mu.RLock()

@@ -71,10 +71,18 @@ type shard struct {
 	ioRetries  int64 // transient read/write faults absorbed by retry
 	corruption int64 // checksum mismatches detected on fetch
 
+	// durable marks a WAL-backed disk underneath: every successful
+	// write-back is then also a log append, so it is counted separately and
+	// charged one extra page write. Off (the default) leaves the in-memory
+	// accounting byte-identical to history.
+	durable       bool
+	durableWrites int64
+
 	// Mirror counters in an observability registry (nil until AttachMetrics).
 	// Purely observational: they never charge the meter or change eviction.
 	obsHits, obsMisses, obsWrites, obsFetches  *obs.Counter
 	obsMisuses, obsRetries, obsDetectedCorrupt *obs.Counter
+	obsDurableWrites                           *obs.Counter
 }
 
 // Stats is a snapshot of the pool's cumulative traffic counters. The pool
@@ -269,12 +277,37 @@ func (p *Pool) AttachMetrics(reg *obs.Registry) {
 	misuses := reg.Counter("buffer.pool.misuses")
 	retries := reg.Counter("buffer.pool.io_retries")
 	corrupt := reg.Counter("fault.detected.corruptions")
+	durable := reg.Counter("buffer.pool.durable_writes")
 	for _, s := range p.shards {
 		s.mu.Lock()
 		s.obsHits, s.obsMisses, s.obsWrites, s.obsFetches = hits, misses, writes, fetches
 		s.obsMisuses, s.obsRetries, s.obsDetectedCorrupt = misuses, retries, corrupt
+		s.obsDurableWrites = durable
 		s.mu.Unlock()
 	}
+}
+
+// SetDurableAccounting marks the disk underneath as WAL-backed: every
+// successful write-back is additionally counted (and metered) as a log
+// append. The engine flips this on exactly when it opens a durable backend.
+func (p *Pool) SetDurableAccounting(on bool) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.durable = on
+		s.mu.Unlock()
+	}
+}
+
+// DurableWrites reports write-backs that also appended to a WAL (0 for
+// in-memory backends).
+func (p *Pool) DurableWrites() int64 {
+	var n int64
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.durableWrites
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Misuses reports how many pin-discipline violations were recorded.
@@ -699,6 +732,17 @@ func (s *shard) writeBackLocked(f *frame) error {
 			s.obsWrites.Inc()
 		}
 		s.meter.ChargePageWrite(1)
+		if s.durable {
+			// The backend logged a full page image before acking: a durable
+			// write-back is two physical writes, and the second is metered
+			// here rather than inside storage so the meter remains the single
+			// accounting point (DESIGN.md §1).
+			s.durableWrites++
+			if s.obsDurableWrites != nil {
+				s.obsDurableWrites.Inc()
+			}
+			s.meter.ChargePageWrite(1)
+		}
 		return nil
 	}
 	return fmt.Errorf("buffer: page %d unwritable after %d retries: %w", f.id, maxIORetries, lastErr)

@@ -149,6 +149,26 @@ func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error)
 	return t, nil
 }
 
+// RestoreTable registers a table around an already-populated heap file —
+// the recovery path, where a durable backend rehydrated the heap from its
+// persisted page list instead of creating an empty one.
+func (c *Catalog) RestoreTable(name string, schema *tuple.Schema, heap *storage.HeapFile) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Heap:    heap,
+		stats:   make(map[string]*stats.ColumnStats),
+		indexes: make(map[string]*Index),
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
 // Table resolves a table by name.
 func (c *Catalog) Table(name string) (*Table, error) {
 	c.mu.RLock()

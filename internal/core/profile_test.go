@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"specdb/internal/qgraph"
+	"specdb/internal/tuple"
+)
+
+// trainLearner feeds a deterministic set of observations so every estimator
+// (survival global + per-col/per-key, retention, think-time moments) holds
+// non-trivial state.
+func trainLearner(l *Learner) {
+	final := qgraph.New()
+	final.AddRelation("R")
+	final.AddRelation("S")
+	s1 := qgraph.Selection{Rel: "R", Col: "a", Op: tuple.CmpLT, Const: tuple.NewInt(5)}
+	s2 := qgraph.Selection{Rel: "S", Col: "b", Op: tuple.CmpGT, Const: tuple.NewInt(2)}
+	j := qgraph.NewJoin("R", "a", "S", "a")
+	final.AddSelection(s1)
+	final.AddJoin(j)
+	l.ObserveFormulation([]qgraph.Selection{s1, s2}, []qgraph.Join{j}, final)
+
+	prev := qgraph.New()
+	prev.AddRelation("R")
+	prev.AddSelection(s1)
+	l.ObserveTransition(prev, final)
+
+	for _, secs := range []float64{3, 12, 40, 7} {
+		l.ObserveFormulationDuration(secs)
+	}
+}
+
+func TestProfileExportImportRoundTrip(t *testing.T) {
+	src := NewLearner(DefaultLearnerConfig())
+	trainLearner(src)
+	blob, err := src.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty profile export")
+	}
+
+	dst := NewLearner(DefaultLearnerConfig())
+	if err := dst.ImportProfile(blob); err != nil {
+		t.Fatal(err)
+	}
+	// Export → import → export must be byte-stable: the durable backend
+	// compares and embeds these blobs directly.
+	again, err := dst.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("profile not byte-stable across round-trip\nfirst:  %s\nsecond: %s", blob, again)
+	}
+
+	// The imported learner must predict identically to the source.
+	sel := qgraph.Selection{Rel: "R", Col: "a", Op: tuple.CmpLT, Const: tuple.NewInt(5)}
+	if a, b := src.SelectionSurvival(sel), dst.SelectionSurvival(sel); a != b {
+		t.Fatalf("SelectionSurvival diverged: %v vs %v", a, b)
+	}
+	join := qgraph.NewJoin("R", "a", "S", "a")
+	if a, b := src.JoinSurvival(join), dst.JoinSurvival(join); a != b {
+		t.Fatalf("JoinSurvival diverged: %v vs %v", a, b)
+	}
+	if a, b := src.CompletionProbability(5, 10), dst.CompletionProbability(5, 10); a != b {
+		t.Fatalf("CompletionProbability diverged: %v vs %v", a, b)
+	}
+}
+
+func TestProfileImportReplacesState(t *testing.T) {
+	fresh := NewLearner(DefaultLearnerConfig())
+	blank, err := fresh.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := NewLearner(DefaultLearnerConfig())
+	trainLearner(trained)
+	// Importing a blank profile over a trained learner must fully reset it.
+	if err := trained.ImportProfile(blank); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trained.ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blank) {
+		t.Fatalf("import did not replace state\ngot:  %s\nwant: %s", got, blank)
+	}
+}
+
+func TestProfileImportRejectsBadInput(t *testing.T) {
+	l := NewLearner(DefaultLearnerConfig())
+	if err := l.ImportProfile([]byte("not json")); err == nil {
+		t.Fatal("garbage profile accepted")
+	}
+	// A future version must be refused, not misread.
+	var d map[string]any
+	blob, err := NewLearner(DefaultLearnerConfig()).ExportProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &d); err != nil {
+		t.Fatal(err)
+	}
+	d["version"] = profileVersion + 1
+	forged, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ImportProfile(forged); err == nil {
+		t.Fatal("future-versioned profile accepted")
+	}
+}

@@ -60,6 +60,10 @@ type Config struct {
 	// zero value injects nothing and leaves the engine byte-identical to an
 	// uninstrumented one.
 	Fault fault.Config
+	// Storage selects the durable page-file backend (DESIGN.md §12). The
+	// zero value keeps the in-memory disk and byte-identical behavior;
+	// engines with Storage.Path set must be constructed via Open, not New.
+	Storage StorageConfig
 }
 
 // Result reports one executed statement.
@@ -123,10 +127,26 @@ type Engine struct {
 
 	seqMu sync.Mutex
 	seq   int64
+
+	// Durable-mode state (see durable.go); all nil/zero on in-memory
+	// engines, whose behavior stays byte-identical to history.
+	fileDisk           *storage.FileDisk
+	durMu              sync.Mutex
+	appliedSeq         int64
+	lastProfile        []byte
+	profileSrc         func() ([]byte, error)
+	recoveredProfile   []byte
+	recoveredOrphans   int
+	obsCommits         *obs.Counter
+	obsCheckpointPages *obs.Counter
 }
 
-// New constructs an empty engine.
-func New(cfg Config) *Engine {
+// New constructs an empty in-memory engine. Use Open for a durable one.
+func New(cfg Config) *Engine { return build(cfg, nil) }
+
+// build assembles an engine over base (nil means a fresh in-memory
+// DiskManager). It is shared by New and the durable Open path.
+func build(cfg Config, base storage.Disk) *Engine {
 	if cfg.BufferPoolPages < 2 {
 		cfg.BufferPoolPages = 64
 	}
@@ -137,7 +157,10 @@ func New(cfg Config) *Engine {
 		cfg.HistogramBuckets = 20
 	}
 	inj := fault.NewInjector(cfg.Fault) // nil when cfg.Fault injects nothing
-	disk := fault.WrapDisk(storage.NewDiskManager(cfg.PageSize), inj)
+	if base == nil {
+		base = storage.NewDiskManager(cfg.PageSize)
+	}
+	disk := fault.WrapDisk(base, inj)
 	meter := sim.NewMeter()
 	if cfg.PoolShards < 1 {
 		cfg.PoolShards = 1
@@ -525,6 +548,9 @@ func (e *Engine) materializeQuery(name string, q *plan.Query, g *qgraph.Graph, f
 	if err != nil {
 		return nil, err
 	}
+	if err := e.commitStmt(name); err != nil {
+		return nil, err
+	}
 	res.Schema = node.Schema()
 	res.Work = work
 	res.Duration = d
@@ -588,6 +614,9 @@ func (e *Engine) CreateIndex(table, column string) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.commitStmt(table); err != nil {
+		return nil, err
+	}
 	res.Work = work
 	res.Duration = d
 	return res, nil
@@ -609,7 +638,7 @@ func (e *Engine) DropIndex(table, column string) error {
 		return err
 	}
 	t.RemoveIndex(column)
-	return nil
+	return e.commitStmt(table)
 }
 
 // CreateHistogram builds an equi-depth histogram on table.column, improving
@@ -645,6 +674,9 @@ func (e *Engine) CreateHistogram(table, column string) (res *Result, err error) 
 	if err != nil {
 		return nil, err
 	}
+	if err := e.commitStmt(table); err != nil {
+		return nil, err
+	}
 	res.Work = work
 	res.Duration = d
 	return res, nil
@@ -659,7 +691,7 @@ func (e *Engine) DropHistogram(table, column string) error {
 	if cs := t.ColumnStats(column); cs != nil {
 		cs.SetHist(nil)
 	}
-	return nil
+	return e.commitStmt(table)
 }
 
 // Stage pre-fetches and pins a table's heap pages in the buffer pool: the
@@ -726,12 +758,22 @@ func (e *Engine) DropTable(name string) (err error) {
 	for _, id := range t.Heap.PageIDs() {
 		e.Pool.Unstage(id) // staged pages must not block the free
 	}
-	return e.Catalog.DropTable(name)
+	if err := e.Catalog.DropTable(name); err != nil {
+		return err
+	}
+	return e.commitStmt(name)
 }
 
 // CreateTable registers an empty base table (bulk-load path).
 func (e *Engine) CreateTable(name string, schema *tuple.Schema) (*catalog.Table, error) {
-	return e.Catalog.CreateTable(name, schema)
+	t, err := e.Catalog.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.commitStmt(name); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // InsertRows bulk-inserts rows into a table (no per-statement measurement —
@@ -755,7 +797,7 @@ func (e *Engine) InsertRows(name string, rows []tuple.Row) error {
 			return err
 		}
 	}
-	return nil
+	return e.commitStmt(name)
 }
 
 // Analyze recomputes statistics for a table.
@@ -766,7 +808,10 @@ func (e *Engine) Analyze(name string) error {
 	if err != nil {
 		return err
 	}
-	return catalog.Analyze(t)
+	if err := catalog.Analyze(t); err != nil {
+		return err
+	}
+	return e.commitStmt(name)
 }
 
 // ColdStart flushes and empties the buffer pool, simulating the paper's

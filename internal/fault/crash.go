@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by a durable storage backend after a simulated
+// process kill: the backend refuses every further operation, exactly as a
+// dead process would. It is deliberately NOT transient — the buffer pool's
+// retry machinery must surface it immediately instead of masking it, because
+// no retry brings a killed process back. Recovery happens by reopening the
+// page file, not by retrying the handle.
+var ErrCrashed = errors.New("fault: storage crashed (simulated process kill)")
+
+// Crash is the crash-point injection mode for durable storage (DESIGN.md
+// §12): it kills the backend at the Nth low-level file write, optionally
+// tearing that final write so only a prefix of its bytes reaches the file —
+// the torn-page failure the WAL's CRC framing must detect. Unlike the
+// Injector's probabilistic faults, a Crash is a deterministic counter: the
+// crash-at-any-write recovery matrix sweeps AtWrite over every write of a
+// reference run, so every possible kill point is exercised exactly once.
+//
+// A nil *Crash never fires, so backends need no guards. Safe for concurrent
+// use.
+type Crash struct {
+	mu      sync.Mutex
+	atWrite int64
+	torn    bool
+	writes  int64
+	dead    bool
+}
+
+// NewCrash arms a crash at the atWrite-th write (1-based; 0 never fires).
+// With torn set, the fatal write lands a prefix of its bytes before the kill,
+// simulating a torn page or short write at the file layer.
+func NewCrash(atWrite int64, torn bool) *Crash {
+	return &Crash{atWrite: atWrite, torn: torn}
+}
+
+// BeforeWrite gates one low-level file write of size bytes. It returns how
+// many leading bytes the caller may still write (0 or a torn prefix when the
+// crash fires) and ErrCrashed once the backend is dead. A nil receiver allows
+// everything.
+func (c *Crash) BeforeWrite(size int) (allow int, err error) {
+	if c == nil {
+		return size, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, ErrCrashed
+	}
+	c.writes++
+	if c.atWrite > 0 && c.writes >= c.atWrite {
+		c.dead = true
+		if c.torn {
+			return size / 2, ErrCrashed
+		}
+		return 0, ErrCrashed
+	}
+	return size, nil
+}
+
+// Dead reports whether the crash has fired.
+func (c *Crash) Dead() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Writes reports how many write operations were observed (including the
+// fatal one).
+func (c *Crash) Writes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}

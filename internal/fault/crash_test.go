@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCrashNilReceiverAllowsEverything(t *testing.T) {
+	var c *Crash
+	for i := 0; i < 3; i++ {
+		allow, err := c.BeforeWrite(100)
+		if allow != 100 || err != nil {
+			t.Fatalf("nil Crash gated a write: allow=%d err=%v", allow, err)
+		}
+	}
+	if c.Dead() {
+		t.Fatal("nil Crash reports dead")
+	}
+	if c.Writes() != 0 {
+		t.Fatal("nil Crash counted writes")
+	}
+}
+
+func TestCrashKillsAtNthWrite(t *testing.T) {
+	c := NewCrash(3, false)
+	for i := 0; i < 2; i++ {
+		if allow, err := c.BeforeWrite(64); allow != 64 || err != nil {
+			t.Fatalf("write %d gated early: allow=%d err=%v", i+1, allow, err)
+		}
+	}
+	allow, err := c.BeforeWrite(64)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("fatal write error = %v, want ErrCrashed", err)
+	}
+	if allow != 0 {
+		t.Fatalf("clean kill allowed %d bytes, want 0", allow)
+	}
+	if !c.Dead() {
+		t.Fatal("crash fired but Dead() is false")
+	}
+	if c.Writes() != 3 {
+		t.Fatalf("Writes = %d, want 3", c.Writes())
+	}
+	// Everything after the kill fails without counting.
+	if allow, err := c.BeforeWrite(64); allow != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-mortem write: allow=%d err=%v", allow, err)
+	}
+	if c.Writes() != 3 {
+		t.Fatalf("dead Crash kept counting: Writes = %d", c.Writes())
+	}
+}
+
+func TestCrashTornWriteKeepsPrefix(t *testing.T) {
+	c := NewCrash(1, true)
+	allow, err := c.BeforeWrite(64)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if allow != 32 {
+		t.Fatalf("torn write allowed %d bytes, want half (32)", allow)
+	}
+}
+
+// TestCrashedIsNotTransient pins the containment contract: a dead disk must
+// surface immediately through the buffer pool's retry machinery, never be
+// retried like an injected transient fault.
+func TestCrashedIsNotTransient(t *testing.T) {
+	if IsTransient(ErrCrashed) {
+		t.Fatal("ErrCrashed classified transient; the pool would spin on a dead disk")
+	}
+}
+
+func TestCrashZeroPointNeverFires(t *testing.T) {
+	c := NewCrash(0, false)
+	for i := 0; i < 100; i++ {
+		if allow, err := c.BeforeWrite(8); allow != 8 || err != nil {
+			t.Fatalf("disarmed Crash fired at write %d: allow=%d err=%v", i+1, allow, err)
+		}
+	}
+	if c.Dead() {
+		t.Fatal("disarmed Crash reports dead")
+	}
+}

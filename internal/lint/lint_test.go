@@ -88,6 +88,13 @@ func TestMeteringGolden(t *testing.T) {
 	golden(t, lint.Metering{}, "specdb/internal/fixmet", "metering")
 }
 
+// TestMeteringBufferGolden pins the pool-layer carve-out: packages under
+// internal/buffer may call Disk data paths, but os file I/O is still flagged
+// there — real file handles live in internal/storage only.
+func TestMeteringBufferGolden(t *testing.T) {
+	golden(t, lint.Metering{}, "specdb/internal/buffer/fixbufio", "metering_buffer")
+}
+
 func TestPanicsGolden(t *testing.T) {
 	golden(t, lint.PanicDiscipline{}, "specdb/internal/fixpan", "panics")
 }

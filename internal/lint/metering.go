@@ -14,7 +14,10 @@ import (
 // simulated.
 //
 // internal/buffer and internal/fault are the sanctioned layers between the
-// pool and the store; internal/storage is the store itself.
+// pool and the store; internal/storage is the store itself. Only storage is
+// allowed real os.File I/O — storage.FileDisk's page file and write-ahead log
+// are the one place the simulated disk meets the real filesystem. buffer and
+// fault may call Disk data paths but still may not touch os directly.
 type Metering struct{}
 
 func (Metering) Name() string { return "metering" }
@@ -37,10 +40,13 @@ var forbiddenOSIO = map[string]bool{
 }
 
 func (r Metering) Check(pkg *Package) []Diagnostic {
-	if pkg.isToolOrDemo() || pkg.pathIn("internal/lint") ||
-		pkg.pathIn("internal/buffer") || pkg.pathIn("internal/fault") || pkg.pathIn("internal/storage") {
+	if pkg.isToolOrDemo() || pkg.pathIn("internal/lint") || pkg.pathIn("internal/storage") {
 		return nil
 	}
+	// The sanctioned pool↔store layers may call Disk data paths, but the
+	// os-I/O ban still applies to them: real file handles live in
+	// internal/storage only.
+	diskExempt := pkg.pathIn("internal/buffer") || pkg.pathIn("internal/fault")
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -50,7 +56,7 @@ func (r Metering) Check(pkg *Package) []Diagnostic {
 			}
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
-					if diskDataPath[sel.Sel.Name] && isDiskType(pkg, s.Recv()) {
+					if !diskExempt && diskDataPath[sel.Sel.Name] && isDiskType(pkg, s.Recv()) {
 						out = append(out, diag(pkg, r.Name(), call,
 							"direct %s.%s bypasses the charged buffer pool; go through buffer.Pool so the sim.Meter sees the I/O",
 							types.TypeString(s.Recv(), types.RelativeTo(pkg.Pkg)), sel.Sel.Name))
@@ -74,8 +80,8 @@ func (r Metering) Check(pkg *Package) []Diagnostic {
 }
 
 // isDiskType reports whether t is the storage.Disk interface or one of its
-// implementations (storage.DiskManager, fault.Disk), possibly behind a
-// pointer.
+// implementations (storage.DiskManager, storage.FileDisk, the
+// storage.DurableDisk interface, fault.Disk), possibly behind a pointer.
 func isDiskType(pkg *Package, t types.Type) bool {
 	named, ok := derefNamed(t)
 	if !ok {
@@ -88,7 +94,11 @@ func isDiskType(pkg *Package, t types.Type) bool {
 	mod := moduleOf(pkg.Path)
 	switch obj.Pkg().Path() {
 	case mod + "/internal/storage":
-		return obj.Name() == "Disk" || obj.Name() == "DiskManager"
+		switch obj.Name() {
+		case "Disk", "DiskManager", "FileDisk", "DurableDisk":
+			return true
+		}
+		return false
 	case mod + "/internal/fault":
 		return obj.Name() == "Disk"
 	}

@@ -1,0 +1,26 @@
+// Package fixbufio is a speclint test fixture: a pool-layer package
+// (internal/buffer) is sanctioned to call Disk data paths, but real os I/O
+// is still banned there — file handles belong to internal/storage only.
+package fixbufio
+
+import (
+	"os"
+
+	"specdb/internal/storage"
+)
+
+// writeBack is allowed: buffer is a sanctioned pool↔store layer.
+func writeBack(d storage.Disk, buf []byte) error {
+	return d.Write(1, buf)
+}
+
+// spill is flagged: direct os.File I/O outside internal/storage.
+func spill(f *os.File, b []byte) error {
+	_, err := f.Write(b)
+	return err
+}
+
+// openSpill is flagged: opening real files outside internal/storage.
+func openSpill() (*os.File, error) {
+	return os.Create("/tmp/spill")
+}

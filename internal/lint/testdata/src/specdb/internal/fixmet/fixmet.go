@@ -42,3 +42,11 @@ func fileMethod(f *os.File) error {
 	_, err := f.Write([]byte("x"))
 	return err
 }
+
+func viaFileDisk(d *storage.FileDisk, buf []byte) error {
+	return d.Write(1, buf)
+}
+
+func viaDurableDisk(d storage.DurableDisk) storage.PageID {
+	return d.Allocate()
+}

@@ -37,6 +37,11 @@ type DiskManager struct {
 	pageSize int
 	pages    map[PageID][]byte
 	next     PageID
+	// free is a LIFO stack of reusable PageIDs. Reuse keeps Allocated() — and
+	// the data-file footprint of a durable backend — stable across
+	// speculate/GC cycles instead of growing monotonically; LIFO order keeps
+	// allocation deterministic for equal operation sequences.
+	free []PageID
 
 	reads  int64
 	writes int64
@@ -64,12 +69,19 @@ func NewDiskManager(pageSize int) *DiskManager {
 // PageSize reports the size of every page on this disk.
 func (d *DiskManager) PageSize() int { return d.pageSize }
 
-// Allocate reserves a fresh zeroed page and returns its ID.
+// Allocate reserves a zeroed page and returns its ID, reusing the most
+// recently freed page when one exists.
 func (d *DiskManager) Allocate() PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	id := d.next
-	d.next++
+	var id PageID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		id = d.next
+		d.next++
+	}
 	d.pages[id] = make([]byte, d.pageSize)
 	return id
 }
@@ -107,8 +119,8 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 	return nil
 }
 
-// Free releases page id. Freeing an unallocated page is an error — it
-// indicates double-free in the heap-file layer.
+// Free releases page id and queues it for reuse. Freeing an unallocated page
+// is an error — it indicates double-free in the heap-file layer.
 func (d *DiskManager) Free(id PageID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -116,7 +128,17 @@ func (d *DiskManager) Free(id PageID) error {
 		return fmt.Errorf("storage: free of unallocated page %d", id)
 	}
 	delete(d.pages, id)
+	d.free = append(d.free, id)
 	return nil
+}
+
+// HighWater reports the highest PageID ever handed out (0 before the first
+// allocation). With free-list reuse, Allocated() can shrink while HighWater
+// stays put, so the pair distinguishes footprint from churn.
+func (d *DiskManager) HighWater() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next - 1
 }
 
 // Allocated reports the number of live pages (a proxy for disk usage).

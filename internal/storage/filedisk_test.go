@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+// testGate is a WriteGate for torn-page and short-write simulation at the
+// file layer, mirroring fault.Crash without importing fault (which would
+// cycle: fault imports storage).
+type testGate struct {
+	atWrite int64
+	torn    bool
+	writes  int64
+	dead    bool
+}
+
+var errTestCrash = fmt.Errorf("storage_test: simulated crash")
+
+func (g *testGate) BeforeWrite(size int) (int, error) {
+	if g.dead {
+		return 0, errTestCrash
+	}
+	g.writes++
+	if g.atWrite > 0 && g.writes >= g.atWrite {
+		g.dead = true
+		if g.torn {
+			return size / 2, errTestCrash
+		}
+		return 0, errTestCrash
+	}
+	return size, nil
+}
+
+const propPageSize = 256
+
+// randPage fills a deterministic page image.
+func randPage(r *sim.Rand, buf []byte) {
+	for i := range buf {
+		buf[i] = byte(r.Intn(256))
+	}
+}
+
+// TestFileDiskPropertyVsDiskManager drives random Allocate/Read/Write/Free/
+// commit/checkpoint/reopen sequences against the in-memory DiskManager as a
+// reference model. Both implementations use the same LIFO free-list
+// discipline, so allocations stay in lockstep across the whole run,
+// including across clean close/reopen cycles.
+func TestFileDiskPropertyVsDiskManager(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "db.pages")
+			fd, err := OpenFileDisk(FileConfig{Path: path, PageSize: propPageSize, CheckpointBytes: 16 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := NewDiskManager(propPageSize)
+			r := sim.NewRandStream(seed, "filedisk-prop")
+
+			var ids []PageID
+			fbuf := make([]byte, propPageSize)
+			mbuf := make([]byte, propPageSize)
+			page := make([]byte, propPageSize)
+			verifyAll := func(context string) {
+				t.Helper()
+				if got, want := fd.Allocated(), model.Allocated(); got != want {
+					t.Fatalf("%s: Allocated = %d, model has %d", context, got, want)
+				}
+				for _, id := range ids {
+					if err := fd.Read(id, fbuf); err != nil {
+						t.Fatalf("%s: read page %d: %v", context, id, err)
+					}
+					if err := model.Read(id, mbuf); err != nil {
+						t.Fatalf("%s: model read page %d: %v", context, id, err)
+					}
+					if !bytes.Equal(fbuf, mbuf) {
+						t.Fatalf("%s: page %d diverged from model", context, id)
+					}
+				}
+			}
+
+			for step := 0; step < 600; step++ {
+				switch op := r.Intn(100); {
+				case op < 30: // allocate
+					got, want := fd.Allocate(), model.Allocate()
+					if got != want {
+						t.Fatalf("step %d: Allocate = %d, model allocated %d", step, got, want)
+					}
+					ids = append(ids, got)
+				case op < 60 && len(ids) > 0: // write
+					id := ids[r.Intn(len(ids))]
+					randPage(r, page)
+					if err := fd.Write(id, page); err != nil {
+						t.Fatalf("step %d: write page %d: %v", step, id, err)
+					}
+					if err := model.Write(id, page); err != nil {
+						t.Fatalf("step %d: model write page %d: %v", step, id, err)
+					}
+				case op < 75 && len(ids) > 0: // read + compare
+					id := ids[r.Intn(len(ids))]
+					if err := fd.Read(id, fbuf); err != nil {
+						t.Fatalf("step %d: read page %d: %v", step, id, err)
+					}
+					if err := model.Read(id, mbuf); err != nil {
+						t.Fatalf("step %d: model read page %d: %v", step, id, err)
+					}
+					if !bytes.Equal(fbuf, mbuf) {
+						t.Fatalf("step %d: page %d diverged from model", step, id)
+					}
+				case op < 85 && len(ids) > 0: // free
+					i := r.Intn(len(ids))
+					id := ids[i]
+					if err := fd.Free(id); err != nil {
+						t.Fatalf("step %d: free page %d: %v", step, id, err)
+					}
+					if err := model.Free(id); err != nil {
+						t.Fatalf("step %d: model free page %d: %v", step, id, err)
+					}
+					ids = append(ids[:i], ids[i+1:]...)
+				case op < 92: // commit (possibly auto-checkpointing)
+					if _, err := fd.Commit([]byte(fmt.Sprintf("meta-%d", step))); err != nil {
+						t.Fatalf("step %d: commit: %v", step, err)
+					}
+				case op < 96: // forced checkpoint
+					if _, err := fd.Checkpoint(); err != nil {
+						t.Fatalf("step %d: checkpoint: %v", step, err)
+					}
+				default: // clean close + reopen: everything committed must survive
+					meta := []byte(fmt.Sprintf("meta-%d", step))
+					if _, err := fd.Commit(meta); err != nil {
+						t.Fatalf("step %d: pre-close commit: %v", step, err)
+					}
+					if err := fd.Close(); err != nil {
+						t.Fatalf("step %d: close: %v", step, err)
+					}
+					fd, err = OpenFileDisk(FileConfig{Path: path, PageSize: propPageSize, CheckpointBytes: 16 << 10})
+					if err != nil {
+						t.Fatalf("step %d: reopen: %v", step, err)
+					}
+					if !fd.Recovery().Recovered {
+						t.Fatalf("step %d: reopen did not report recovery", step)
+					}
+					if got := fd.Meta(); !bytes.Equal(got, meta) {
+						t.Fatalf("step %d: recovered meta %q, want %q", step, got, meta)
+					}
+					verifyAll(fmt.Sprintf("step %d reopen", step))
+				}
+			}
+			verifyAll("final")
+			if fd.HighWater() != model.HighWater() {
+				t.Fatalf("high water: file %d, model %d", fd.HighWater(), model.HighWater())
+			}
+			if err := fd.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// crashSnapshot is the committed state the post-crash reopen must restore.
+type crashSnapshot struct {
+	meta  []byte
+	pages map[PageID][]byte
+}
+
+// TestFileDiskCrashRollsBackToLastCommit drives random traffic with a crash
+// armed at a random write (torn on odd seeds), then reopens and asserts the
+// recovered state is exactly the snapshot at the last commit — nothing more
+// (no uncommitted tail survives) and nothing less.
+func TestFileDiskCrashRollsBackToLastCommit(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "db.pages")
+			r := sim.NewRandStream(seed, "filedisk-crash")
+			gate := &testGate{atWrite: int64(5 + r.Intn(120)), torn: seed%2 == 1}
+			fd, err := OpenFileDisk(FileConfig{
+				Path: path, PageSize: propPageSize, CheckpointBytes: 4 << 10, Gate: gate,
+			})
+			if err != nil {
+				// The crash fired during creation; recovery from nothing is
+				// a fresh database.
+				verifyRecovered(t, path, crashSnapshot{pages: map[PageID][]byte{}}, nil)
+				return
+			}
+
+			live := map[PageID][]byte{}
+			snap := func(meta []byte) crashSnapshot {
+				s := crashSnapshot{meta: meta, pages: map[PageID][]byte{}}
+				for id, img := range live {
+					cp := make([]byte, len(img))
+					copy(cp, img)
+					s.pages[id] = cp
+				}
+				return s
+			}
+			committed := crashSnapshot{pages: map[PageID][]byte{}}
+			// A Commit interrupted by the crash is ambiguous: the meta record
+			// may have become durable before the fatal write (e.g. the crash
+			// hit the auto-checkpoint that follows it). Recovery may then
+			// legitimately land on that commit instead of the last
+			// acknowledged one.
+			var pending *crashSnapshot
+			page := make([]byte, propPageSize)
+			var ids []PageID
+			for step := 0; step < 500 && !gate.dead; step++ {
+				switch op := r.Intn(100); {
+				case op < 30:
+					id := fd.Allocate()
+					live[id] = make([]byte, propPageSize)
+					ids = append(ids, id)
+				case op < 65 && len(ids) > 0:
+					id := ids[r.Intn(len(ids))]
+					randPage(r, page)
+					if fd.Write(id, page) == nil {
+						copy(live[id], page)
+					}
+				case op < 75 && len(ids) > 0:
+					i := r.Intn(len(ids))
+					id := ids[i]
+					if fd.Free(id) == nil {
+						delete(live, id)
+						ids = append(ids[:i], ids[i+1:]...)
+					}
+				default:
+					meta := []byte(fmt.Sprintf("commit-%d", step))
+					if _, err := fd.Commit(meta); err == nil {
+						committed = snap(meta)
+					} else {
+						s := snap(meta)
+						pending = &s
+					}
+				}
+			}
+			if !gate.dead {
+				t.Fatalf("crash at write %d never fired (only %d writes)", gate.atWrite, gate.writes)
+			}
+			_ = fd.Close()
+			verifyRecovered(t, path, committed, pending)
+		})
+	}
+}
+
+// verifyRecovered reopens path and asserts the state matches committed — or,
+// when the crash interrupted a Commit whose meta record became durable before
+// the fatal write, the pending snapshot of that ambiguous commit.
+func verifyRecovered(t *testing.T, path string, committed crashSnapshot, pending *crashSnapshot) {
+	t.Helper()
+	fd, err := OpenFileDisk(FileConfig{Path: path, PageSize: propPageSize, CheckpointBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer func() {
+		if err := fd.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got := fd.Meta()
+	if pending != nil && bytes.Equal(got, pending.meta) {
+		committed = *pending
+	}
+	if !bytes.Equal(got, committed.meta) {
+		t.Fatalf("recovered meta %q, want %q", got, committed.meta)
+	}
+	if got, want := fd.Allocated(), len(committed.pages); got != want {
+		t.Fatalf("recovered %d pages, committed state had %d", got, want)
+	}
+	buf := make([]byte, propPageSize)
+	for id, img := range committed.pages {
+		if err := fd.Read(id, buf); err != nil {
+			t.Fatalf("read recovered page %d: %v", id, err)
+		}
+		if !bytes.Equal(buf, img) {
+			t.Fatalf("recovered page %d differs from committed image", id)
+		}
+	}
+}
+
+// TestFileDiskVolatileUncommittedTail pins the rollback semantics directly:
+// writes after the last commit must vanish on reopen, even when the WAL's
+// final frame is torn mid-record.
+func TestFileDiskVolatileUncommittedTail(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		torn := torn
+		t.Run(fmt.Sprintf("torn=%v", torn), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db.pages")
+			gate := &testGate{}
+			fd, err := OpenFileDisk(FileConfig{Path: path, PageSize: propPageSize, Gate: gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := fd.Allocate()
+			committed := bytes.Repeat([]byte{0xAB}, propPageSize)
+			if err := fd.Write(id, committed); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fd.Commit([]byte("c1")); err != nil {
+				t.Fatal(err)
+			}
+			// Uncommitted tail: one more write, then the crash.
+			gate.atWrite = gate.writes + 1
+			gate.torn = torn
+			if err := fd.Write(id, bytes.Repeat([]byte{0xCD}, propPageSize)); err == nil {
+				t.Fatal("write after armed crash unexpectedly succeeded")
+			}
+			_ = fd.Close()
+
+			re, err := OpenFileDisk(FileConfig{Path: path, PageSize: propPageSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := re.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			info := re.Recovery()
+			if !info.Recovered {
+				t.Fatal("reopen did not recover")
+			}
+			if torn && !info.TornTail {
+				t.Error("torn final frame not reported as TornTail")
+			}
+			buf := make([]byte, propPageSize)
+			if err := re.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, committed) {
+				t.Fatal("uncommitted write survived recovery")
+			}
+			if got := re.Meta(); string(got) != "c1" {
+				t.Fatalf("recovered meta %q, want %q", got, "c1")
+			}
+		})
+	}
+}
+
+// TestFileDiskPageSizeMismatch pins the superblock guard.
+func TestFileDiskPageSizeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.pages")
+	fd, err := OpenFileDisk(FileConfig{Path: path, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Commit([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDisk(FileConfig{Path: path, PageSize: 512}); err == nil {
+		t.Fatal("reopen with mismatched page size succeeded")
+	}
+}

@@ -50,6 +50,16 @@ func NewHeapFile(pool PagePool) *HeapFile {
 	return &HeapFile{pool: pool}
 }
 
+// OpenHeapFile rehydrates a heap file from recovered metadata (the page list
+// and row count persisted by a durable backend at the last commit). The page
+// contents are already durable; no scan or rebuild happens here.
+func OpenHeapFile(pool PagePool, pages []PageID, rows int64) *HeapFile {
+	h := &HeapFile{pool: pool, rows: rows}
+	h.pages = make([]PageID, len(pages))
+	copy(h.pages, pages)
+	return h
+}
+
 // NumPages reports the number of pages in the file.
 func (h *HeapFile) NumPages() int {
 	h.mu.RLock()

@@ -73,7 +73,11 @@ func (db *DB) NewSession(cfg SessionConfig) *Session {
 // once ctx is canceled, any in-flight manipulation is canceled and every
 // subsequent session call fails with the context's error.
 func (db *DB) NewSessionContext(ctx context.Context, cfg SessionConfig) *Session {
-	return db.newSession(ctx, cfg, core.NewLearner(core.DefaultLearnerConfig()), core.DefaultConfig().NamePrefix, nil, 0)
+	learner := db.learner // durable databases persist one shared profile
+	if learner == nil {
+		learner = core.NewLearner(core.DefaultLearnerConfig())
+	}
+	return db.newSession(ctx, cfg, learner, core.DefaultConfig().NamePrefix, nil, 0)
 }
 
 func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.Learner, prefix string, mgr *SessionManager, id int64) *Session {

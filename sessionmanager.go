@@ -26,10 +26,16 @@ type SessionManager struct {
 }
 
 // NewSessionManager creates a manager over db with a fresh shared profile.
+// On a durable database the manager instead shares the DB's persistent
+// profile, so what its sessions teach the Learner survives restarts.
 func (db *DB) NewSessionManager() *SessionManager {
+	learner := db.learner
+	if learner == nil {
+		learner = core.NewLearner(core.DefaultLearnerConfig())
+	}
 	return &SessionManager{
 		db:       db,
-		learner:  core.NewLearner(core.DefaultLearnerConfig()),
+		learner:  learner,
 		sessions: make(map[int64]*Session),
 	}
 }

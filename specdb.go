@@ -77,6 +77,25 @@ type Options struct {
 	// aborts speculation, replans around bad derived objects — but never
 	// fails a user query for an injected fault (see DESIGN.md §8).
 	Fault FaultConfig
+	// Storage selects the durable page-file backend (DESIGN.md §12). It is
+	// honored by OpenDurable; Open ignores it and stays in-memory, keeping
+	// existing callers byte-identical to history.
+	Storage StorageConfig
+}
+
+// StorageConfig configures the durable page-file backend (the public mirror
+// of the internal storage configuration). Base tables, the catalog, and the
+// learned user profile survive restarts; speculative spec_s<id> namespaces
+// are deliberately volatile and rebuilt cleanly after recovery.
+type StorageConfig struct {
+	// Path is the page file location (the write-ahead log lives at
+	// Path + ".wal"). Empty means in-memory.
+	Path string
+	// CheckpointBytes triggers a WAL checkpoint when a commit finds the log
+	// at or above this size (0 means 4 MB).
+	CheckpointBytes int64
+	// Sync fsyncs the page file and WAL at durability points.
+	Sync bool
 }
 
 // FaultConfig sets per-operation fault-injection probabilities (the public
@@ -130,24 +149,38 @@ type DB struct {
 	// budgetPages is the default per-session speculation budget
 	// (Options.SpecBudgetPages; 0 = unlimited).
 	budgetPages int
+	// learner is the durable shared user profile (nil on in-memory
+	// databases, whose sessions own private or manager-scoped learners).
+	learner *core.Learner
 }
 
-// Open creates an empty database.
+// Open creates an empty in-memory database. Use OpenDurable for one backed
+// by a page file.
 func Open(opts Options) *DB {
+	return assemble(opts, engine.New(baseConfig(opts)))
+}
+
+// baseConfig translates public options into the engine configuration shared
+// by Open and OpenDurable.
+func baseConfig(opts Options) engine.Config {
 	pool := opts.BufferPoolPages
 	if pool == 0 {
 		pool = 46
 	}
-	workers := opts.SpecWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	eng := engine.New(engine.Config{
+	return engine.Config{
 		BufferPoolPages: pool,
 		PoolShards:      opts.PoolShards,
 		UseViews:        opts.UseOptionalViews,
 		Fault:           opts.Fault.internal(),
-	})
+	}
+}
+
+// assemble attaches the speculation subsystem to a constructed engine.
+func assemble(opts Options, eng *engine.Engine) *DB {
+	workers := opts.SpecWorkers
+	if workers < 1 {
+		workers = 1
+	}
 	sched := core.NewScheduler(workers, eng.Pool)
 	sched.AttachMetrics(eng.Metrics())
 	db := &DB{eng: eng, sched: sched, specWorkers: workers, budgetPages: opts.SpecBudgetPages}
