@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -125,6 +126,7 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 	if res.ParallelPool1ShardOpsPerS > 0 {
 		res.ParallelPoolSpeedup = res.ParallelPool8ShardOpsPerS / res.ParallelPool1ShardOpsPerS
 	}
+	res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -141,8 +143,8 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 		res.ScaledSessions, res.SharedBuilds, res.DedupSavedS)
 	fmt.Printf("  scaled waste %.1fs → %.1fs (−%.1f%%)   hit rate %.2f → %.2f\n",
 		res.ScaledWasteOffS, res.ScaledWasteOnS, res.ScaledWasteReductionPct, res.ScaledHitRateOff, res.ScaledHitRateOn)
-	fmt.Printf("  parallel pool (8 workers): 8-shard %.0f ops/s vs single-mutex %.0f ops/s (%.2fx)\n",
-		res.ParallelPool8ShardOpsPerS, res.ParallelPool1ShardOpsPerS, res.ParallelPoolSpeedup)
+	fmt.Printf("  parallel pool (8 workers, GOMAXPROCS=%d): 8-shard %.0f ops/s vs single-mutex %.0f ops/s (%.2fx)\n",
+		res.GOMAXPROCS, res.ParallelPool8ShardOpsPerS, res.ParallelPool1ShardOpsPerS, res.ParallelPoolSpeedup)
 }
 
 func header(title string) {

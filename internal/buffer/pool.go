@@ -249,6 +249,25 @@ func (p *Pool) Headroom() int {
 	return n
 }
 
+// FreeFraction reports claimable headroom as a fraction of capacity in
+// [0, 1], read as one consistent cross-shard snapshot. It is the pool's
+// contribution to the governor's pressure signal (DESIGN.md §13): per-shard
+// Headroom reads could interleave with a migrating pin and briefly
+// double-count a frame, which would make pressure-band transitions flap.
+func (p *Pool) FreeFraction() float64 {
+	unlock := p.lockAll()
+	defer unlock()
+	capacity, free := 0, 0
+	for _, s := range p.shards {
+		capacity += s.cap
+		free += s.headroomLocked()
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(free) / float64(capacity)
+}
+
 // Stats reports the pool's cumulative traffic counters as one consistent
 // snapshot: every shard is locked for the duration of the read, so a fetch
 // that is mid-flight on another goroutine is either fully included or fully

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"specdb/internal/buffer"
+	"specdb/internal/fault"
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+func testPool(t *testing.T, pages int) *buffer.Pool {
+	t.Helper()
+	return buffer.NewShardedPool(storage.NewDiskManager(0), pages, 1, sim.NewMeter())
+}
+
+func secs(n int) sim.Duration { return sim.Duration(n) * sim.Duration(time.Second) }
+
+// TestGovernorNilSafe: every method of a nil *Governor is a no-op with the
+// permissive answer — the governor-off engine must be byte-identical.
+func TestGovernorNilSafe(t *testing.T) {
+	var g *Governor
+	if id := g.Register(); id != 0 {
+		t.Fatalf("nil Register = %d", id)
+	}
+	g.Deregister(0)
+	g.NoteIssue(0, "k", 1, 1)
+	g.NoteRetained(0, "k", 1, 1)
+	g.NoteTerminal(0, "k")
+	g.ReportRetained(0, 5)
+	g.NoteFailure(0)
+	g.NoteSuccess(0)
+	if !g.AllowIssue(0, false) {
+		t.Fatal("nil governor must allow every issue")
+	}
+	if d := g.DeadlineFor(100, 50); d != 0 {
+		t.Fatalf("nil DeadlineFor = %d, want 0 (no deadline)", d)
+	}
+	if s := g.ShedSet(1, 0); s != nil {
+		t.Fatalf("nil ShedSet = %v", s)
+	}
+	if n := g.Outstanding(); n != 0 {
+		t.Fatalf("nil Outstanding = %d", n)
+	}
+	if l := g.Level(0); l != PressureNormal {
+		t.Fatalf("nil Level = %v", l)
+	}
+}
+
+// TestGovernorHysteresis drives the pressure signal through the bands with
+// reported retained footprints: escalation is immediate at the enter
+// thresholds, de-escalation waits for the (higher) exit thresholds and steps
+// one band at a time, so a flapping signal cannot flap the band.
+func TestGovernorHysteresis(t *testing.T) {
+	pool := testPool(t, 100) // FreeFraction 1.0 while untouched
+	g := NewGovernor(GovernorConfig{}, pool)
+	id := g.Register()
+
+	if l := g.Level(0); l != PressureNormal {
+		t.Fatalf("idle level = %v, want normal", l)
+	}
+	// Signal = 1.0 - retained/100. Push below PressuredEnter (0.25).
+	g.ReportRetained(id, 80) // signal 0.20
+	if l := g.Level(1); l != PressurePressured {
+		t.Fatalf("signal 0.20 level = %v, want pressured", l)
+	}
+	// Recovering past the enter threshold but not the exit threshold must
+	// NOT de-escalate (hysteresis).
+	g.ReportRetained(id, 70) // signal 0.30 (> enter 0.25, < exit 0.35)
+	if l := g.Level(2); l != PressurePressured {
+		t.Fatalf("signal 0.30 level = %v, want still pressured", l)
+	}
+	g.ReportRetained(id, 60) // signal 0.40 > exit 0.35
+	if l := g.Level(3); l != PressureNormal {
+		t.Fatalf("signal 0.40 level = %v, want normal again", l)
+	}
+	// Escalation skips straight to critical when the signal collapses.
+	g.ReportRetained(id, 95) // signal 0.05 < CriticalEnter 0.10
+	if l := g.Level(4); l != PressureCritical {
+		t.Fatalf("signal 0.05 level = %v, want critical", l)
+	}
+	// De-escalation is one band at a time: a signal that jumps all the way
+	// back to healthy first passes through pressured.
+	g.ReportRetained(id, 10) // signal 0.90
+	if l := g.Level(5); l != PressurePressured {
+		t.Fatalf("recovery from critical = %v, want pressured first", l)
+	}
+	if l := g.Level(6); l != PressureNormal {
+		t.Fatalf("second recovery step = %v, want normal", l)
+	}
+	if g.Transitions() == 0 {
+		t.Fatal("no transitions counted")
+	}
+}
+
+// TestGovernorAllowIssueBands: normal admits everything, pressured admits
+// only a session's first build, critical and degraded admit nothing.
+func TestGovernorAllowIssueBands(t *testing.T) {
+	pool := testPool(t, 100)
+	g := NewGovernor(GovernorConfig{}, pool)
+	id := g.Register()
+
+	if !g.AllowIssue(0, false) || !g.AllowIssue(0, true) {
+		t.Fatal("normal band must admit all issues")
+	}
+	g.ReportRetained(id, 80) // pressured
+	if !g.AllowIssue(1, true) {
+		t.Fatal("pressured band must admit a session's first build")
+	}
+	if g.AllowIssue(1, false) {
+		t.Fatal("pressured band must refuse extra builds")
+	}
+	g.ReportRetained(id, 95) // critical
+	if g.AllowIssue(2, true) || g.AllowIssue(2, false) {
+		t.Fatal("critical band must refuse every issue")
+	}
+}
+
+// TestGovernorShedRanking: under pressure the governor marks the
+// lowest-benefit assets first, never a session's last one, and returns only
+// the calling session's share.
+func TestGovernorShedRanking(t *testing.T) {
+	pool := testPool(t, 100)
+	g := NewGovernor(GovernorConfig{}, pool)
+	a, b := g.Register(), g.Register()
+
+	// Session a: two retained builds, benefits 1s (cheap) and 9s (precious).
+	g.NoteRetained(a, "mat|cheap", secs(1), 30)
+	g.NoteRetained(a, "mat|precious", secs(9), 30)
+	// Session b: one build only — protected however low its benefit.
+	g.NoteRetained(b, "mat|only", secs(0), 30)
+	g.ReportRetained(a, 60)
+	g.ReportRetained(b, 30) // signal 1.0 - 0.90 = 0.10 → critical
+
+	shed := g.ShedSet(a, 0)
+	if !shed["mat|cheap"] {
+		t.Fatalf("lowest-benefit build not marked: %v", shed)
+	}
+	if shed["mat|precious"] {
+		t.Fatal("session a's last remaining build was marked")
+	}
+	bShed := g.ShedSet(b, 0)
+	if bShed["mat|only"] {
+		t.Fatal("session b's single build was marked")
+	}
+	// The caller only ever receives its own marks.
+	if len(shed) != 1 {
+		t.Fatalf("caller received foreign marks: %v", shed)
+	}
+
+	// Quiesce: terminals and deregistration drain the registry.
+	g.NoteTerminal(a, "mat|cheap")
+	g.NoteTerminal(a, "mat|precious")
+	g.Deregister(a)
+	g.Deregister(b)
+	if n := g.Outstanding(); n != 0 {
+		t.Fatalf("registry holds %d entries after quiesce", n)
+	}
+}
+
+// TestGovernorDeadlineFor: deadlines are k× the cost estimate from now, and
+// absent (0) for unscored manipulations.
+func TestGovernorDeadlineFor(t *testing.T) {
+	g := NewGovernor(GovernorConfig{DeadlineFactor: 3}, testPool(t, 10))
+	now := sim.Time(secs(100))
+	if d := g.DeadlineFor(now, secs(2)); d != now.Add(secs(6)) {
+		t.Fatalf("DeadlineFor = %v, want now+6s", d)
+	}
+	if d := g.DeadlineFor(now, 0); d != 0 {
+		t.Fatal("unscored manipulation must get no deadline")
+	}
+}
+
+// TestGlobalBreakerTripAndRecover: the engine-wide breaker trips on a
+// systemic failure rate, overlays the degraded band, refuses to re-trip
+// while open, banks degraded time, and closes after the cooldown.
+func TestGlobalBreakerTripAndRecover(t *testing.T) {
+	pool := testPool(t, 100)
+	g := NewGovernor(GovernorConfig{
+		Breaker: fault.GlobalBreakerConfig{
+			Window:      sim.Duration(secs(30)),
+			MinSamples:  4,
+			FailureRate: 0.5,
+			Cooldown:    sim.Duration(secs(60)),
+		},
+	}, pool)
+
+	now := sim.Time(0)
+	g.NoteSuccess(now)
+	g.NoteFailure(now.Add(secs(1)))
+	g.NoteFailure(now.Add(secs(2)))
+	if g.Breaker().Open(now.Add(secs(2))) {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+	g.NoteFailure(now.Add(secs(3))) // 3 fails / 4 samples ≥ 0.5 → trip
+	at := now.Add(secs(3))
+	if !g.Breaker().Open(at) {
+		t.Fatal("breaker did not trip at 75% failure rate")
+	}
+	if l := g.Level(at); l != PressureDegraded {
+		t.Fatalf("open breaker level = %v, want degraded", l)
+	}
+	if g.AllowIssue(at, true) {
+		t.Fatal("degraded mode must refuse every issue")
+	}
+	// Outcomes reported while open must not extend or re-trip.
+	g.NoteFailure(now.Add(secs(10)))
+	if g.Breaker().Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", g.Breaker().Trips())
+	}
+	// Cooldown passes: closed again, degraded time banked.
+	later := at.Add(secs(61))
+	if g.Breaker().Open(later) {
+		t.Fatal("breaker still open after cooldown")
+	}
+	if l := g.Level(later); l == PressureDegraded {
+		t.Fatal("level still degraded after breaker closed")
+	}
+	if d := g.DegradedTime(later); d != secs(61) {
+		t.Fatalf("DegradedTime = %v, want 61s", d)
+	}
+}
+
+// TestGovernorMetricsAndNames: band names are stable (they appear in spans
+// and test output), AttachMetrics mirrors level/transition state into the
+// registry, and NoteIssue registers an in-flight job that Outstanding and
+// ShedSet can see.
+func TestGovernorMetricsAndNames(t *testing.T) {
+	names := map[PressureLevel]string{
+		PressureNormal:    "normal",
+		PressurePressured: "pressured",
+		PressureCritical:  "critical",
+		PressureDegraded:  "degraded",
+		PressureLevel(99): "unknown",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("PressureLevel(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+
+	pool := testPool(t, 100)
+	g := NewGovernor(GovernorConfig{}, pool)
+	reg := obs.NewRegistry()
+	g.AttachMetrics(reg)
+	var nilGov *Governor
+	nilGov.AttachMetrics(reg) // must not panic
+
+	id := g.Register()
+	g.NoteIssue(id, "mat|a", secs(5), 4)
+	if n := g.Outstanding(); n != 1 {
+		t.Fatalf("Outstanding after NoteIssue = %d, want 1", n)
+	}
+	// NoteIssue against an unregistered session is dropped, not tracked.
+	g.NoteIssue(id+1000, "mat|ghost", secs(1), 1)
+	if n := g.Outstanding(); n != 1 {
+		t.Fatalf("Outstanding after ghost NoteIssue = %d, want still 1", n)
+	}
+
+	// Drive the signal into critical and read the band back through the
+	// attached gauge and transition counter.
+	g.ReportRetained(id, 95)
+	now := sim.Time(0)
+	if l := g.Level(now); l != PressureCritical {
+		t.Fatalf("level = %v, want critical", l)
+	}
+	if v := reg.Gauge("governor.level").Value(); v != float64(PressureCritical) {
+		t.Fatalf("governor.level gauge = %v, want %v", v, float64(PressureCritical))
+	}
+	if reg.Counter("governor.transitions").Value() == 0 {
+		t.Fatal("governor.transitions counter never incremented")
+	}
+	g.NoteTerminal(id, "mat|a")
+	if n := g.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding after NoteTerminal = %d, want 0", n)
+	}
+	g.Deregister(id)
+}

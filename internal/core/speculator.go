@@ -80,6 +80,12 @@ type Config struct {
 	// budget are skipped (Stats.BudgetDeferred). 0 (the default) disables
 	// the budget.
 	BudgetPages int
+	// Governor, when non-nil, is the engine-wide resource-pressure layer
+	// (DESIGN.md §13): it gates new issues by pressure band, marks
+	// outstanding builds for benefit-ranked shedding, and stamps watchdog
+	// deadlines on issued jobs. Nil (the default) keeps every decision
+	// byte-identical to the ungoverned engine.
+	Governor *Governor
 
 	// Failure containment (DESIGN.md §8). Speculation is best-effort: a
 	// failed manipulation must never fail the session. MaxManipAttempts
@@ -166,6 +172,22 @@ type Stats struct {
 	SharedAttached int
 	DedupSaved     sim.Duration
 	BudgetDeferred int
+	// Overload governance (DESIGN.md §13). Shed counts outstanding builds
+	// the governor canceled under pool pressure, lowest benefit first;
+	// DeadlineAborts counts builds the stuck-job watchdog aborted past
+	// k× their cost estimate (the DeadlineExceeded terminal). Both are
+	// terminal states, so the quiesce identity under a governor is
+	// Issued == Completed + CanceledInvalidated + CanceledAtGo +
+	// CanceledOnClose + Aborted + Shed + DeadlineAborts.
+	// ShedRetained counts COMPLETED materializations dropped under pressure
+	// before any query consumed them; those builds already counted as
+	// Completed, so ShedRetained is deliberately outside the identity.
+	// GovernorDeferred counts issue opportunities the governor refused by
+	// pressure band. All zero with Config.Governor == nil.
+	Shed             int
+	ShedRetained     int
+	DeadlineAborts   int
+	GovernorDeferred int
 	// Hits counts final queries whose plan used at least one completed
 	// speculative materialization; Misses counts the rest. Hits+Misses is
 	// the number of GO events answered.
@@ -184,6 +206,10 @@ type Job struct {
 	Manip       Manipulation
 	IssuedAt    sim.Time
 	CompletesAt sim.Time
+	// Deadline is the stuck-job watchdog's abort instant (governor's
+	// DeadlineFactor × the manipulation's cost estimate past IssuedAt);
+	// zero means no deadline (no governor installed).
+	Deadline sim.Time
 
 	// Hidden side effects, finalized by Complete or undone by Cancel.
 	tableName string
@@ -285,6 +311,12 @@ type Speculator struct {
 	retryAt   sim.Time
 	breaker   *fault.Breaker
 
+	// Overload governance (DESIGN.md §13): the engine-wide governor and this
+	// session's registration id. Both zero without cfg.Governor, where every
+	// governance hook is a nil-safe no-op.
+	gov   *Governor
+	govID int
+
 	// Mirror counters in the engine's metrics registry (shared across every
 	// speculator on the engine, so multi-user runs aggregate).
 	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
@@ -293,6 +325,7 @@ type Speculator struct {
 	obsUndoFailures, obsDeferred                *obs.Counter
 	obsWaitedAtGo, obsSuspended                 *obs.Counter
 	obsBudgetDeferred                           *obs.Counter
+	obsShed, obsDeadlineAborts, obsGovDeferred  *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -314,9 +347,15 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		Cooldown: cfg.BreakerCooldown,
 	})
 	breaker.AttachMetrics(eng.Metrics())
+	govID := 0
+	if cfg.Governor != nil {
+		govID = cfg.Governor.Register()
+	}
 	return &Speculator{
 		eng:     eng,
 		sched:   cfg.Scheduler,
+		gov:     cfg.Governor,
+		govID:   govID,
 		learner: learner,
 		cm: &CostModel{
 			Eng:                  eng,
@@ -360,6 +399,10 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		obsWaitedAtGo:     eng.Metrics().Counter("spec.waited_at_go"),
 		obsSuspended:      eng.Metrics().Counter("spec.suspended"),
 		obsBudgetDeferred: eng.Metrics().Counter("spec.budget_deferred"),
+
+		obsShed:           eng.Metrics().Counter("spec.shed"),
+		obsDeadlineAborts: eng.Metrics().Counter("spec.deadline_aborts"),
+		obsGovDeferred:    eng.Metrics().Counter("spec.governor_deferred"),
 	}
 }
 
@@ -451,8 +494,25 @@ func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error
 	if err := sp.collectGarbage(); err != nil {
 		return out, err
 	}
+	// Overload governance (DESIGN.md §13): abort builds past their watchdog
+	// deadline and shed the governor's benefit-ranked marks — in-flight and
+	// retained alike. Runs after the conventions (an invalidated job is
+	// already gone — no point shedding it) and before fillSlots (freed
+	// footprint may lift the pressure band that gates new issues). Nil-safe
+	// no-op without a governor.
+	shedBefore := sp.stats.ShedRetained
+	degraded, err := sp.governDegrade(now)
+	if err != nil {
+		return out, err
+	}
+	out.Canceled = append(out.Canceled, degraded...)
 	// Convention 3: at most workers() outstanding manipulations (one, per
-	// the paper, unless configured wider).
+	// the paper, unless configured wider). A session the governor just
+	// degraded sits this boundary out — re-issuing the build it was told to
+	// drop would turn shedding into thrash.
+	if len(degraded) > 0 || sp.stats.ShedRetained > shedBefore {
+		return out, nil
+	}
 	issued, err := sp.fillSlots(now)
 	if err != nil {
 		return out, err
@@ -475,6 +535,7 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
 	}
 	sp.eng.EndJob(job.jobID)
 	sp.sched.Release()
+	sp.gov.NoteTerminal(sp.govID, job.Manip.Key())
 	if err := sp.finalize(job); err != nil {
 		sp.abort(job, now, err)
 		return sp.fillSlots(now)
@@ -482,6 +543,9 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
 	if job.Manip.Kind == ManipMaterialize {
 		gk := job.Manip.Graph.Key()
 		sp.completedPages[gk] = job.Manip.EstPages
+		// The materialization stays a sheddable speculative asset: its pages
+		// remain registered (retained tier) until GC or shutdown removes them.
+		sp.gov.NoteRetained(sp.govID, job.Manip.Key(), job.CompletesAt.Sub(job.IssuedAt), job.Manip.EstPages)
 		if job.cseKey != "" {
 			// A shared build: the registry owns its waste accounting (charged
 			// once across all consumers at the last release), so the
@@ -504,6 +568,7 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
 	if sp.breaker.Success() {
 		sp.stats.BreakerResumes++
 	}
+	sp.gov.NoteSuccess(now)
 	if job.span != nil {
 		job.span.Annotate("outcome", "completed")
 		job.span.End(job.CompletesAt)
@@ -543,6 +608,88 @@ func (sp *Speculator) fillSlots(now sim.Time) ([]*Job, error) {
 		issued = append(issued, job)
 	}
 	return issued, nil
+}
+
+// governDegrade applies the engine governor's overload decisions at one
+// event boundary (DESIGN.md §13) and returns the jobs it took off the plate
+// so the owner can drop their scheduled completions. Two passes: first the
+// stuck-job watchdog aborts builds past their deadline (DeadlineExceeded —
+// a systemic-health strike on the GLOBAL breaker, not the session breaker:
+// an overrunning build is usually a victim of engine-wide pressure, and
+// tripping the session breaker would double-punish the victim); then the
+// governor's benefit-ranked shed marks are canceled. Shed and deadline
+// aborts cancel exactly like any other cancellation — side effects undone,
+// shared-build claims withdrawn at refcount-drop, elapsed run time charged
+// once through the waste ledger.
+func (sp *Speculator) governDegrade(now sim.Time) ([]*Job, error) {
+	if sp.gov == nil {
+		return nil, nil
+	}
+	var dropped []*Job
+	kept := sp.outstanding[:0]
+	for _, job := range sp.outstanding {
+		if job.Deadline != 0 && now >= job.Deadline {
+			sp.cancelAt(job, now, "deadline_exceeded")
+			sp.stats.DeadlineAborts++
+			sp.obsDeadlineAborts.Inc()
+			sp.gov.NoteFailure(now)
+			dropped = append(dropped, job)
+		} else {
+			kept = append(kept, job)
+		}
+	}
+	sp.outstanding = kept
+	// Push the session's live footprint before asking for shed marks, so the
+	// governor ranks against current state, not last event's.
+	sp.gov.ReportRetained(sp.govID, sp.retainedPages)
+	shed := sp.gov.ShedSet(sp.govID, now)
+	if len(shed) > 0 {
+		kept = sp.outstanding[:0]
+		for _, job := range sp.outstanding {
+			if shed[job.Manip.Key()] {
+				sp.cancelAt(job, now, "shed")
+				sp.stats.Shed++
+				sp.obsShed.Inc()
+				dropped = append(dropped, job)
+			} else {
+				kept = append(kept, job)
+			}
+		}
+		sp.outstanding = kept
+		// Retained tier: drop completed materializations the governor marked,
+		// exactly like garbage collection (shared builds release their
+		// refcount and the cost of a never-consumed build is charged once),
+		// but counted as ShedRetained — the pressure took them, not the
+		// conventions.
+		for _, gk := range sortedKeys(sp.completed) {
+			if !shed["mat|"+gk] {
+				continue
+			}
+			table := sp.completed[gk]
+			if sp.sharedKeys[gk] {
+				if err := sp.releaseShared(gk, true); err != nil {
+					return dropped, err
+				}
+			} else {
+				if err := sp.eng.DropTable(table); err != nil {
+					return dropped, err
+				}
+				delete(sp.completed, gk)
+				sp.releaseRetained(sp.completedPages[gk])
+				delete(sp.completedPages, gk)
+				sp.gov.NoteTerminal(sp.govID, "mat|"+gk)
+				sp.obsGC.Inc()
+				if c, ok := sp.completedCost[gk]; ok {
+					sp.chargeWaste(table, c)
+					delete(sp.completedCost, gk)
+				}
+			}
+			sp.stats.ShedRetained++
+			sp.obsShed.Inc()
+		}
+		sp.gov.ReportRetained(sp.govID, sp.retainedPages)
+	}
+	return dropped, nil
 }
 
 // finalize publishes a job's hidden side effects.
@@ -616,6 +763,9 @@ func (sp *Speculator) noteFailure(key string, now sim.Time, cause error) {
 	if sp.breaker.Failure(now) {
 		sp.stats.BreakerTrips++
 	}
+	// The same outcome feeds the engine-wide breaker, which trips on the
+	// systemic rate across all sessions (nil-safe no-op without a governor).
+	sp.gov.NoteFailure(now)
 	s := sp.eng.Tracer().Start("manip.failed", now, 0,
 		obs.Attr{Key: "key", Value: key},
 		obs.Attr{Key: "error", Value: cause.Error()})
@@ -808,6 +958,7 @@ func (sp *Speculator) collectGarbage() error {
 		delete(sp.completed, key)
 		sp.releaseRetained(sp.completedPages[key])
 		delete(sp.completedPages, key)
+		sp.gov.NoteTerminal(sp.govID, "mat|"+key)
 		sp.stats.GarbageCollected++
 		sp.obsGC.Inc()
 		// A build cost still in completedCost means no final query ever read
@@ -838,6 +989,7 @@ func (sp *Speculator) releaseShared(key string, chargeIfUnused bool) error {
 	drop, table, cost, charge := sp.cse.Release(key, chargeIfUnused)
 	delete(sp.completed, key)
 	delete(sp.sharedKeys, key)
+	sp.gov.NoteTerminal(sp.govID, "mat|"+key)
 	if sp.sharedOwned[key] {
 		delete(sp.sharedOwned, key)
 		if chargeIfUnused {
@@ -868,6 +1020,7 @@ func (sp *Speculator) adoptSharedBuild(key, table string, cost sim.Duration, est
 	sp.sharedKeys[key] = true
 	sp.completedPages[key] = estPages
 	sp.retainedPages += estPages
+	sp.gov.NoteRetained(sp.govID, "mat|"+key, cost, estPages)
 	sp.stats.SharedAttached++
 	sp.stats.DedupSaved += cost
 }
@@ -902,6 +1055,14 @@ func (sp *Speculator) maybeIssue(now sim.Time) (*Job, error) {
 	// Failure containment: honor the post-failure backoff. A no-op on the
 	// fault-free path (retryAt stays 0).
 	if now < sp.retryAt {
+		return nil, nil
+	}
+	// Overload governance: under pressure the governor refuses extra jobs
+	// (pressured band) or every issue (critical/degraded). Nil-safe: the
+	// ungoverned path stays decision-identical.
+	if !sp.gov.AllowIssue(now, len(sp.outstanding) == 0) {
+		sp.stats.GovernorDeferred++
+		sp.obsGovDeferred.Inc()
 		return nil, nil
 	}
 	elapsed := 0.0
@@ -1194,6 +1355,11 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 	// issue to terminal transition.
 	job.jobID = sp.eng.BeginJob()
 	sp.sched.Acquire()
+	// Governance stamps (nil-safe no-ops ungoverned): the watchdog deadline
+	// is k× the cost model's predicted duration, and the job registers in
+	// the governor's global shed ranking under its benefit at issue time.
+	job.Deadline = sp.gov.DeadlineFor(now, m.EstDuration)
+	sp.gov.NoteIssue(sp.govID, m.Key(), m.Benefit, m.EstPages)
 	job.span = sp.eng.Tracer().Start("manip."+m.Kind.String(), now, 0,
 		obs.Attr{Key: "key", Value: m.Key()})
 	if job.tableName != "" {
@@ -1210,6 +1376,7 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 // CanceledAtGo, CanceledOnClose) stay with the callers.
 func (sp *Speculator) cancelAt(job *Job, at sim.Time, outcome string) {
 	sp.cancel(job)
+	sp.gov.NoteTerminal(sp.govID, job.Manip.Key())
 	// A canceled half-open probe resolves nothing: re-open the breaker so a
 	// later probe gets its turn (no-op unless half-open).
 	sp.breaker.Canceled(at)
@@ -1367,5 +1534,7 @@ func (sp *Speculator) Shutdown() error {
 		}
 		delete(sp.stagedRels, rel)
 	}
+	// The session stops contributing to the governor's pressure signal.
+	sp.gov.Deregister(sp.govID)
 	return nil
 }

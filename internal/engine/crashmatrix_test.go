@@ -96,9 +96,13 @@ var crashProbes = []string{
 	"SELECT * FROM rs",
 }
 
-func durableCrashConfig(path string, crash *fault.Crash) Config {
+func durableCrashConfig(path string, crash *fault.Crash, shards int) Config {
 	return Config{
 		BufferPoolPages: 64,
+		// The matrix sweeps shards=1 and shards=4: eviction (and therefore
+		// checkpoint flush) order depends on the shard layout, so recovery
+		// must be exercised against both write landscapes.
+		PoolShards: shards,
 		Storage: StorageConfig{
 			Path: path,
 			// Small threshold so the sweep also crosses checkpoint writes
@@ -162,12 +166,25 @@ func runTrace(e *Engine, ops []crashTraceOp) int {
 }
 
 func TestCrashMatrixRecoversIdentically(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			crashMatrixSweep(t, shards)
+		})
+	}
+}
+
+// crashMatrixSweep runs the full crash-at-any-write sweep against a pool with
+// the given shard count. The reference (and its write count, the sweep
+// domain) is computed per shard layout: eviction order differs across
+// layouts, so the checkpoint write landscape does too.
+func crashMatrixSweep(t *testing.T, shards int) {
 	dir := t.TempDir()
 	ops := crashTrace()
 
 	// Reference: the uncrashed run. Its fingerprint is the ground truth and
 	// its write count is the sweep domain.
-	ref, err := Open(durableCrashConfig(filepath.Join(dir, "ref.pages"), nil))
+	ref, err := Open(durableCrashConfig(filepath.Join(dir, "ref.pages"), nil, shards))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +218,7 @@ func TestCrashMatrixRecoversIdentically(t *testing.T) {
 		t.Run(fmt.Sprintf("crash_at_write_%d_torn_%v", c, torn), func(t *testing.T) {
 			path := filepath.Join(dir, fmt.Sprintf("crash_%d.pages", c))
 			crash := fault.NewCrash(c, torn)
-			eng, err := Open(durableCrashConfig(path, crash))
+			eng, err := Open(durableCrashConfig(path, crash, shards))
 			if err == nil {
 				runTrace(eng, ops) // stops when the crash surfaces
 				_ = eng.Close()    // dead backend; errors expected
@@ -211,7 +228,7 @@ func TestCrashMatrixRecoversIdentically(t *testing.T) {
 			}
 
 			// Reopen without the gate: recovery must land on the last commit.
-			re, err := Open(durableCrashConfig(path, nil))
+			re, err := Open(durableCrashConfig(path, nil, shards))
 			if err != nil {
 				t.Fatalf("recovery open: %v", err)
 			}
@@ -248,10 +265,19 @@ func TestCrashMatrixRecoversIdentically(t *testing.T) {
 // recovery checkpoint and seal commit are themselves gated writes on a second
 // open), then verifies the third, clean open still recovers the same state.
 func TestCrashMatrixDoubleCrash(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			crashMatrixDoubleCrash(t, shards)
+		})
+	}
+}
+
+func crashMatrixDoubleCrash(t *testing.T, shards int) {
 	dir := t.TempDir()
 	ops := crashTrace()
 
-	ref, err := Open(durableCrashConfig(filepath.Join(dir, "ref.pages"), nil))
+	ref, err := Open(durableCrashConfig(filepath.Join(dir, "ref.pages"), nil, shards))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,19 +297,19 @@ func TestCrashMatrixDoubleCrash(t *testing.T) {
 			path := filepath.Join(dir, fmt.Sprintf("double_%d.pages", frac))
 			// First crash mid-trace.
 			crash := fault.NewCrash(totalWrites/frac, frac == 3)
-			if eng, err := Open(durableCrashConfig(path, crash)); err == nil {
+			if eng, err := Open(durableCrashConfig(path, crash, shards)); err == nil {
 				runTrace(eng, ops)
 				_ = eng.Close()
 			}
 			// Second crash: early in the next open, hitting recovery's own
 			// checkpoint/seal writes.
 			crash2 := fault.NewCrash(5, frac == 2)
-			if eng, err := Open(durableCrashConfig(path, crash2)); err == nil {
+			if eng, err := Open(durableCrashConfig(path, crash2, shards)); err == nil {
 				runTrace(eng, ops)
 				_ = eng.Close()
 			}
 			// Third open is clean and must fully recover; resume and compare.
-			re, err := Open(durableCrashConfig(path, nil))
+			re, err := Open(durableCrashConfig(path, nil, shards))
 			if err != nil {
 				t.Fatalf("final recovery open: %v", err)
 			}

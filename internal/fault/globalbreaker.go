@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+)
+
+// GlobalBreakerConfig tunes a GlobalBreaker.
+type GlobalBreakerConfig struct {
+	// Window is the sim-time span over which the failure rate is sampled.
+	Window sim.Duration
+	// MinSamples is the minimum number of outcomes inside a window before
+	// the rate is trusted enough to trip — a single early failure must not
+	// take the whole engine degraded.
+	MinSamples int
+	// FailureRate is the fraction of failed outcomes (0..1] inside a full
+	// window that trips the breaker.
+	FailureRate float64
+	// Cooldown is the sim-time the breaker stays open (speculation-off
+	// degraded mode) before the first state query at or past the deadline
+	// closes it again.
+	Cooldown sim.Duration
+}
+
+// GlobalBreaker is the engine-wide circuit breaker layered above the
+// per-session Breakers (DESIGN.md §13). Per-session breakers react to one
+// session's consecutive failures; the global breaker watches the *systemic*
+// fault rate across every session sharing the engine and, when it trips,
+// forces speculation-off degraded mode everywhere while measured statements
+// keep answering. It is mutex-locked because concurrent sessions feed it
+// outcomes; all decisions are driven by sim-time stamps carried in by the
+// callers, never by wall time.
+//
+// Unlike the per-session breaker there is no half-open probe: recovery is
+// purely cooldown-driven, because while degraded no speculative work runs
+// that could serve as a probe.
+type GlobalBreaker struct {
+	mu  sync.Mutex
+	cfg GlobalBreakerConfig
+
+	// Current sampling window. Outcomes are bucketed into fixed windows
+	// anchored at winStart; a sample past the window end resets it.
+	winStart sim.Time
+	fails    int
+	total    int
+
+	open     bool
+	openedAt sim.Time
+	trips    int
+	degraded sim.Duration // accumulated time spent open (closed spans)
+
+	opened, closed *obs.Counter
+}
+
+// NewGlobalBreaker returns a closed global breaker with defaults filled in.
+func NewGlobalBreaker(cfg GlobalBreakerConfig) *GlobalBreaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * time.Second // sim time
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 12
+	}
+	if cfg.FailureRate <= 0 || cfg.FailureRate > 1 {
+		cfg.FailureRate = 0.5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 60 * time.Second // sim time
+	}
+	return &GlobalBreaker{cfg: cfg}
+}
+
+// AttachMetrics mirrors transitions into reg under "gbreaker.*".
+func (b *GlobalBreaker) AttachMetrics(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.opened = reg.Counter("gbreaker.opened")
+	b.closed = reg.Counter("gbreaker.closed")
+}
+
+// Failure records one failed speculative outcome at sim-time now and reports
+// whether this call tripped the breaker into degraded mode.
+func (b *GlobalBreaker) Failure(now sim.Time) (tripped bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.maybeCloseLocked(now); b.open {
+		return false // already degraded; outcomes of in-flight work don't re-trip
+	}
+	b.sampleLocked(now)
+	b.fails++
+	b.total++
+	if b.total >= b.cfg.MinSamples &&
+		float64(b.fails) >= b.cfg.FailureRate*float64(b.total) {
+		b.open = true
+		b.openedAt = now
+		b.trips++
+		b.fails, b.total = 0, 0
+		if b.opened != nil {
+			b.opened.Inc()
+		}
+		return true
+	}
+	return false
+}
+
+// Success records one successful speculative outcome at sim-time now.
+func (b *GlobalBreaker) Success(now sim.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.maybeCloseLocked(now); b.open {
+		return
+	}
+	b.sampleLocked(now)
+	b.total++
+}
+
+// Open reports whether the breaker is in degraded mode at sim-time now; the
+// first query at or past the cooldown deadline closes it.
+func (b *GlobalBreaker) Open(now sim.Time) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeCloseLocked(now)
+	return b.open
+}
+
+// Trips reports how many times the breaker has tripped open.
+func (b *GlobalBreaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// DegradedTime reports the total sim-time spent in degraded mode, including
+// the currently open span (measured to now) if any.
+func (b *GlobalBreaker) DegradedTime(now sim.Time) sim.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.degraded
+	if b.open {
+		if cur := now.Sub(b.openedAt); cur > 0 {
+			d += cur
+		}
+	}
+	return d
+}
+
+// maybeCloseLocked closes the breaker when the cooldown has elapsed,
+// banking the open span into the degraded-time total.
+func (b *GlobalBreaker) maybeCloseLocked(now sim.Time) {
+	if !b.open || now.Sub(b.openedAt) < b.cfg.Cooldown {
+		return
+	}
+	b.degraded += now.Sub(b.openedAt)
+	b.open = false
+	b.winStart = now
+	b.fails, b.total = 0, 0
+	if b.closed != nil {
+		b.closed.Inc()
+	}
+}
+
+// sampleLocked rolls the sampling window forward when now has moved past it.
+// Sessions feed time stamps from independent per-session clocks, so now may
+// lag winStart; lagging samples are simply counted into the current window.
+func (b *GlobalBreaker) sampleLocked(now sim.Time) {
+	if now.Sub(b.winStart) >= b.cfg.Window {
+		b.winStart = now
+		b.fails, b.total = 0, 0
+	}
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+)
+
+func gbSecs(n int) sim.Duration { return sim.Duration(n) * time.Second }
+
+func TestGlobalBreakerNilReceiverIsClosed(t *testing.T) {
+	var b *GlobalBreaker
+	if b.Failure(sim.Time(0)) {
+		t.Fatal("nil breaker tripped")
+	}
+	b.Success(sim.Time(0))
+	if b.Open(sim.Time(0)) {
+		t.Fatal("nil breaker reports open")
+	}
+	if b.Trips() != 0 {
+		t.Fatal("nil breaker counted trips")
+	}
+	if b.DegradedTime(sim.Time(0)) != 0 {
+		t.Fatal("nil breaker banked degraded time")
+	}
+}
+
+func TestGlobalBreakerDefaultsFilledIn(t *testing.T) {
+	b := NewGlobalBreaker(GlobalBreakerConfig{FailureRate: 1.5})
+	if b.cfg.Window != 30*time.Second {
+		t.Fatalf("default window = %v, want 30s", b.cfg.Window)
+	}
+	if b.cfg.MinSamples != 12 {
+		t.Fatalf("default min samples = %d, want 12", b.cfg.MinSamples)
+	}
+	if b.cfg.FailureRate != 0.5 {
+		t.Fatalf("out-of-range failure rate kept: %v, want default 0.5", b.cfg.FailureRate)
+	}
+	if b.cfg.Cooldown != 60*time.Second {
+		t.Fatalf("default cooldown = %v, want 60s", b.cfg.Cooldown)
+	}
+}
+
+func TestGlobalBreakerTripCooldownAndMetrics(t *testing.T) {
+	b := NewGlobalBreaker(GlobalBreakerConfig{
+		Window:      gbSecs(30),
+		MinSamples:  4,
+		FailureRate: 0.5,
+		Cooldown:    gbSecs(60),
+	})
+	reg := obs.NewRegistry()
+	b.AttachMetrics(reg)
+	opened := reg.Counter("gbreaker.opened")
+	closed := reg.Counter("gbreaker.closed")
+
+	now := sim.Time(0)
+	b.Success(now)
+	if b.Failure(now.Add(gbSecs(1))) || b.Failure(now.Add(gbSecs(2))) {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+	if !b.Failure(now.Add(gbSecs(3))) { // 3 fails / 4 samples ≥ 0.5
+		t.Fatal("breaker did not trip at 75% failure rate")
+	}
+	at := now.Add(gbSecs(3))
+	if !b.Open(at) {
+		t.Fatal("tripped breaker reports closed")
+	}
+	if opened.Value() != 1 || closed.Value() != 0 {
+		t.Fatalf("metrics after trip: opened=%d closed=%d, want 1/0", opened.Value(), closed.Value())
+	}
+
+	// Outcomes while open neither re-trip nor reset the cooldown.
+	if b.Failure(at.Add(gbSecs(5))) {
+		t.Fatal("open breaker re-tripped")
+	}
+	b.Success(at.Add(gbSecs(6)))
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Mid-cooldown the open span is measured to now.
+	if d := b.DegradedTime(at.Add(gbSecs(10))); d != gbSecs(10) {
+		t.Fatalf("mid-cooldown DegradedTime = %v, want 10s", d)
+	}
+
+	// The first query at or past the deadline closes it and banks the span.
+	later := at.Add(gbSecs(60))
+	if b.Open(later) {
+		t.Fatal("breaker still open after full cooldown")
+	}
+	if closed.Value() != 1 {
+		t.Fatalf("closed counter = %d, want 1", closed.Value())
+	}
+	if d := b.DegradedTime(later.Add(gbSecs(5))); d != gbSecs(60) {
+		t.Fatalf("banked DegradedTime = %v, want exactly the 60s cooldown", d)
+	}
+}
+
+func TestGlobalBreakerWindowRollDropsStaleSamples(t *testing.T) {
+	b := NewGlobalBreaker(GlobalBreakerConfig{
+		Window:      gbSecs(30),
+		MinSamples:  4,
+		FailureRate: 0.5,
+		Cooldown:    gbSecs(60),
+	})
+	now := sim.Time(0)
+	b.Failure(now)
+	b.Failure(now.Add(gbSecs(1)))
+	b.Failure(now.Add(gbSecs(2)))
+	// The 4th outcome lands past the window: the stale failures must not
+	// combine with it into a trip.
+	if b.Failure(now.Add(gbSecs(31))) {
+		t.Fatal("stale failures outside the window tripped the breaker")
+	}
+	if b.Open(now.Add(gbSecs(31))) {
+		t.Fatal("breaker open after window roll")
+	}
+	if b.Trips() != 0 {
+		t.Fatalf("trips = %d, want 0", b.Trips())
+	}
+}

@@ -681,6 +681,21 @@ type BenchResult struct {
 	ParallelPool8ShardOpsPerS float64 `json:"parallel_pool_8shard_ops_per_s"`
 	ParallelPool1ShardOpsPerS float64 `json:"parallel_pool_1shard_ops_per_s"`
 	ParallelPoolSpeedup       float64 `json:"parallel_pool_speedup"`
+	// GOMAXPROCS is the scheduler parallelism of the machine that wrote the
+	// report. With GOMAXPROCS=1 the pool workers cannot actually run in
+	// parallel, so ParallelPoolSpeedup is expected to sit at or below 1× and
+	// the bench gate skips its comparison.
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Overload and degradation counters (DESIGN.md §13). Shed counts every
+	// speculative build the governor dropped under pressure — in-flight
+	// cancellations plus retained completed builds — DeadlineAborts the
+	// builds killed by the stuck-job watchdog, and DegradedModeS the
+	// simulated seconds the global breaker forced speculation-off degraded
+	// mode. All zero in the default governor-off bench run.
+	Shed           int     `json:"shed"`
+	DeadlineAborts int     `json:"deadline_aborts"`
+	DegradedModeS  float64 `json:"degraded_mode_s"`
 }
 
 // RunBench executes the paired replay once and summarizes it for the bench
@@ -724,6 +739,8 @@ func RunBench(scaleName string, traces []*trace.Trace, seed uint64) (*BenchResul
 	full := SumStatsAll(pr.PerTrace)
 	res.WaitedAtGo = full.WaitedAtGo
 	res.Suspended = full.Suspended
+	res.Shed = full.Shed + full.ShedRetained
+	res.DeadlineAborts = full.DeadlineAborts
 	if off > 0 {
 		res.RelativeResponseTime = on / off
 		res.ImprovementPct = (1 - on/off) * 100

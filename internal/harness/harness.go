@@ -409,6 +409,10 @@ func addStatsAll(a, b core.Stats) core.Stats {
 	a.SharedAttached += b.SharedAttached
 	a.DedupSaved += b.DedupSaved
 	a.BudgetDeferred += b.BudgetDeferred
+	a.Shed += b.Shed
+	a.ShedRetained += b.ShedRetained
+	a.DeadlineAborts += b.DeadlineAborts
+	a.GovernorDeferred += b.GovernorDeferred
 	return a
 }
 
@@ -433,7 +437,7 @@ type MultiUserOutcome struct {
 // user has an independent Speculator, and the engine's contention model sees
 // the other users' in-flight manipulations.
 func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) (*MultiUserOutcome, error) {
-	timings, perUser, err := runMultiUserSpec(eng, traces, cfg)
+	timings, perUser, _, err := runMultiUserSpec(eng, traces, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -444,13 +448,14 @@ func RunMultiUserSpeculative(eng *engine.Engine, traces []*trace.Trace, cfg core
 	return out, nil
 }
 
-// runMultiUserSpec is the merged-event replay loop shared by the multi-user
-// and scaled-session experiments. It returns each user's un-aggregated stats
-// (snapshotted before that user's Shutdown) so callers pick their own
-// aggregation.
-func runMultiUserSpec(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) ([]QueryTiming, []core.Stats, error) {
+// runMultiUserSpec is the merged-event replay loop shared by the multi-user,
+// scaled-session, and chaos-soak experiments. It returns each user's
+// un-aggregated stats and per-build waste-charge ledger (both snapshotted
+// before that user's Shutdown) so callers pick their own aggregation and can
+// assert the charged-once invariant.
+func runMultiUserSpec(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) ([]QueryTiming, []core.Stats, []map[string]int, error) {
 	if err := eng.ColdStart(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	type userState struct {
 		sp      *core.Speculator
@@ -495,13 +500,13 @@ func runMultiUserSpec(eng *engine.Engine, traces []*trace.Trace, cfg core.Config
 		// Complete due jobs for every user up to this instant.
 		for _, other := range users {
 			if err := other.pending.advance(other.sp, at); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		if item.ev.Kind == trace.EvGo {
 			res, goOut, err := u.sp.OnGo(at)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			u.pending.apply(goOut)
 			timings = append(timings, QueryTiming{
@@ -516,18 +521,20 @@ func runMultiUserSpec(eng *engine.Engine, traces []*trace.Trace, cfg core.Config
 		}
 		evOut, err := u.sp.OnEvent(item.ev, at)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		u.pending.apply(evOut)
 	}
 	perUser := make([]core.Stats, len(users))
+	ledgers := make([]map[string]int, len(users))
 	for i, u := range users {
 		perUser[i] = u.sp.Stats()
+		ledgers[i] = u.sp.WasteCharges()
 		if err := u.sp.Shutdown(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return timings, perUser, nil
+	return timings, perUser, ledgers, nil
 }
 
 // ScaledOutcome reports one scaled-session replay: hundreds of concurrent
@@ -542,6 +549,9 @@ type ScaledOutcome struct {
 	// aggregates (zero when cfg.CSE was nil).
 	SharedBuilds int
 	DedupSaved   sim.Duration
+	// WasteLedgers holds each session's per-build waste-charge counts
+	// (core.Speculator.WasteCharges), for the charged-once invariant.
+	WasteLedgers []map[string]int
 }
 
 // RunScaledSessions replays traces as simultaneous sessions with full stats
@@ -549,11 +559,11 @@ type ScaledOutcome struct {
 // CSE runs, a shared core.SharedBuilds registry and a shared core.Scheduler —
 // so CSE on/off comparisons replay the identical merged event sequence.
 func RunScaledSessions(eng *engine.Engine, traces []*trace.Trace, cfg core.Config) (*ScaledOutcome, error) {
-	timings, perUser, err := runMultiUserSpec(eng, traces, cfg)
+	timings, perUser, ledgers, err := runMultiUserSpec(eng, traces, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := &ScaledOutcome{Timings: timings, PerUser: perUser, Stats: SumStatsAll(perUser)}
+	out := &ScaledOutcome{Timings: timings, PerUser: perUser, Stats: SumStatsAll(perUser), WasteLedgers: ledgers}
 	out.SharedBuilds, out.DedupSaved = cfg.CSE.Snapshot()
 	return out, nil
 }

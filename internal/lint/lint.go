@@ -61,6 +61,7 @@ func AllRules() []Rule {
 		LockDiscipline{},
 		ObsPurity{},
 		ErrCheck{},
+		Bounded{},
 	}
 }
 

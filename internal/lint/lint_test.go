@@ -118,10 +118,14 @@ func TestErrCheckGolden(t *testing.T) {
 	golden(t, lint.ErrCheck{}, "specdb/internal/fixerr", "errcheck")
 }
 
+func TestBoundedGolden(t *testing.T) {
+	golden(t, lint.Bounded{}, "specdb/internal/fixbound", "bounded")
+}
+
 // TestRuleNamesStable pins the rule names: allow directives in the tree
 // reference them, so renaming one silently disables suppressions.
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"determinism", "metering", "panics", "locks", "obspurity", "errcheck"}
+	want := []string{"determinism", "metering", "panics", "locks", "obspurity", "errcheck", "bounded"}
 	rules := lint.AllRules()
 	if len(rules) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rules), len(want))

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# soak.sh — full combined-fault chaos soak (DESIGN.md §13).
+#
+# Runs harness.RunChaosSoak at its full 256-session shape: scaled sessions in
+# batches under simultaneous read/write/corruption/slow-IO faults, an
+# undersized governed buffer pool, and durable batches with a crash injected
+# at a seeded file write followed by WAL recovery and a full re-run. The run
+# is seeded and deterministic; any invariant violation (quiesce identity,
+# charged-once waste, pool misuses, undrained registries, answer divergence
+# from the fault-free reference) fails the test.
+#
+# CI runs the 64-session short shape of the same test on every push; this
+# script is the long-form local/nightly entry point.
+#
+# Usage: scripts/soak.sh [extra go test args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SOAK=1 exec go test ./internal/harness -run '^TestChaosSoak$' -race -count=1 -v -timeout 60m "$@"

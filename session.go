@@ -93,6 +93,7 @@ func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.L
 		c.Workers = db.specWorkers
 		c.Scheduler = db.sched
 		c.CSE = db.cse
+		c.Governor = db.gov
 		switch {
 		case cfg.BudgetPages > 0:
 			c.BudgetPages = cfg.BudgetPages
@@ -359,6 +360,18 @@ type Stats struct {
 	SharedAttached int
 	DedupSaved     time.Duration
 	BudgetDeferred int
+	// Overload governance counters (zero unless Options.Governor.Enabled).
+	// Shed counts outstanding builds the governor canceled under pressure,
+	// lowest benefit first; DeadlineAborts counts builds the stuck-job
+	// watchdog aborted past their deadline; GovernorDeferred counts issue
+	// opportunities refused by pressure band. Shed and DeadlineAborts are
+	// terminal states: they extend the quiesce identity above. ShedRetained
+	// counts completed-but-unconsumed materializations dropped under pressure
+	// (already counted in Completed, so outside the identity).
+	Shed             int
+	ShedRetained     int
+	DeadlineAborts   int
+	GovernorDeferred int
 	// Hits counts final queries answered using at least one completed
 	// speculative materialization; Misses counts the rest.
 	Hits   int
@@ -394,6 +407,10 @@ func (s *Session) Stats() Stats {
 		SharedAttached:      st.SharedAttached,
 		DedupSaved:          time.Duration(st.DedupSaved),
 		BudgetDeferred:      st.BudgetDeferred,
+		Shed:                st.Shed,
+		ShedRetained:        st.ShedRetained,
+		DeadlineAborts:      st.DeadlineAborts,
+		GovernorDeferred:    st.GovernorDeferred,
 		Hits:                st.Hits,
 		Misses:              st.Misses,
 		Waste:               time.Duration(st.Waste),

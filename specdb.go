@@ -69,6 +69,13 @@ type Options struct {
 	// Candidates that would exceed it are skipped. 0 disables the budget.
 	// Individual sessions may override it via SessionConfig.BudgetPages.
 	SpecBudgetPages int
+	// Governor enables and tunes the engine-wide overload governor
+	// (DESIGN.md §13): pressure-band gating of new speculation, benefit-
+	// ranked load shedding, stuck-job deadlines, and a global circuit
+	// breaker that forces speculation-off degraded mode on systemic fault
+	// rates. The zero value leaves the governor off — every decision stays
+	// byte-identical to the ungoverned engine.
+	Governor GovernorConfig
 	// UseOptionalViews lets the optimizer consider non-forced materialized
 	// views (query-materialization semantics).
 	UseOptionalViews bool
@@ -96,6 +103,55 @@ type StorageConfig struct {
 	CheckpointBytes int64
 	// Sync fsyncs the page file and WAL at durability points.
 	Sync bool
+}
+
+// GovernorConfig configures the overload governor (the public mirror of the
+// internal governor configuration; see DESIGN.md §13). All thresholds act on
+// the pressure signal — the buffer pool's claimable free fraction minus the
+// fraction of capacity speculation retains — with hysteresis: a band is
+// entered below its Enter threshold and left only above its Exit threshold.
+type GovernorConfig struct {
+	// Enabled turns the governor on. False (the default) keeps the engine
+	// byte-identical to history.
+	Enabled bool
+	// PressuredEnter/PressuredExit bound the normal↔pressured band
+	// (defaults 0.25 / 0.35); pressured refuses extra speculative jobs and
+	// sheds the lowest-benefit outstanding extras.
+	PressuredEnter float64
+	PressuredExit  float64
+	// CriticalEnter/CriticalExit bound the pressured↔critical band
+	// (defaults 0.10 / 0.20); critical refuses all new speculation.
+	CriticalEnter float64
+	CriticalExit  float64
+	// DeadlineFactor is the stuck-job watchdog's k: builds still running
+	// past k× their cost estimate are aborted (default 4).
+	DeadlineFactor float64
+	// BreakerWindow/BreakerMinSamples/BreakerFailureRate/BreakerCooldown
+	// tune the global circuit breaker: at least MinSamples speculative
+	// outcomes inside a Window with a failure fraction at or above
+	// FailureRate trip speculation off engine-wide for Cooldown of sim
+	// time (defaults 30s / 12 / 0.5 / 60s). Measured statements keep
+	// answering throughout.
+	BreakerWindow      time.Duration
+	BreakerMinSamples  int
+	BreakerFailureRate float64
+	BreakerCooldown    time.Duration
+}
+
+func (c GovernorConfig) internal() core.GovernorConfig {
+	return core.GovernorConfig{
+		PressuredEnter: c.PressuredEnter,
+		PressuredExit:  c.PressuredExit,
+		CriticalEnter:  c.CriticalEnter,
+		CriticalExit:   c.CriticalExit,
+		DeadlineFactor: c.DeadlineFactor,
+		Breaker: fault.GlobalBreakerConfig{
+			Window:      c.BreakerWindow,
+			MinSamples:  c.BreakerMinSamples,
+			FailureRate: c.BreakerFailureRate,
+			Cooldown:    c.BreakerCooldown,
+		},
+	}
 }
 
 // FaultConfig sets per-operation fault-injection probabilities (the public
@@ -149,6 +205,9 @@ type DB struct {
 	// budgetPages is the default per-session speculation budget
 	// (Options.SpecBudgetPages; 0 = unlimited).
 	budgetPages int
+	// gov is the engine-wide overload governor (nil unless
+	// Options.Governor.Enabled).
+	gov *core.Governor
 	// learner is the durable shared user profile (nil on in-memory
 	// databases, whose sessions own private or manager-scoped learners).
 	learner *core.Learner
@@ -188,8 +247,17 @@ func assemble(opts Options, eng *engine.Engine) *DB {
 		db.cse = core.NewSharedBuilds(eng.Metrics())
 		sched.AttachCSE(db.cse)
 	}
+	if opts.Governor.Enabled {
+		db.gov = core.NewGovernor(opts.Governor.internal(), eng.Pool)
+		db.gov.AttachMetrics(eng.Metrics())
+	}
 	return db
 }
+
+// Governor exposes the engine-wide overload governor (nil unless
+// Options.Governor.Enabled) for diagnostics: pressure band, degraded time,
+// and global-breaker trips.
+func (db *DB) Governor() *core.Governor { return db.gov }
 
 // LoadTPCH populates the database with the paper's TPC-H-subset dataset at
 // one of the named scales: "100MB", "500MB", or "1GB" (scaled 1/20, see
