@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/speclint [-json] [-C dir] [./...]
+//	go run ./cmd/speclint [-json] [-C dir] [-rules r1,r2] [-graph] [-allows] [./...]
 //
 // The only supported pattern is ./... (the whole module); naming individual
 // package directories relative to the module root also works.
+//
+// Modes beyond linting:
+//
+//	-graph   dump the resolved whole-program call graph (one "caller ->
+//	         callee" line per edge) instead of findings, for debugging the
+//	         interprocedural rules.
+//	-allows  list every //speclint:allow directive with file:line, rules,
+//	         and reason, so suppressions stay reviewable.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,28 +31,42 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	chdir := flag.String("C", ".", "module directory to lint")
-	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: speclint [-json] [-C dir] [-rules r1,r2] [./...]\n\nrules:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive the whole
+// CLI. Exit status: 0 clean, 1 findings, 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit output as JSON")
+	chdir := fs.String("C", ".", "module directory to lint")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	graphOut := fs.Bool("graph", false, "dump the whole-program call graph instead of linting")
+	allowsOut := fs.Bool("allows", false, "list every //speclint:allow directive instead of linting")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: speclint [-json] [-C dir] [-rules r1,r2] [-graph] [-allows] [./...]\n\nrules:\n")
 		for _, r := range lint.AllRules() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.Name(), r.Doc())
+			fmt.Fprintf(stderr, "  %-12s %s\n", r.Name(), r.Doc())
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	root, err := lint.FindModuleRoot(*chdir)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	var pkgs []*lint.Package
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -52,7 +75,8 @@ func main() {
 		case pat == "./..." || pat == "...":
 			all, err := loader.LoadModule()
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, err)
+				return 2
 			}
 			pkgs = append(pkgs, all...)
 		default:
@@ -63,10 +87,50 @@ func main() {
 			}
 			p, err := loader.Load(path)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, err)
+				return 2
 			}
 			pkgs = append(pkgs, p)
 		}
+	}
+
+	relToRoot := func(file string) string {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return file
+	}
+
+	if *graphOut {
+		if err := lint.NewProgram(pkgs).DumpGraph(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		return 0
+	}
+
+	if *allowsOut {
+		entries := lint.CollectAllows(pkgs)
+		for i := range entries {
+			entries[i].File = relToRoot(entries[i].File)
+		}
+		if *jsonOut {
+			if entries == nil {
+				entries = []lint.AllowEntry{}
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(entries); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		} else {
+			for _, e := range entries {
+				fmt.Fprintf(stdout, "%s:%d: %s -- %s\n", e.File, e.Line, strings.Join(e.Rules, ","), e.Reason)
+			}
+			fmt.Fprintf(stderr, "speclint: %d allow directive(s)\n", len(entries))
+		}
+		return 0
 	}
 
 	rules := lint.AllRules()
@@ -82,41 +146,37 @@ func main() {
 			}
 		}
 		if len(subset) == 0 {
-			fatal(fmt.Errorf("speclint: -rules %q matches no rule", *rulesFlag))
+			fmt.Fprintf(stderr, "speclint: -rules %q matches no rule\n", *rulesFlag)
+			return 2
 		}
 		rules = subset
 	}
 
 	diags := lint.Run(rules, pkgs)
 	for i := range diags {
-		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = rel
-		}
+		diags[i].File = relToRoot(diags[i].File)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "speclint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "speclint: %d finding(s)\n", len(diags))
 		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+	return 0
 }

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// demoModule lays out a self-contained module with exactly one speclint
+// finding — a two-lock ordering cycle, so the finding carries a witness
+// call path — plus one allow directive for the audit tests. The loader is
+// hermetic (stdlib type-checked from source), so a temp dir is a full
+// fixture.
+func demoModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module demo\n\ngo 1.24\n",
+		"cyc/cyc.go": `// Package cyc deliberately orders two locks both ways.
+package cyc
+
+import "sync"
+
+type Left struct {
+	mu   sync.Mutex
+	peer *Right
+}
+
+type Right struct {
+	mu   sync.Mutex
+	peer *Left
+}
+
+func (l *Left) Push() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.peer.absorb()
+}
+
+func (r *Right) absorb() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func (r *Right) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peer.steal()
+}
+
+func (l *Left) steal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+`,
+		"cyc/allow.go": `package cyc
+
+//speclint:allow errcheck -- demo directive for the audit test
+var audited = 1
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// cleanModule lays out a module with nothing to report.
+func cleanModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tidy\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "tidy.go"), []byte("package tidy\n\nfunc Add(a, b int) int { return a + b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestJSONSchema pins the -json output contract: an array of objects with
+// rule/file/line/col/message, module-relative slash paths, the witness call
+// path for interprocedural findings, and a byte-stable sort order.
+func TestJSONSchema(t *testing.T) {
+	dir := demoModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-C", dir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d (want 1: findings present); stderr:\n%s", code, errb.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly the lockorder cycle:\n%s", len(diags), out.String())
+	}
+	d := diags[0]
+	for _, key := range []string{"rule", "file", "line", "col", "message"} {
+		if _, ok := d[key]; !ok {
+			t.Errorf("finding is missing key %q", key)
+		}
+	}
+	if d["rule"] != "lockorder" {
+		t.Errorf("rule = %v, want lockorder", d["rule"])
+	}
+	file, _ := d["file"].(string)
+	if filepath.IsAbs(file) || !strings.HasPrefix(file, "cyc/") {
+		t.Errorf("file = %q, want module-relative slash path under cyc/", file)
+	}
+	path, ok := d["path"].([]any)
+	if !ok || len(path) < 2 {
+		t.Errorf("path = %v, want witness call path with both cycle edges", d["path"])
+	}
+	for _, step := range path {
+		if s, _ := step.(string); !strings.Contains(s, "cyc.go:") {
+			t.Errorf("witness step %v does not name its source line", step)
+		}
+	}
+
+	// Stability: a fresh loader over the same tree must render byte-identical
+	// output, or CI artifacts would diff on every run.
+	var out2 bytes.Buffer
+	if code := run([]string{"-json", "-C", dir, "./..."}, &out2, &errb); code != 1 {
+		t.Fatalf("second run exit %d", code)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Errorf("-json output is not stable across runs:\n--- first ---\n%s--- second ---\n%s", out.String(), out2.String())
+	}
+}
+
+// TestAllowsAudit pins the -allows listing in both text and JSON form. The
+// audit is a listing mode: it exits 0 even though the tree has findings.
+func TestAllowsAudit(t *testing.T) {
+	dir := demoModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allows", "-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d (audit mode must not fail on findings); stderr:\n%s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "cyc/allow.go:3: errcheck -- demo directive for the audit test") {
+		t.Errorf("text audit missing the directive:\n%s", text)
+	}
+	if !strings.Contains(errb.String(), "1 allow directive(s)") {
+		t.Errorf("audit summary missing:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-allows", "-json", "-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("json audit exit %d; stderr:\n%s", code, errb.String())
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &entries); err != nil {
+		t.Fatalf("json audit output malformed: %v\n%s", err, out.String())
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d audit entries, want 1:\n%s", len(entries), out.String())
+	}
+	e := entries[0]
+	for _, key := range []string{"file", "line", "rules", "reason"} {
+		if _, ok := e[key]; !ok {
+			t.Errorf("audit entry missing key %q", key)
+		}
+	}
+	if e["file"] != "cyc/allow.go" || e["reason"] != "demo directive for the audit test" {
+		t.Errorf("audit entry fields wrong: %v", e)
+	}
+}
+
+// TestGraphDump pins the -graph debug mode: an edge list plus a summary
+// footer, exit 0.
+func TestGraphDump(t *testing.T) {
+	dir := demoModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-graph", "-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "(*demo/cyc.Left).Push -> (*demo/cyc.Right).absorb") {
+		t.Errorf("graph missing the Push → absorb edge:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if last := lines[len(lines)-1]; !strings.HasPrefix(last, "# ") || !strings.Contains(last, "functions") {
+		t.Errorf("graph footer malformed: %q", last)
+	}
+}
+
+// TestCleanModule pins the happy path: zero findings, zero output, exit 0.
+func TestCleanModule(t *testing.T) {
+	dir := cleanModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on a clean module; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+// TestBadRulesFlag pins the usage-error exit code.
+func TestBadRulesFlag(t *testing.T) {
+	dir := cleanModule(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuch", "-C", dir, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 for an unknown -rules value", code)
+	}
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the interprocedural core shared by the lockorder and meterflow
+// rules: a CHA-style (class-hierarchy analysis) whole-program call graph over
+// every loaded package. Static calls resolve through go/types object
+// identity; a call through an interface method resolves to that method on
+// every named type in the program whose method set implements the interface —
+// a sound over-approximation for a closed program, which the module is.
+//
+// Known imprecision, deliberate for a stdlib-only tool: function values
+// (closures stored in fields, callbacks) are not tracked, so calls made
+// through them contribute no edges; calls written inside a function literal
+// are attributed to the enclosing declared function (the literal runs with
+// the encloser's data, and for reachability questions that attribution is
+// the conservative one).
+
+// FuncNode is one declared function or method with a body.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Sites are the node's call sites in source order.
+	Sites []*CallSite
+	// ChargesMeter records a direct call to a sim.Meter Charge* method
+	// anywhere in the body — the meterflow rule's "this function prices its
+	// I/O" marker.
+	ChargesMeter bool
+}
+
+// Name renders the node as pkgpath.(Recv).Func for humans.
+func (n *FuncNode) Name() string { return n.Fn.FullName() }
+
+// CallSite is one call expression. The cached half (this struct) records the
+// statically-resolved callee — a concrete function, or the interface method
+// a dynamic call goes through; the per-Program CHA expansion lives on the
+// Program (Callees), so a summary cached for one package set cannot leak a
+// stale implements-set into another.
+type CallSite struct {
+	Pos    token.Pos
+	callee *types.Func // concrete function, or interface method
+	// DiskIO marks a storage.Disk / fault.Disk data-path Read or Write call
+	// (the meterflow rule's tracked sites).
+	DiskIO bool
+	// DiskMethod is the called method name when DiskIO is set.
+	DiskMethod string
+}
+
+// CallerRef is one incoming edge: the calling node and the call position.
+type CallerRef struct {
+	Caller *FuncNode
+	Pos    token.Pos
+}
+
+// Program is the whole-program view handed to ProgramRules: the packages
+// under analysis plus the assembled call graph.
+type Program struct {
+	Pkgs  []*Package
+	nodes map[*types.Func]*FuncNode
+	order []*FuncNode // deterministic iteration order (package, file, decl)
+
+	named     []*types.Named            // concrete named types, for CHA
+	implCache map[implKey][]*types.Func // interface-method resolution memo
+	resolved  map[*CallSite][]*types.Func
+	callers   map[*FuncNode][]CallerRef
+	siteByPos map[*FuncNode]map[token.Pos]*CallSite
+}
+
+type implKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// pkgSummary is the cacheable per-package half of graph construction:
+// everything derivable from one type-checked package alone. Assembly into a
+// Program (interface resolution, reverse edges) is per-run, but the AST walk
+// and static resolution are done once per loaded package, so the repo
+// self-check and repeated cmd/speclint patterns stay fast.
+type pkgSummary struct {
+	funcs []*FuncNode
+	named []*types.Named
+}
+
+// summaryCache memoizes pkgSummary per *Package. Keyed by pointer: LoadDir
+// fixtures get fresh Package values, so mimicking a real import path cannot
+// poison the cache.
+var summaryCache sync.Map // *Package -> *pkgSummary
+
+// NewProgram assembles the call graph over pkgs.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:      pkgs,
+		nodes:     map[*types.Func]*FuncNode{},
+		implCache: map[implKey][]*types.Func{},
+		resolved:  map[*CallSite][]*types.Func{},
+		callers:   map[*FuncNode][]CallerRef{},
+		siteByPos: map[*FuncNode]map[token.Pos]*CallSite{},
+	}
+	summaries := make([]*pkgSummary, len(pkgs))
+	for i, pkg := range pkgs {
+		summaries[i] = summarize(pkg)
+		prog.named = append(prog.named, summaries[i].named...)
+	}
+	for _, s := range summaries {
+		for _, n := range s.funcs {
+			prog.nodes[n.Fn] = n
+			prog.order = append(prog.order, n)
+		}
+	}
+	for _, n := range prog.order {
+		sites := map[token.Pos]*CallSite{}
+		for _, site := range n.Sites {
+			sites[site.Pos] = site
+			for _, callee := range prog.Callees(site) {
+				if cn, ok := prog.nodes[callee]; ok {
+					prog.callers[cn] = append(prog.callers[cn], CallerRef{Caller: n, Pos: site.Pos})
+				}
+			}
+		}
+		prog.siteByPos[n] = sites
+	}
+	return prog
+}
+
+// Node returns the graph node for fn, or nil if fn has no body in the
+// program.
+func (p *Program) Node(fn *types.Func) *FuncNode { return p.nodes[fn] }
+
+// Nodes returns every node in deterministic (package, file, declaration)
+// order.
+func (p *Program) Nodes() []*FuncNode { return p.order }
+
+// Callers returns n's incoming edges.
+func (p *Program) Callers(n *FuncNode) []CallerRef { return p.callers[n] }
+
+// Site returns the call site of node n at pos, if any.
+func (p *Program) Site(n *FuncNode, pos token.Pos) *CallSite { return p.siteByPos[n][pos] }
+
+// Callees returns the site's possible callees: the static callee itself, or
+// — for a call through an interface method — the interface method followed
+// by its CHA implements-set. Memoized per Program.
+func (p *Program) Callees(site *CallSite) []*types.Func {
+	if out, ok := p.resolved[site]; ok {
+		return out
+	}
+	out := []*types.Func{site.callee}
+	if sig, ok := site.callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			out = append(out, p.implementers(iface, site.callee)...)
+		}
+	}
+	p.resolved[site] = out
+	return out
+}
+
+// implementers returns method `m` of every concrete named type in the
+// program that implements iface, memoized and sorted for determinism.
+func (p *Program) implementers(iface *types.Interface, m *types.Func) []*types.Func {
+	key := implKey{iface: iface, method: m.Name()}
+	if impls, ok := p.implCache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range p.named {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if conc, ok := obj.(*types.Func); ok {
+			impls = append(impls, conc)
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].FullName() < impls[j].FullName() })
+	p.implCache[key] = impls
+	return impls
+}
+
+// summarize extracts (and caches) pkg's functions, call sites with static
+// resolution, and concrete named types.
+func summarize(pkg *Package) *pkgSummary {
+	if s, ok := summaryCache.Load(pkg); ok {
+		return s.(*pkgSummary)
+	}
+	s := &pkgSummary{}
+	scope := pkg.Pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		s.named = append(s.named, named)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				site, charges := resolveCall(pkg, call)
+				if charges {
+					node.ChargesMeter = true
+				}
+				if site != nil {
+					node.Sites = append(node.Sites, site)
+				}
+				return true
+			})
+			s.funcs = append(s.funcs, node)
+		}
+	}
+	summaryCache.Store(pkg, s)
+	return s
+}
+
+// resolveCall classifies one call expression: a static callee, an interface
+// method (left for CHA expansion at assembly), or nothing trackable
+// (builtin, conversion, call of a function value). It also reports whether
+// the call is a sim.Meter Charge* (the meterflow "prices its I/O" marker).
+func resolveCall(pkg *Package, call *ast.CallExpr) (site *CallSite, chargesMeter bool) {
+	var fn *types.Func
+	var diskIO bool
+	var diskMethod string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil {
+			if sel.Kind() != types.MethodVal {
+				return nil, false
+			}
+			fn, _ = sel.Obj().(*types.Func)
+			if fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == moduleOf(pkg.Path)+"/internal/sim" &&
+					strings.HasPrefix(fn.Name(), "Charge") {
+					chargesMeter = true
+				}
+				if (fn.Name() == "Read" || fn.Name() == "Write") && isDiskType(pkg, sel.Recv()) {
+					diskIO, diskMethod = true, fn.Name()
+				}
+			}
+		} else {
+			// Package-qualified call (pkg.Func) or method expression — the
+			// former resolves through Uses, the latter is a value and skipped.
+			fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+	default:
+		return nil, false
+	}
+	if fn == nil {
+		return nil, chargesMeter
+	}
+	return &CallSite{Pos: call.Pos(), callee: fn, DiskIO: diskIO, DiskMethod: diskMethod}, chargesMeter
+}
+
+// DumpGraph writes the resolved edge list, one sorted "caller -> callee"
+// line per edge, for cmd/speclint's -graph debug mode.
+func (p *Program) DumpGraph(w io.Writer) error {
+	seen := map[string]bool{}
+	var lines []string
+	for _, n := range p.order {
+		for _, site := range n.Sites {
+			for _, callee := range p.Callees(site) {
+				line := n.Name() + " -> " + callee.FullName()
+				if !seen[line] {
+					seen[line] = true
+					lines = append(lines, line)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# %d functions, %d edges\n", len(p.order), len(lines))
+	return err
+}
+
+// step renders one witness-path element: pkgpath.(Recv).Func (file.go:line).
+func witnessStep(n *FuncNode, pos token.Pos) string {
+	p := n.Pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s (%s:%d)", n.Name(), baseName(p.Filename), p.Line)
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

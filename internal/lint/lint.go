@@ -26,17 +26,25 @@ import (
 )
 
 // Diagnostic is one finding: a rule name, a position, and a message.
+// Interprocedural findings also carry the witness call path, entry point
+// first, each step rendered as "pkgpath.(Recv).Func (file.go:line)".
 type Diagnostic struct {
-	Rule    string `json:"rule"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Rule    string   `json:"rule"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Message string   `json:"message"`
+	Path    []string `json:"path,omitempty"`
 }
 
-// String renders the conventional file:line:col: rule: message form.
+// String renders the conventional file:line:col: rule: message form, with
+// the witness call path (when present) indented on following lines.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	for _, step := range d.Path {
+		s += "\n\t" + step
+	}
+	return s
 }
 
 // Rule is one self-contained invariant check. Check inspects a single
@@ -52,6 +60,14 @@ type Rule interface {
 	Check(pkg *Package) []Diagnostic
 }
 
+// ProgramRule is a Rule that analyzes the whole program at once over the
+// assembled call graph instead of (or in addition to) per-package Checks.
+// CheckProgram runs once per Run, after the per-package pass.
+type ProgramRule interface {
+	Rule
+	CheckProgram(prog *Program) []Diagnostic
+}
+
 // AllRules returns the full suite in a fixed order.
 func AllRules() []Rule {
 	return []Rule{
@@ -62,6 +78,8 @@ func AllRules() []Rule {
 		ObsPurity{},
 		ErrCheck{},
 		Bounded{},
+		LockOrder{},
+		MeterFlow{},
 	}
 }
 
@@ -112,18 +130,28 @@ func parseAllows(pkg *Package) map[string]map[int][]allowSite {
 // directives, validates the directives themselves, and returns the remaining
 // findings sorted by file, line, column, and rule.
 func Run(rules []Rule, pkgs []*Package) []Diagnostic {
+	// Directive hygiene validates against the full suite, not just the rules
+	// being run: a -rules subset must not flag a directive naming a rule that
+	// exists but is skipped this run.
 	known := map[string]bool{}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
 	for _, r := range rules {
 		known[r.Name()] = true
 	}
 	var out []Diagnostic
+	// Program rules match suppressions against the merged allow map: their
+	// findings can land in any package, and a witness path may cross several.
+	merged := map[string]map[int][]allowSite{}
 	for _, pkg := range pkgs {
 		allows := parseAllows(pkg)
-		used := map[*allowSite]bool{}
+		for file, byLine := range allows {
+			merged[file] = byLine
+		}
 		for _, r := range rules {
 			for _, d := range r.Check(pkg) {
-				if site := matchAllow(allows, r.Name(), d); site != nil {
-					used[site] = true
+				if matchAllow(allows, r.Name(), d) != nil {
 					continue
 				}
 				out = append(out, d)
@@ -150,6 +178,23 @@ func Run(rules []Rule, pkgs []*Package) []Diagnostic {
 						}
 					}
 				}
+			}
+		}
+	}
+	var progRules []ProgramRule
+	for _, r := range rules {
+		if pr, ok := r.(ProgramRule); ok {
+			progRules = append(progRules, pr)
+		}
+	}
+	if len(progRules) > 0 {
+		prog := NewProgram(pkgs)
+		for _, r := range progRules {
+			for _, d := range r.CheckProgram(prog) {
+				if matchAllow(merged, r.Name(), d) != nil {
+					continue
+				}
+				out = append(out, d)
 			}
 		}
 	}
@@ -188,6 +233,38 @@ func matchAllow(allows map[string]map[int][]allowSite, rule string, d Diagnostic
 		}
 	}
 	return nil
+}
+
+// AllowEntry is one //speclint:allow directive, for the -allows audit
+// listing: suppressions must stay reviewable, so the tool can enumerate
+// every one with its position, rules, and stated reason.
+type AllowEntry struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules"`
+	Reason string   `json:"reason"`
+}
+
+// CollectAllows returns every allow directive in pkgs, sorted by file and
+// line.
+func CollectAllows(pkgs []*Package) []AllowEntry {
+	var out []AllowEntry
+	for _, pkg := range pkgs {
+		for _, byLine := range parseAllows(pkg) {
+			for _, sites := range byLine {
+				for _, s := range sites {
+					out = append(out, AllowEntry{File: s.pos.Filename, Line: s.pos.Line, Rules: s.rules, Reason: s.reason})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // diag builds a Diagnostic for node n in pkg.

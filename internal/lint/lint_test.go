@@ -122,10 +122,32 @@ func TestBoundedGolden(t *testing.T) {
 	golden(t, lint.Bounded{}, "specdb/internal/fixbound", "bounded")
 }
 
+// TestLockOrderCycleGolden pins the interprocedural cycle proof: Left.mu
+// and Right.mu are each acquired while the other is held, one call level
+// apart, and the finding carries the witness call paths for both edges.
+func TestLockOrderCycleGolden(t *testing.T) {
+	golden(t, lint.LockOrder{}, "specdb/internal/fixcycle", "lockorder_cycle")
+}
+
+// TestLockOrderInversionGolden pins the manifest check: a fixture mimicking
+// the real storage package holds the disk-level lock while taking the
+// heap-level one, contradicting the DESIGN.md §6 hierarchy.
+func TestLockOrderInversionGolden(t *testing.T) {
+	golden(t, lint.LockOrder{}, "specdb/internal/storage", "lockorder_inversion")
+}
+
+// TestMeterFlowGolden pins the reachability proof: a disk read completable
+// from an entry point with no Charge* on the path is flagged with the full
+// root-to-disk witness, while entry-point and in-function charging both
+// count as priced.
+func TestMeterFlowGolden(t *testing.T) {
+	golden(t, lint.MeterFlow{}, "specdb/internal/fixflow", "meterflow")
+}
+
 // TestRuleNamesStable pins the rule names: allow directives in the tree
 // reference them, so renaming one silently disables suppressions.
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"determinism", "metering", "panics", "locks", "obspurity", "errcheck", "bounded"}
+	want := []string{"determinism", "metering", "panics", "locks", "obspurity", "errcheck", "bounded", "lockorder", "meterflow"}
 	rules := lint.AllRules()
 	if len(rules) != len(want) {
 		t.Fatalf("got %d rules, want %d", len(rules), len(want))

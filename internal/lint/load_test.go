@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write is a tiny fixture helper: create path (and parents) with content.
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tempModule lays out a minimal module and returns its loader.
+func tempModule(t *testing.T) (string, *Loader) {
+	t.Helper()
+	root := t.TempDir()
+	write(t, filepath.Join(root, "go.mod"), "module demo\n\ngo 1.24\n")
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, l
+}
+
+func TestNewLoaderErrors(t *testing.T) {
+	t.Run("missing go.mod", func(t *testing.T) {
+		if _, err := NewLoader(t.TempDir()); err == nil || !strings.Contains(err.Error(), "go.mod") {
+			t.Fatalf("got %v, want go.mod read error", err)
+		}
+	})
+	t.Run("no module directive", func(t *testing.T) {
+		root := t.TempDir()
+		write(t, filepath.Join(root, "go.mod"), "// no module line\ngo 1.24\n")
+		if _, err := NewLoader(root); err == nil || !strings.Contains(err.Error(), "no module directive") {
+			t.Fatalf("got %v, want missing-module-directive error", err)
+		}
+	})
+}
+
+func TestLoadErrors(t *testing.T) {
+	root, l := tempModule(t)
+
+	t.Run("missing package dir", func(t *testing.T) {
+		if _, err := l.Load("demo/internal/nosuch"); err == nil {
+			t.Fatal("loading a nonexistent package directory succeeded")
+		}
+	})
+	t.Run("empty package dir", func(t *testing.T) {
+		if err := os.MkdirAll(filepath.Join(root, "empty"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Load("demo/empty"); err == nil || !strings.Contains(err.Error(), "no Go files") {
+			t.Fatalf("got %v, want no-Go-files error", err)
+		}
+	})
+	t.Run("unparseable file", func(t *testing.T) {
+		write(t, filepath.Join(root, "bad", "bad.go"), "package bad\nfunc {\n")
+		if _, err := l.Load("demo/bad"); err == nil {
+			t.Fatal("loading a package with a syntax error succeeded")
+		}
+	})
+	t.Run("type error", func(t *testing.T) {
+		write(t, filepath.Join(root, "broken", "broken.go"), "package broken\n\nvar x = undefinedIdent\n")
+		if _, err := l.Load("demo/broken"); err == nil || !strings.Contains(err.Error(), "type-checking") {
+			t.Fatalf("got %v, want type-checking error", err)
+		}
+	})
+	t.Run("import cycle", func(t *testing.T) {
+		write(t, filepath.Join(root, "a", "a.go"), "package a\n\nimport \"demo/b\"\n\nvar V = b.V\n")
+		write(t, filepath.Join(root, "b", "b.go"), "package b\n\nimport \"demo/a\"\n\nvar V = a.V\n")
+		if _, err := l.Load("demo/a"); err == nil || !strings.Contains(err.Error(), "import cycle") {
+			t.Fatalf("got %v, want import-cycle error", err)
+		}
+	})
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	_, l := tempModule(t)
+	if _, err := l.LoadDir(filepath.Join(t.TempDir(), "nosuch"), "demo/fixture"); err == nil {
+		t.Fatal("LoadDir on a missing directory succeeded")
+	}
+}
+
+func TestFindModuleRootError(t *testing.T) {
+	dir := t.TempDir()
+	if root, err := FindModuleRoot(dir); err == nil {
+		// A go.mod in a parent of TMPDIR would make this pass spuriously;
+		// treat that environment as untestable rather than failing.
+		t.Skipf("unexpected module root %s above %s", root, dir)
+	}
+}

@@ -1,0 +1,653 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural half of the locking story (DESIGN.md §6,
+// §9). The per-package `locks` rule proves each struct guards its own fields;
+// this rule proves the structs compose: it infers, per function, the set of
+// locks acquired (receiver type + mutex field, the same identity the `locks`
+// rule's guarded-field inference uses), propagates acquisition sets over the
+// whole-program call graph, and builds the global lock-acquisition order
+// graph. Two findings come out of it:
+//
+//  1. any cycle in the order graph — two locks each acquirable while the
+//     other is held is a deadlock waiting for the right interleaving;
+//  2. any edge contradicting the declared hierarchy manifest
+//     (lockorder_manifest.go, cross-checked against DESIGN.md §6): acquiring
+//     an outer-level lock while holding an inner-level one.
+//
+// Both findings print the full witness call path, from the function that
+// holds the outer lock down to the statement that acquires the inner one.
+//
+// Approximations, chosen to stay sound for the declared hierarchy without
+// drowning in noise: RLock and Lock are the same lock (reader/writer order
+// still deadlocks); acquisitions reached only through function values are
+// invisible (the call graph cannot see them); same-lock self-edges are
+// skipped — ordering between two instances of one type (the pool's
+// ascending-shard lockAll) is a runtime convention no static lattice can
+// check; `defer`red unlocks keep the lock held for the rest of the body,
+// which is exactly what the analysis wants.
+type LockOrder struct{}
+
+func (LockOrder) Name() string { return "lockorder" }
+func (LockOrder) Doc() string {
+	return "global lock-acquisition order over the call graph must be acyclic and respect the DESIGN.md §6 hierarchy manifest"
+}
+
+// Check is per-package and intentionally empty: LockOrder is a ProgramRule.
+func (LockOrder) Check(pkg *Package) []Diagnostic { return nil }
+
+// lockSym identifies one lock: the named type (or package) owning the mutex
+// plus the mutex field name.
+type lockSym struct {
+	Owner string // "pkgpath.Type", or "pkgpath" for a package-level mutex var
+	Field string
+}
+
+func (l lockSym) String() string { return l.Owner + "." + l.Field }
+
+// lockFacts is the per-function summary the rule infers.
+type lockFacts struct {
+	acquires map[lockSym]token.Pos // first acquisition site of each lock
+	nested   []nestedAcq           // direct acquire-while-holding pairs
+	calls    []heldCallSite        // call sites executed with locks held
+}
+
+type nestedAcq struct {
+	outer, inner lockSym
+	pos          token.Pos
+}
+
+type heldCallSite struct {
+	held []lockSym
+	pos  token.Pos
+}
+
+// lockEdge is one edge of the global order graph with its witness.
+type lockEdge struct {
+	outer, inner lockSym
+	pos          token.Position // anchor: where the nesting is witnessed
+	path         []string       // witness call path, outer holder first
+}
+
+func (r LockOrder) CheckProgram(prog *Program) []Diagnostic {
+	edges := lockOrderGraph(prog)
+
+	var out []Diagnostic
+	ranks := lockRanks()
+	levels := lockHierarchy()
+	for _, e := range sortedEdges(edges) {
+		ro, okO := ranks[e.outer.Owner]
+		ri, okI := ranks[e.inner.Owner]
+		if okO && okI && ri < ro {
+			out = append(out, Diagnostic{
+				Rule: r.Name(), File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
+				Message: fmt.Sprintf("lock-order inversion: %s (level %q) is acquired while holding %s (level %q), contradicting the declared hierarchy %s",
+					e.inner, levels[ri].Name, e.outer, levels[ro].Name, hierarchyString()),
+				Path: e.path,
+			})
+		}
+	}
+
+	for _, cyc := range findLockCycles(edges) {
+		first := edges[[2]string{cyc[0].String(), cyc[1].String()}]
+		names := make([]string, 0, len(cyc))
+		for _, s := range cyc {
+			names = append(names, s.String())
+		}
+		var path []string
+		for i := 0; i+1 < len(cyc); i++ {
+			e := edges[[2]string{cyc[i].String(), cyc[i+1].String()}]
+			path = append(path, fmt.Sprintf("%s → %s: %s", e.outer, e.inner, strings.Join(e.path, " -> ")))
+		}
+		out = append(out, Diagnostic{
+			Rule: r.Name(), File: first.pos.Filename, Line: first.pos.Line, Col: first.pos.Column,
+			Message: fmt.Sprintf("lock-order cycle: %s — a deadlock needs only the right interleaving", strings.Join(names, " → ")),
+			Path:    path,
+		})
+	}
+	return out
+}
+
+// lockOrderGraph infers per-function lock facts, propagates them over the
+// call graph, and assembles the global acquisition-order edge set. Split
+// from CheckProgram so the self-check can assert the analysis sees the
+// engine's real nesting (an empty graph would make the rule pass vacuously).
+func lockOrderGraph(prog *Program) map[[2]string]*lockEdge {
+	facts := map[*FuncNode]*lockFacts{}
+	for _, n := range prog.Nodes() {
+		if n.Pkg.isToolOrDemo() {
+			continue
+		}
+		facts[n] = gatherLockFacts(prog, n)
+	}
+
+	// Transitive acquisition sets: trans(f) = acquires(f) ∪ trans(callees),
+	// to a fixpoint (the call graph has cycles; iteration is monotone over a
+	// finite lattice, so it terminates).
+	trans := map[*FuncNode]map[lockSym]bool{}
+	for n, f := range facts {
+		t := map[lockSym]bool{}
+		for sym := range f.acquires {
+			t[sym] = true
+		}
+		trans[n] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.Nodes() {
+			if facts[n] == nil {
+				continue
+			}
+			t := trans[n]
+			for _, site := range n.Sites {
+				for _, callee := range prog.Callees(site) {
+					cn := prog.Node(callee)
+					if cn == nil {
+						continue
+					}
+					for sym := range trans[cn] {
+						if !t[sym] {
+							t[sym] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble the order graph. First witness wins; iteration order is
+	// deterministic (nodes in package/file order, sites in source order,
+	// callees and held sets sorted).
+	edges := map[[2]string]*lockEdge{}
+	addEdge := func(outer, inner lockSym, pos token.Position, path []string) {
+		if outer == inner {
+			return
+		}
+		key := [2]string{outer.String(), inner.String()}
+		if _, ok := edges[key]; !ok {
+			edges[key] = &lockEdge{outer: outer, inner: inner, pos: pos, path: path}
+		}
+	}
+	for _, n := range prog.Nodes() {
+		f := facts[n]
+		if f == nil {
+			continue
+		}
+		for _, na := range f.nested {
+			addEdge(na.outer, na.inner, n.Pkg.Fset.Position(na.pos), []string{witnessStep(n, na.pos)})
+		}
+		for _, hc := range f.calls {
+			site := prog.Site(n, hc.pos)
+			if site == nil {
+				continue
+			}
+			for _, callee := range prog.Callees(site) {
+				cn := prog.Node(callee)
+				if cn == nil || facts[cn] == nil {
+					continue
+				}
+				for _, inner := range sortedSyms(trans[cn]) {
+					for _, outer := range hc.held {
+						if outer == inner {
+							continue
+						}
+						if _, ok := edges[[2]string{outer.String(), inner.String()}]; ok {
+							continue
+						}
+						chain := chaseAcquisition(prog, facts, trans, cn, inner, map[*FuncNode]bool{})
+						path := append([]string{witnessStep(n, hc.pos)}, chain...)
+						addEdge(outer, inner, n.Pkg.Fset.Position(hc.pos), path)
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// gatherLockFacts walks n's body in statement order and records its direct
+// acquisitions, nesting pairs, and lock-held call sites.
+func gatherLockFacts(prog *Program, n *FuncNode) *lockFacts {
+	f := &lockFacts{acquires: map[lockSym]token.Pos{}}
+	lockWalk(n.Pkg, n.Decl.Body,
+		func(sym lockSym, pos token.Pos, held []lockSym) {
+			if _, ok := f.acquires[sym]; !ok {
+				f.acquires[sym] = pos
+			}
+			for _, outer := range held {
+				if outer != sym {
+					f.nested = append(f.nested, nestedAcq{outer: outer, inner: sym, pos: pos})
+				}
+			}
+		},
+		func(pos token.Pos, held []lockSym) {
+			if len(held) == 0 {
+				return
+			}
+			if prog.Site(n, pos) == nil {
+				return
+			}
+			f.calls = append(f.calls, heldCallSite{held: held, pos: pos})
+		})
+	return f
+}
+
+// chaseAcquisition returns the witness chain from cn down to the function
+// that directly acquires sym, following call edges (shortest-first by
+// construction: a direct acquisition in cn wins over descending further).
+func chaseAcquisition(prog *Program, facts map[*FuncNode]*lockFacts, trans map[*FuncNode]map[lockSym]bool, cn *FuncNode, sym lockSym, visited map[*FuncNode]bool) []string {
+	if f := facts[cn]; f != nil {
+		if pos, ok := f.acquires[sym]; ok {
+			return []string{witnessStep(cn, pos)}
+		}
+	}
+	visited[cn] = true
+	for _, site := range cn.Sites {
+		for _, callee := range prog.Callees(site) {
+			nn := prog.Node(callee)
+			if nn == nil || visited[nn] || facts[nn] == nil || !trans[nn][sym] {
+				continue
+			}
+			if rest := chaseAcquisition(prog, facts, trans, nn, sym, visited); rest != nil {
+				return append([]string{witnessStep(cn, site.Pos)}, rest...)
+			}
+		}
+	}
+	return nil
+}
+
+// findLockCycles returns every elementary cycle representative of the order
+// graph's nontrivial strongly connected components, each as a lock sequence
+// starting and ending at the component's smallest lock. One cycle per SCC is
+// reported: fixing it re-runs the analysis, so enumeration is unnecessary.
+func findLockCycles(edges map[[2]string]*lockEdge) [][]lockSym {
+	adj := map[lockSym][]lockSym{}
+	nodes := map[lockSym]bool{}
+	for _, e := range edges {
+		adj[e.outer] = append(adj[e.outer], e.inner)
+		nodes[e.outer] = true
+		nodes[e.inner] = true
+	}
+	for k := range adj {
+		sort.Slice(adj[k], func(i, j int) bool { return adj[k][i].String() < adj[k][j].String() })
+	}
+	sccs := tarjanSCC(nodes, adj)
+	var out [][]lockSym
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[lockSym]bool{}
+		for _, s := range scc {
+			inSCC[s] = true
+		}
+		start := scc[0]
+		for _, s := range scc[1:] {
+			if s.String() < start.String() {
+				start = s
+			}
+		}
+		if cyc := cycleFrom(start, start, adj, inSCC, map[lockSym]bool{}, []lockSym{start}); cyc != nil {
+			out = append(out, cyc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].String() < out[j][0].String() })
+	return out
+}
+
+// cycleFrom finds a deterministic path cur → … → target within the SCC.
+func cycleFrom(cur, target lockSym, adj map[lockSym][]lockSym, inSCC, visited map[lockSym]bool, path []lockSym) []lockSym {
+	for _, next := range adj[cur] {
+		if next == target && len(path) > 1 {
+			return append(path, target)
+		}
+		if !inSCC[next] || visited[next] || next == target {
+			continue
+		}
+		visited[next] = true
+		if cyc := cycleFrom(next, target, adj, inSCC, visited, append(path, next)); cyc != nil {
+			return cyc
+		}
+	}
+	return nil
+}
+
+// tarjanSCC computes strongly connected components (iterating nodes in
+// sorted order so output is deterministic).
+func tarjanSCC(nodes map[lockSym]bool, adj map[lockSym][]lockSym) [][]lockSym {
+	sorted := make([]lockSym, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+
+	index := map[lockSym]int{}
+	low := map[lockSym]int{}
+	onStack := map[lockSym]bool{}
+	var stack []lockSym
+	var sccs [][]lockSym
+	next := 0
+
+	var strongconnect func(v lockSym)
+	strongconnect = func(v lockSym) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []lockSym
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+func sortedSyms(set map[lockSym]bool) []lockSym {
+	out := make([]lockSym, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func sortedEdges(edges map[[2]string]*lockEdge) []*lockEdge {
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*lockEdge, len(keys))
+	for i, k := range keys {
+		out[i] = edges[k]
+	}
+	return out
+}
+
+// lockWalk traverses body in statement order tracking the multiset of held
+// locks, with the same guard-clause awareness as the `locks` rule's walker:
+// an if-body that cannot fall through does not leak its lock-state changes.
+// onAcquire fires at each acquisition with the locks already held; onCall
+// fires at every other call expression with the held snapshot. Function
+// literals and `go` statements are walked with an empty held set (they run
+// under their own locking context), and `defer`red calls are skipped — a
+// deferred unlock releases at exit, not at its textual position, so the lock
+// correctly stays held for the rest of the walk.
+func lockWalk(pkg *Package, body *ast.BlockStmt, onAcquire func(sym lockSym, pos token.Pos, held []lockSym), onCall func(pos token.Pos, held []lockSym)) {
+	held := map[lockSym]int{}
+	snapshot := func() []lockSym {
+		var out []lockSym
+		for sym, n := range held {
+			if n > 0 {
+				out = append(out, sym)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+		return out
+	}
+	save := func() map[lockSym]int {
+		cp := make(map[lockSym]int, len(held))
+		for k, v := range held {
+			cp[k] = v
+		}
+		return cp
+	}
+
+	var walkExpr func(e ast.Expr)
+	var walkStmt func(s ast.Stmt)
+	var walkBody func(list []ast.Stmt)
+
+	fresh := func(f func()) {
+		saved := held
+		held = map[lockSym]int{}
+		f()
+		held = saved
+	}
+
+	walkExpr = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				fresh(func() { walkBody(n.Body.List) })
+				return false
+			case *ast.CallExpr:
+				if sym, acquire, ok := lockRefAt(pkg, n); ok {
+					if acquire {
+						onAcquire(sym, n.Pos(), snapshot())
+						held[sym]++
+					} else if held[sym] > 0 {
+						held[sym]--
+					}
+					return false
+				}
+				onCall(n.Pos(), snapshot())
+				return true
+			}
+			return true
+		})
+	}
+	walkBody = func(list []ast.Stmt) {
+		for _, s := range list {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			walkBody(s.List)
+		case *ast.ExprStmt:
+			walkExpr(s.X)
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				walkExpr(rhs)
+			}
+			for _, lhs := range s.Lhs {
+				walkExpr(lhs)
+			}
+		case *ast.IncDecStmt:
+			walkExpr(s.X)
+		case *ast.DeferStmt:
+			// Runs at exit, not here; a deferred Unlock must not release now.
+		case *ast.GoStmt:
+			fresh(func() { walkExpr(s.Call) })
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				walkExpr(res)
+			}
+		case *ast.IfStmt:
+			walkStmt(s.Init)
+			walkExpr(s.Cond)
+			before := save()
+			walkStmt(s.Body)
+			if terminates(s.Body) {
+				held = before
+			}
+			if s.Else != nil {
+				beforeElse := save()
+				walkStmt(s.Else)
+				if terminates(s.Else) {
+					held = beforeElse
+				}
+			}
+		case *ast.ForStmt:
+			walkStmt(s.Init)
+			walkExpr(s.Cond)
+			walkStmt(s.Body)
+			walkStmt(s.Post)
+		case *ast.RangeStmt:
+			walkExpr(s.X)
+			walkExpr(s.Key)
+			walkExpr(s.Value)
+			walkStmt(s.Body)
+		case *ast.SwitchStmt:
+			walkStmt(s.Init)
+			walkExpr(s.Tag)
+			before := save()
+			for _, c := range s.Body.List {
+				held = save()
+				for k, v := range before {
+					held[k] = v
+				}
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						walkExpr(e)
+					}
+					walkBody(cc.Body)
+				}
+			}
+			held = before
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Init)
+			walkStmt(s.Assign)
+			before := save()
+			for _, c := range s.Body.List {
+				held = save()
+				for k, v := range before {
+					held[k] = v
+				}
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body)
+				}
+			}
+			held = before
+		case *ast.SelectStmt:
+			before := save()
+			for _, c := range s.Body.List {
+				held = save()
+				for k, v := range before {
+					held[k] = v
+				}
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmt(cc.Comm)
+					walkBody(cc.Body)
+				}
+			}
+			held = before
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							walkExpr(v)
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			walkExpr(s.Chan)
+			walkExpr(s.Value)
+		}
+	}
+	walkBody(body.List)
+}
+
+// lockRefAt reports whether call is a sync.Mutex/RWMutex (or promoted
+// embedded mutex) Lock/RLock/TryLock/Unlock/RUnlock on a nameable lock: a
+// mutex field of a named struct, or a package-level mutex var. Locally
+// declared mutexes and mutexes reached through unnameable expressions are
+// untracked (they cannot participate in a cross-function ordering).
+func lockRefAt(pkg *Package, call *ast.CallExpr) (sym lockSym, acquire bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockSym{}, false, false
+	}
+	name := sel.Sel.Name
+	if !lockAcquire[name] && !lockRelease[name] {
+		return lockSym{}, false, false
+	}
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return lockSym{}, false, false
+	}
+	obj := selection.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockSym{}, false, false
+	}
+	x := ast.Unparen(sel.X)
+	if isSyncMutexType(pkg.Info.TypeOf(x)) {
+		switch inner := x.(type) {
+		case *ast.SelectorExpr: // owner.muField.Lock()
+			if named, okN := derefNamed(pkg.Info.TypeOf(inner.X)); okN && named.Obj().Pkg() != nil {
+				owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				return lockSym{Owner: owner, Field: inner.Sel.Name}, lockAcquire[name], true
+			}
+		case *ast.Ident: // package-level `var mu sync.Mutex`
+			if o := pkg.Info.Uses[inner]; o != nil && o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+				return lockSym{Owner: o.Pkg().Path(), Field: inner.Name}, lockAcquire[name], true
+			}
+		}
+		return lockSym{}, false, false
+	}
+	// Promoted method on a struct embedding the mutex: owner.Lock().
+	if named, okN := derefNamed(pkg.Info.TypeOf(x)); okN && named.Obj().Pkg() != nil {
+		if st, okS := named.Underlying().(*types.Struct); okS {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Embedded() && isSyncMutexType(f.Type()) {
+					owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+					return lockSym{Owner: owner, Field: f.Name()}, lockAcquire[name], true
+				}
+			}
+		}
+	}
+	return lockSym{}, false, false
+}
+
+// isSyncMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync" && (o.Name() == "Mutex" || o.Name() == "RWMutex")
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	moduleOnce    sync.Once
+	modulePkgList []*Package
+	moduleLoadErr error
+)
+
+// loadModulePkgs loads the whole module once for the in-package tests.
+func loadModulePkgs(t *testing.T) []*Package {
+	t.Helper()
+	moduleOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			moduleLoadErr = err
+			return
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			moduleLoadErr = err
+			return
+		}
+		modulePkgList, moduleLoadErr = l.LoadModule()
+	})
+	if moduleLoadErr != nil {
+		t.Fatal(moduleLoadErr)
+	}
+	return modulePkgList
+}
+
+// TestLockOrderManifestTypesExist checks every type listed in the hierarchy
+// manifest still resolves in the module and still carries a sync mutex
+// field, so renaming HeapFile (say) cannot silently un-rank its lock.
+func TestLockOrderManifestTypesExist(t *testing.T) {
+	pkgs := loadModulePkgs(t)
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, lvl := range lockHierarchy() {
+		for _, full := range lvl.Types {
+			i := strings.LastIndex(full, ".")
+			if i < 0 {
+				t.Errorf("manifest entry %q is not pkgpath.Type", full)
+				continue
+			}
+			pkgPath, typeName := full[:i], full[i+1:]
+			p := byPath[pkgPath]
+			if p == nil {
+				t.Errorf("manifest level %q: package %s not in module", lvl.Name, pkgPath)
+				continue
+			}
+			obj := p.Pkg.Scope().Lookup(typeName)
+			if obj == nil {
+				t.Errorf("manifest level %q: type %s not found", lvl.Name, full)
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				t.Errorf("manifest type %s is not a struct", full)
+				continue
+			}
+			hasMu := false
+			for i := 0; i < st.NumFields(); i++ {
+				if isSyncMutexType(st.Field(i).Type()) {
+					hasMu = true
+				}
+			}
+			if !hasMu {
+				t.Errorf("manifest type %s carries no sync.Mutex/RWMutex field", full)
+			}
+		}
+	}
+}
+
+// TestLockOrderSeesEngineNesting guards against the vacuous-pass failure
+// mode: a bug that empties the inferred fact set would make the hierarchy
+// proof pass trivially. The analysis must observe the engine's real
+// nesting, including the pool-above-disk edge the hierarchy exists to
+// police, and a nontrivially sized order graph.
+func TestLockOrderSeesEngineNesting(t *testing.T) {
+	prog := NewProgram(loadModulePkgs(t))
+	edges := lockOrderGraph(prog)
+	want := [][2]string{
+		{"specdb/internal/buffer.shard.mu", "specdb/internal/storage.DiskManager.mu"},
+		{"specdb/internal/engine.Engine.stmtMu", "specdb/internal/catalog.Catalog.mu"},
+		{"specdb/internal/catalog.Catalog.mu", "specdb/internal/btree.BTree.mu"},
+		{"specdb/internal/storage.HeapFile.mu", "specdb/internal/buffer.shard.mu"},
+	}
+	for _, w := range want {
+		if edges[w] == nil {
+			t.Errorf("expected lock-order edge %s → %s missing; the fact inference may have gone vacuous", w[0], w[1])
+		}
+	}
+	if len(edges) < 40 {
+		t.Errorf("only %d lock-order edges inferred on HEAD; expected a rich graph", len(edges))
+	}
+}
+
+// TestMeterFlowSeesDiskSites guards meterflow's vacuous-pass mode the same
+// way: its zero findings on HEAD must come from every path being priced,
+// not from the analysis failing to find the disk call sites. The fault
+// wrapper is the canonical function that touches the disk without charging
+// in-function — its presence proves the reverse reachability walk actually
+// runs and terminates at the charging pool callers.
+func TestMeterFlowSeesDiskSites(t *testing.T) {
+	prog := NewProgram(loadModulePkgs(t))
+	sites := 0
+	unpriced := map[string]bool{}
+	for _, n := range prog.Nodes() {
+		if n.Pkg.isToolOrDemo() || n.Pkg.pathIn("internal/lint") {
+			continue
+		}
+		for _, s := range n.Sites {
+			if !s.DiskIO {
+				continue
+			}
+			sites++
+			if !n.ChargesMeter {
+				unpriced[n.Name()] = true
+			}
+		}
+	}
+	if sites < 4 {
+		t.Errorf("only %d disk Read/Write sites found on HEAD; site detection may have gone vacuous", sites)
+	}
+	for _, fn := range []string{"(*specdb/internal/fault.Disk).Read", "(*specdb/internal/fault.Disk).Write"} {
+		if !unpriced[fn] {
+			t.Errorf("%s not seen as an unpriced disk-calling function; the reachability walk has nothing to prove", fn)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// MeterFlow turns the per-package `metering` rule's syntactic boundary
+// ("don't call the disk outside storage/buffer/fault") into a coverage
+// proof: every storage.Disk / fault.Disk data-path Read or Write call site
+// must be priced — either the containing function charges the sim meter
+// itself, or every call path from an entry point down to the containing
+// function passes through a function that does. The paper's Cost⊆(m)
+// estimates are only comparable against actuals if actuals meter every
+// data-path I/O, so an unpriced reachable path is a cost-model hole, not a
+// style nit.
+//
+// The proof walks the CHA call graph in reverse from each disk-calling
+// function: breadth-first through its callers, stopping at any function
+// that directly calls a sim.Meter Charge* method (that prefix of the path
+// is priced) or is a sanctioned wrapper. If the walk reaches a root — a
+// function with no in-program callers, i.e. an entry point — the root-to-
+// disk chain is a completable unmetered path and is reported with its full
+// witness.
+//
+// Only Read and Write are tracked: Allocate and Free are in-memory
+// bookkeeping by design (the buffer pool's New/Free deliberately do not
+// charge), and the meter's unit is page I/O.
+type MeterFlow struct{}
+
+func (MeterFlow) Name() string { return "meterflow" }
+func (MeterFlow) Doc() string {
+	return "every disk Read/Write call site must have a sim.Meter Charge* on every call path from its entry points"
+}
+
+// Check is per-package and intentionally empty: MeterFlow is a ProgramRule.
+func (MeterFlow) Check(pkg *Package) []Diagnostic { return nil }
+
+// meterflowSanctioned lists wrapper functions (by FullName) treated as
+// charging even though the Charge* call is elsewhere. Currently empty — the
+// buffer pool charges inside the same functions that touch the disk — but
+// the escape hatch is the documented place to grow, instead of an
+// allow-directive at every call site behind a new wrapper.
+var meterflowSanctioned = map[string]bool{}
+
+func (r MeterFlow) CheckProgram(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, n := range prog.Nodes() {
+		// Tools, demos, and the linter itself are off the data path, and the
+		// metering rule already exempts them from the syntactic boundary.
+		if n.Pkg.isToolOrDemo() || n.Pkg.pathIn("internal/lint") {
+			continue
+		}
+		for _, site := range n.Sites {
+			if !site.DiskIO {
+				continue
+			}
+			if n.ChargesMeter || meterflowSanctioned[n.Name()] {
+				continue
+			}
+			path := unmeteredPath(prog, n, site)
+			if path == nil {
+				continue
+			}
+			pos := n.Pkg.Fset.Position(site.Pos)
+			out = append(out, Diagnostic{
+				Rule: r.Name(), File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: fmt.Sprintf("disk %s in %s is reachable from entry point %s with no sim.Meter Charge* on the path",
+					site.DiskMethod, n.Name(), rootOf(path)),
+				Path: path,
+			})
+		}
+	}
+	return out
+}
+
+// unmeteredPath searches upward from start for an entry point (a function
+// with no in-program callers) reachable without passing through a charging
+// function. It returns the witness path entry-point-first, ending at start's
+// disk call, or nil when every path is priced (or start is only reachable
+// through charging functions). Breadth-first with sorted caller order, so
+// the witness is a shortest such path and deterministic.
+func unmeteredPath(prog *Program, start *FuncNode, site *CallSite) []string {
+	// child[f] is the next hop from f toward start; callPos[f] the position
+	// in f of the call that takes that hop.
+	child := map[*FuncNode]*FuncNode{}
+	callPos := map[*FuncNode]token.Pos{}
+	visited := map[*FuncNode]bool{start: true}
+	queue := []*FuncNode{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		callers := append([]CallerRef(nil), prog.Callers(cur)...)
+		sort.Slice(callers, func(i, j int) bool {
+			if callers[i].Caller.Name() != callers[j].Caller.Name() {
+				return callers[i].Caller.Name() < callers[j].Caller.Name()
+			}
+			return callers[i].Pos < callers[j].Pos
+		})
+		if len(callers) == 0 {
+			// cur is an entry point; render root → … → start(disk call).
+			var steps []string
+			for f := cur; f != start; f = child[f] {
+				steps = append(steps, witnessStep(f, callPos[f]))
+			}
+			return append(steps, witnessStep(start, site.Pos))
+		}
+		for _, ref := range callers {
+			c := ref.Caller
+			if visited[c] {
+				continue
+			}
+			if c.ChargesMeter || meterflowSanctioned[c.Name()] {
+				continue // this caller prices the path; don't continue past it
+			}
+			visited[c] = true
+			child[c] = cur
+			callPos[c] = ref.Pos
+			queue = append(queue, c)
+		}
+	}
+	return nil
+}
+
+// rootOf returns the function name of the path's entry point step.
+func rootOf(path []string) string {
+	if len(path) == 0 {
+		return "?"
+	}
+	head := path[0]
+	if i := strings.LastIndex(head, " ("); i >= 0 {
+		return head[:i]
+	}
+	return head
+}

@@ -1,16 +1,16 @@
 package lint_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"specdb/internal/lint"
 )
 
-// TestSpeclintCleanOnRepo is the self-check gate: the full rule suite over
-// the whole module must produce zero findings. Any new violation — an
-// unannotated panic, a bypassed meter, a leaked map order — fails this test
-// (and the dedicated CI step) with a position-accurate message.
-func TestSpeclintCleanOnRepo(t *testing.T) {
+// selfPkgs loads the whole module once for the self-check tests below.
+func selfPkgs(t *testing.T) []*lint.Package {
+	t.Helper()
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
@@ -26,11 +26,57 @@ func TestSpeclintCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module enumeration looks broken", len(pkgs))
 	}
-	diags := lint.Run(lint.AllRules(), pkgs)
+	return pkgs
+}
+
+// TestSpeclintCleanOnRepo is the self-check gate: the full rule suite over
+// the whole module must produce zero findings. Any new violation — an
+// unannotated panic, a bypassed meter, a leaked map order, a lock-order
+// inversion — fails this test (and the dedicated CI step) with a
+// position-accurate message.
+func TestSpeclintCleanOnRepo(t *testing.T) {
+	diags := lint.Run(lint.AllRules(), selfPkgs(t))
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Errorf("speclint must be clean on HEAD: %d finding(s); fix them or annotate with //speclint:allow <rule> -- <reason>", len(diags))
+	}
+}
+
+// TestAllowCountPinned pins the number of //speclint:allow directives in
+// the tree. Suppressions are individually justified escape hatches, not a
+// budget: adding one means consciously bumping this pin in the same change,
+// so the count cannot grow silently.
+func TestAllowCountPinned(t *testing.T) {
+	const pinned = 1 // internal/harness/chaos.go: errcheck on a demo writer
+	entries := lint.CollectAllows(selfPkgs(t))
+	if len(entries) != pinned {
+		for _, e := range entries {
+			t.Logf("allow at %s:%d: %v -- %s", e.File, e.Line, e.Rules, e.Reason)
+		}
+		t.Fatalf("tree has %d allow directives, pin says %d; if the new one is justified, update the pin in the same change", len(entries), pinned)
+	}
+	for _, e := range entries {
+		if e.Reason == "" {
+			t.Errorf("allow at %s:%d has no reason", e.File, e.Line)
+		}
+	}
+}
+
+// TestLockOrderManifestMatchesDesign cross-checks the machine-readable
+// hierarchy manifest against the prose declaration in DESIGN.md §6, so
+// neither can drift without the other.
+func TestLockOrderManifestMatchesDesign(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.CrossCheckManifest(design); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,42 @@
+// Package fixcycle is a speclint test fixture: two locks each acquired
+// while the other is held, through a call chain — the lockorder cycle
+// counter-example. Neither type ranks in the hierarchy manifest, so the
+// finding comes purely from cycle detection.
+package fixcycle
+
+import "sync"
+
+type Left struct {
+	mu   sync.Mutex
+	peer *Right
+}
+
+type Right struct {
+	mu   sync.Mutex
+	peer *Left
+}
+
+// Push locks Left.mu and then, via the helper, Right.mu.
+func (l *Left) Push() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.peer.absorb()
+}
+
+func (r *Right) absorb() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// Drain locks Right.mu and then, via the helper, Left.mu — the inverse
+// nesting of Push.
+func (r *Right) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peer.steal()
+}
+
+func (l *Left) steal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}

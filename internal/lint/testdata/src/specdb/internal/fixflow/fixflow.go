@@ -1,0 +1,47 @@
+// Package fixflow is a speclint test fixture: call chains that reach the
+// simulated disk with and without a sim.Meter charge on the path, for the
+// meterflow reachability golden. Query→lookup→fetch completes a read with
+// no Charge* anywhere — the counter-example; Audit→flush prices at the
+// entry point and primed prices in-function, so both stay quiet.
+package fixflow
+
+import (
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+type cache struct {
+	disk  storage.Disk
+	meter *sim.Meter
+}
+
+// Query is an entry point whose disk read is never charged: flagged.
+func Query(c *cache, buf []byte) error {
+	return c.lookup(buf)
+}
+
+func (c *cache) lookup(buf []byte) error {
+	return c.fetch(buf)
+}
+
+func (c *cache) fetch(buf []byte) error {
+	return c.disk.Read(1, buf)
+}
+
+// Audit prices the write at the entry point, so the only path to flush's
+// disk call is charged.
+func Audit(c *cache, buf []byte) error {
+	c.meter.ChargePageWrite(1)
+	return c.flush(buf)
+}
+
+func (c *cache) flush(buf []byte) error {
+	return c.disk.Write(1, buf)
+}
+
+// primed charges in the same function as its read: clean regardless of
+// callers.
+func (c *cache) primed(buf []byte) error {
+	c.meter.ChargePageRead(1)
+	return c.disk.Read(1, buf)
+}

@@ -1,0 +1,31 @@
+// Package storage mimics the real storage package's import path so its
+// types carry ranks from the lock-hierarchy manifest: FileDisk sits at
+// level "disk", HeapFile at level "heap/btree". Compact holds the disk
+// lock while taking the heap lock — a deliberate A→B inversion of the
+// declared hierarchy for the lockorder golden. (LoadDir never caches
+// fixture roots, so mimicking the real path cannot poison the loader.)
+package storage
+
+import "sync"
+
+type HeapFile struct {
+	mu sync.Mutex
+}
+
+type FileDisk struct {
+	mu   sync.Mutex
+	heap *HeapFile
+}
+
+// Compact acquires FileDisk.mu (level "disk") and then, via refresh,
+// HeapFile.mu (level "heap/btree") — upward against the declared order.
+func (f *FileDisk) Compact() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.heap.refresh()
+}
+
+func (h *HeapFile) refresh() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# scripts/lint.sh — the speclint gate, exactly as CI runs it, so local runs
+# and CI cannot drift (DESIGN.md §9).
+#
+# Three passes over the whole module:
+#   1. text findings (the human-facing gate; nonzero exit on any finding),
+#      under a 120 s budget so call-graph construction cost cannot silently
+#      balloon;
+#   2. -json findings written to speclint.json (CI uploads it as an artifact
+#      when the gate fails);
+#   3. -allows audit listing every suppression directive with its reason.
+#
+# Usage: scripts/lint.sh [output.json]
+set -u
+cd "$(dirname "$0")/.."
+
+out_json="${1:-speclint.json}"
+
+# Budget includes compiling the linter itself; 120 s is ~10x the current
+# full-repo wall time, so a trip means a real cost regression.
+echo "== speclint (budget 120s) =="
+timeout 120 go run ./cmd/speclint ./...
+status=$?
+if [ "$status" -eq 124 ]; then
+    echo "speclint exceeded its 120 s budget — call-graph construction cost has ballooned" >&2
+    exit 124
+fi
+
+echo "== speclint -json -> ${out_json} =="
+timeout 120 go run ./cmd/speclint -json ./... > "$out_json"
+json_status=$?
+if [ "$json_status" -ne 0 ] && [ "$json_status" -ne 1 ]; then
+    echo "speclint -json failed (exit $json_status)" >&2
+    exit "$json_status"
+fi
+
+echo "== speclint -allows =="
+timeout 120 go run ./cmd/speclint -allows ./... || exit $?
+
+exit "$status"
