@@ -53,6 +53,9 @@ func BenchmarkSpecBench(b *testing.B) {
 		b.ReportMetric(res.ImprovementPct, "improvement_%")
 		b.ReportMetric(res.RelativeResponseTime, "rel_resp")
 		b.ReportMetric(res.HitRate, "hit_rate")
+		b.ReportMetric(res.PredictedGoRate, "predicted_go_rate")
+		b.ReportMetric(res.InstantGoSavedS, "instant_go_s")
+		b.ReportMetric(float64(res.PredictEquivFailures), "equiv_failures")
 	}
 }
 

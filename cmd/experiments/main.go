@@ -145,6 +145,8 @@ func bench(traces []*trace.Trace, scale string, users int, seed, dataSeed uint64
 		res.ScaledWasteOffS, res.ScaledWasteOnS, res.ScaledWasteReductionPct, res.ScaledHitRateOff, res.ScaledHitRateOn)
 	fmt.Printf("  parallel pool (8 workers, GOMAXPROCS=%d): 8-shard %.0f ops/s vs single-mutex %.0f ops/s (%.2fx)\n",
 		res.GOMAXPROCS, res.ParallelPool8ShardOpsPerS, res.ParallelPool1ShardOpsPerS, res.ParallelPoolSpeedup)
+	fmt.Printf("  predicted GO rate %.2f (%d/%d issued)   instant GO saved %.1fs   equivalence failures %d\n",
+		res.PredictedGoRate, res.PredictedGos, res.PredictedIssued, res.InstantGoSavedS, res.PredictEquivFailures)
 }
 
 func header(title string) {

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+// DefaultAnswerCachePages is the answer cache's default footprint cap.
+const DefaultAnswerCachePages = 256
+
+// answerEntry is one cached final-query answer.
+type answerEntry struct {
+	rows   []tuple.Row
+	schema *tuple.Schema
+	// cost is the simulated duration the producing execution took — the time
+	// a later replay saves by hitting this entry.
+	cost  sim.Duration
+	pages int
+	// versions snapshots each base relation's engine data version at capture:
+	// the entry is valid only while every one still matches, so any base-table
+	// write invalidates exactly the answers that read it.
+	versions map[string]uint64
+	// refs counts sessions currently holding the entry (the producer plus
+	// every later claimant); GC under pressure only evicts refs == 0 entries.
+	refs int
+	hits int
+}
+
+// AnswerCache is the keyed store of completed predicted-final answers
+// (DESIGN.md §14): entries are keyed by FormKey, invalidated by base-table
+// writes through per-relation data versions, refcounted like SharedBuilds,
+// and garbage-collected under footprint pressure. It is shared across the
+// sessions of one database and safe for concurrent use. A nil *AnswerCache
+// disables answer caching; every method is nil-safe.
+type AnswerCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*answerEntry
+	pages    int
+
+	obsHits, obsMisses, obsStored      *obs.Counter
+	obsInvalidated, obsEvicted         *obs.Counter
+	obsPages                           *obs.Gauge
+	lifetimeHits, lifetimeInstantSaved int64
+}
+
+// NewAnswerCache constructs an answer cache capped at capacityPages
+// (0 means DefaultAnswerCachePages). reg may be nil for an unobserved cache.
+func NewAnswerCache(reg *obs.Registry, capacityPages int) *AnswerCache {
+	if capacityPages <= 0 {
+		capacityPages = DefaultAnswerCachePages
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &AnswerCache{
+		capacity:       capacityPages,
+		entries:        make(map[string]*answerEntry),
+		obsHits:        reg.Counter("answers.hits"),
+		obsMisses:      reg.Counter("answers.misses"),
+		obsStored:      reg.Counter("answers.stored"),
+		obsInvalidated: reg.Counter("answers.invalidated"),
+		obsEvicted:     reg.Counter("answers.evicted"),
+		obsPages:       reg.Gauge("answers.pages"),
+	}
+}
+
+// Put stores a completed answer under key, holding one reference for the
+// caller. pages is clamped to at least MinEstPages so no entry is footprint-
+// free. An entry larger than the whole cache is rejected (false); replacing
+// an existing key refreshes its contents and versions but keeps its refcount.
+func (ac *AnswerCache) Put(key string, rows []tuple.Row, schema *tuple.Schema, cost sim.Duration, pages int, versions map[string]uint64) bool {
+	if ac == nil {
+		return false
+	}
+	if pages < MinEstPages {
+		pages = MinEstPages
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if pages > ac.capacity {
+		return false
+	}
+	vcopy := make(map[string]uint64, len(versions))
+	for k, v := range versions {
+		vcopy[k] = v
+	}
+	if old, ok := ac.entries[key]; ok {
+		ac.pages -= old.pages
+		old.rows, old.schema, old.cost, old.pages, old.versions = rows, schema, cost, pages, vcopy
+		ac.pages += pages
+	} else {
+		ac.entries[key] = &answerEntry{rows: rows, schema: schema, cost: cost, pages: pages, versions: vcopy, refs: 1}
+		ac.pages += pages
+	}
+	ac.evictLocked(key)
+	ac.obsStored.Inc()
+	ac.obsPages.Set(float64(ac.pages))
+	return true
+}
+
+// evictLocked sheds refs == 0 entries (never the just-touched keep key) until
+// the footprint fits the capacity. Victims are taken least-hit first, key-
+// ascending on ties — a total deterministic order, so replays evict the same
+// answers in the same sequence. Callers hold ac.mu.
+func (ac *AnswerCache) evictLocked(keep string) {
+	if ac.pages <= ac.capacity {
+		return
+	}
+	victims := make([]string, 0, len(ac.entries))
+	for k, e := range ac.entries {
+		if k != keep && e.refs == 0 {
+			victims = append(victims, k)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		hi, hj := ac.entries[victims[i]].hits, ac.entries[victims[j]].hits
+		if hi != hj {
+			return hi < hj
+		}
+		return victims[i] < victims[j]
+	})
+	for _, k := range victims {
+		if ac.pages <= ac.capacity {
+			break
+		}
+		ac.pages -= ac.entries[k].pages
+		delete(ac.entries, k)
+		ac.obsEvicted.Inc()
+	}
+}
+
+// Get looks up key, verifying freshness: current reports each base relation's
+// live data version, and any mismatch with the captured versions drops the
+// entry (a base-table write invalidated it) and misses. A hit holds NO new
+// reference — pair with Ref for retained use — and credits the entry's hit
+// count and the cache's lifetime instant-answer savings.
+func (ac *AnswerCache) Get(key string, current func(rel string) uint64) (rows []tuple.Row, schema *tuple.Schema, cost sim.Duration, ok bool) {
+	if ac == nil {
+		return nil, nil, 0, false
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	e, found := ac.entries[key]
+	if !found {
+		ac.obsMisses.Inc()
+		return nil, nil, 0, false
+	}
+	if current != nil {
+		for rel, v := range e.versions {
+			if current(rel) != v {
+				ac.pages -= e.pages
+				delete(ac.entries, key)
+				ac.obsInvalidated.Inc()
+				ac.obsMisses.Inc()
+				ac.obsPages.Set(float64(ac.pages))
+				return nil, nil, 0, false
+			}
+		}
+	}
+	e.hits++
+	ac.lifetimeHits++
+	ac.lifetimeInstantSaved += int64(e.cost)
+	ac.obsHits.Inc()
+	return e.rows, e.schema, e.cost, true
+}
+
+// Ref adds a reference on key (a session retaining the answer), reporting
+// whether the entry exists.
+func (ac *AnswerCache) Ref(key string) bool {
+	if ac == nil {
+		return false
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	e, ok := ac.entries[key]
+	if !ok {
+		return false
+	}
+	e.refs++
+	return true
+}
+
+// Release drops one reference on key. Unlike SharedBuilds.Release, the entry
+// is NOT removed at refs == 0 — a cached answer is an asset for future
+// replays — it merely becomes evictable under footprint pressure.
+func (ac *AnswerCache) Release(key string) {
+	if ac == nil {
+		return
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if e, ok := ac.entries[key]; ok && e.refs > 0 {
+		e.refs--
+	}
+}
+
+// Len reports the number of cached answers.
+func (ac *AnswerCache) Len() int {
+	if ac == nil {
+		return 0
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return len(ac.entries)
+}
+
+// Pages reports the cache's current footprint.
+func (ac *AnswerCache) Pages() int {
+	if ac == nil {
+		return 0
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.pages
+}
+
+// Snapshot reports the cache's lifetime hit count and the summed produce-time
+// cost those hits avoided.
+func (ac *AnswerCache) Snapshot() (hits int, saved sim.Duration) {
+	if ac == nil {
+		return 0, 0
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return int(ac.lifetimeHits), sim.Duration(ac.lifetimeInstantSaved)
+}

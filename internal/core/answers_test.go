@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"specdb/internal/obs"
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+func acRows(vals ...int64) []tuple.Row {
+	rows := make([]tuple.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = tuple.Row{tuple.NewInt(v)}
+	}
+	return rows
+}
+
+// staticVersions builds the version callback Get expects from a fixed map
+// (missing relations read as version 0, like a freshly-created table).
+func staticVersions(m map[string]uint64) func(string) uint64 {
+	return func(rel string) uint64 { return m[rel] }
+}
+
+func TestAnswerCachePutGetRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	ac := NewAnswerCache(reg, 100)
+	vers := map[string]uint64{"R": 3}
+
+	if !ac.Put("k1", acRows(1, 2), nil, sim.Duration(5*time.Second), 4, vers) {
+		t.Fatal("Put rejected a fitting entry")
+	}
+	if got := ac.Len(); got != 1 {
+		t.Fatalf("Len = %d", got)
+	}
+	if got := ac.Pages(); got != 4 {
+		t.Fatalf("Pages = %d", got)
+	}
+
+	rows, _, cost, ok := ac.Get("k1", staticVersions(vers))
+	if !ok || len(rows) != 2 || cost != sim.Duration(5*time.Second) {
+		t.Fatalf("Get = (%v, cost %v, ok %v)", rows, cost, ok)
+	}
+	if _, _, _, ok := ac.Get("absent", staticVersions(vers)); ok {
+		t.Fatal("Get hit an absent key")
+	}
+	if hits, saved := ac.Snapshot(); hits != 1 || saved != sim.Duration(5*time.Second) {
+		t.Fatalf("Snapshot = (%d, %v)", hits, saved)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["answers.hits"] != 1 || snap.Counters["answers.misses"] != 1 || snap.Counters["answers.stored"] != 1 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+}
+
+func TestAnswerCacheVersionInvalidation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ac := NewAnswerCache(reg, 100)
+	ac.Put("k", acRows(1), nil, 1, 2, map[string]uint64{"R": 3, "S": 7})
+
+	// Same versions: still valid.
+	if _, _, _, ok := ac.Get("k", staticVersions(map[string]uint64{"R": 3, "S": 7})); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	// A base-table write bumped S: the entry is dropped, not served.
+	if _, _, _, ok := ac.Get("k", staticVersions(map[string]uint64{"R": 3, "S": 8})); ok {
+		t.Fatal("stale entry served")
+	}
+	if got := ac.Len(); got != 0 {
+		t.Fatalf("stale entry retained: Len = %d", got)
+	}
+	if got := ac.Pages(); got != 0 {
+		t.Fatalf("stale entry's pages retained: %d", got)
+	}
+	if snap := reg.Snapshot(); snap.Counters["answers.invalidated"] != 1 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+}
+
+func TestAnswerCacheCapacityAndEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	ac := NewAnswerCache(reg, 10)
+
+	// An entry larger than the whole cache is rejected outright.
+	if ac.Put("huge", acRows(1), nil, 1, 11, nil) {
+		t.Fatal("oversized entry accepted")
+	}
+
+	// Fill the cache, then overflow it: victims go least-hit first with
+	// key-ascending ties, and the just-stored key is never shed.
+	ac.Put("a", acRows(1), nil, 1, 4, nil)
+	ac.Put("b", acRows(2), nil, 1, 4, nil)
+	ac.Release("a") // producer refs dropped: both evictable
+	ac.Release("b")
+	if _, _, _, ok := ac.Get("b", nil); !ok { // b now has one hit, a none
+		t.Fatal("warming Get missed")
+	}
+	ac.Put("c", acRows(3), nil, 1, 4, nil)
+	if _, _, _, ok := ac.Get("a", nil); ok {
+		t.Fatal("least-hit victim a survived over b")
+	}
+	if _, _, _, ok := ac.Get("b", nil); !ok {
+		t.Fatal("more-hit entry b was evicted before a")
+	}
+	if got := ac.Pages(); got != 8 {
+		t.Fatalf("Pages = %d after eviction", got)
+	}
+	if snap := reg.Snapshot(); snap.Counters["answers.evicted"] != 1 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+
+	// A referenced entry is never evicted, even at zero hits: c holds its
+	// producer ref, so overflowing now can only shed b.
+	ac.Release("b")
+	ac.Put("d", acRows(4), nil, 1, 4, nil)
+	if _, _, _, ok := ac.Get("c", nil); !ok {
+		t.Fatal("referenced entry c was evicted")
+	}
+	if _, _, _, ok := ac.Get("b", nil); ok {
+		t.Fatal("unreferenced b survived over referenced c")
+	}
+}
+
+func TestAnswerCacheRefReleaseSemantics(t *testing.T) {
+	ac := NewAnswerCache(nil, 10)
+	ac.Put("k", acRows(1), nil, 1, 2, nil)
+
+	if !ac.Ref("k") {
+		t.Fatal("Ref on live key failed")
+	}
+	if ac.Ref("absent") {
+		t.Fatal("Ref on absent key succeeded")
+	}
+	// Put holds one producer ref; one Ref makes two. Releases never delete:
+	// the entry stays cached (an asset for future replays), merely evictable.
+	ac.Release("k")
+	ac.Release("k")
+	ac.Release("k") // extra release on refs == 0 is a no-op, not a panic
+	if got := ac.Len(); got != 1 {
+		t.Fatalf("release deleted the entry: Len = %d", got)
+	}
+	if _, _, _, ok := ac.Get("k", nil); !ok {
+		t.Fatal("entry vanished after releases")
+	}
+}
+
+func TestAnswerCacheReplaceKeepsRefcount(t *testing.T) {
+	ac := NewAnswerCache(nil, 10)
+	ac.Put("k", acRows(1), nil, 1, 2, map[string]uint64{"R": 1})
+	if !ac.Ref("k") {
+		t.Fatal("Ref failed")
+	}
+	// Replacing refreshes contents, versions, and footprint but keeps refs.
+	if !ac.Put("k", acRows(7, 8, 9), nil, 2, 5, map[string]uint64{"R": 2}) {
+		t.Fatal("replace rejected")
+	}
+	if got := ac.Pages(); got != 5 {
+		t.Fatalf("Pages = %d after replace", got)
+	}
+	rows, _, _, ok := ac.Get("k", staticVersions(map[string]uint64{"R": 2}))
+	if !ok || len(rows) != 3 {
+		t.Fatalf("replaced entry Get = (%v, %v)", rows, ok)
+	}
+	// Old version must no longer validate.
+	if _, _, _, ok := ac.Get("k", staticVersions(map[string]uint64{"R": 1})); ok {
+		t.Fatal("replaced entry served under stale versions")
+	}
+}
+
+func TestAnswerCacheNilSafety(t *testing.T) {
+	var ac *AnswerCache
+	if ac.Put("k", nil, nil, 0, 1, nil) {
+		t.Fatal("nil cache accepted a Put")
+	}
+	if _, _, _, ok := ac.Get("k", nil); ok {
+		t.Fatal("nil cache hit")
+	}
+	if ac.Ref("k") {
+		t.Fatal("nil cache Ref succeeded")
+	}
+	ac.Release("k")
+	if ac.Len() != 0 || ac.Pages() != 0 {
+		t.Fatal("nil cache has contents")
+	}
+	if hits, saved := ac.Snapshot(); hits != 0 || saved != 0 {
+		t.Fatal("nil cache has history")
+	}
+}

@@ -131,6 +131,25 @@ func (cm *CostModel) Score(m *Manipulation, elapsedFormulation float64) error {
 	return nil
 }
 
+// ScorePredicted prices a predicted-final manipulation (DESIGN.md §14). Its
+// benefit is the whole final query's execution cost weighted by the model's
+// confidence that the user actually ends there — there is no reuse lookahead
+// (a final is consumed by exactly one GO) and no separate completion-risk
+// term (the confidence already prices the prediction failing). SingleBenefit
+// equals Benefit: completing a correct prediction saves the entire imminent
+// query, so the wait-for-completion rule sees the full saving.
+func (cm *CostModel) ScorePredicted(m *Manipulation, confidence float64) error {
+	node, err := cm.Eng.PlanGraph(m.Graph)
+	if err != nil {
+		return err
+	}
+	m.EstPages = int(math.Ceil(cm.estimatePages(m.Graph, node.Rows())))
+	m.EstDuration = node.Cost()
+	m.Benefit = sim.Duration(confidence * float64(node.Cost()))
+	m.SingleBenefit = m.Benefit
+	return nil
+}
+
 // scanCostAfterMaterialize estimates cost(qm, m): scanning the materialized
 // result instead of computing qm. Row width is estimated from the source
 // relations' storage footprints.

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"specdb/internal/tuple"
+)
+
+// RowsEquivalent reports whether two result row sets are equal as multisets
+// (query results are unordered bags). Values are compared kind-tagged:
+// Value.String alone renders float 1 and int 1 identically, so the tag keeps
+// a type-changing plan divergence from slipping past the equivalence check.
+func RowsEquivalent(a, b []tuple.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[rowEquivKey(r)]++
+	}
+	for _, r := range b {
+		k := rowEquivKey(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowEquivKey renders one row as a kind-tagged string for multiset counting.
+func rowEquivKey(r tuple.Row) string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d:%s", v.Kind, v.String())
+	}
+	return b.String()
+}

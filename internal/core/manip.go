@@ -20,6 +20,11 @@ const (
 	ManipHistogram
 	ManipIndex
 	ManipMaterialize
+	// ManipPredictFinal executes a complete predicted final query ahead of GO
+	// (DESIGN.md §14). It is never enumerated from the partial query — the
+	// Speculator injects candidates from the Predictor's top-k — and its
+	// result is a cached answer keyed by FormKey, not a catalog object.
+	ManipPredictFinal
 )
 
 // String names the kind.
@@ -35,6 +40,8 @@ func (k ManipKind) String() string {
 		return "index"
 	case ManipMaterialize:
 		return "materialize"
+	case ManipPredictFinal:
+		return "predict_final"
 	default:
 		return "?"
 	}
@@ -66,6 +73,10 @@ type Manipulation struct {
 	// Rel/Col locate index, histogram, and staging targets.
 	Rel, Col string
 
+	// Projs carries a predicted final query's projection list
+	// (ManipPredictFinal only); with Graph it forms the FormKey identity.
+	Projs []string
+
 	// Scoring outputs, filled by the cost model:
 	// EstDuration is the predicted execution time of the manipulation.
 	EstDuration sim.Duration
@@ -96,6 +107,8 @@ func (m Manipulation) Key() string {
 		return "hist|" + m.Rel + "." + m.Col
 	case ManipStage:
 		return "stage|" + m.Rel
+	case ManipPredictFinal:
+		return "pred|" + FormKey(m.Graph, m.Projs)
 	default:
 		return "null"
 	}
@@ -112,6 +125,8 @@ func (m Manipulation) String() string {
 		return fmt.Sprintf("create histogram on %s.%s", m.Rel, m.Col)
 	case ManipStage:
 		return fmt.Sprintf("stage %s", m.Rel)
+	case ManipPredictFinal:
+		return fmt.Sprintf("predict final %v", m.Graph)
 	default:
 		return "null manipulation"
 	}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"specdb/internal/qgraph"
+)
+
+// PredictorConfig tunes the final-query prediction model (DESIGN.md §14).
+type PredictorConfig struct {
+	// TopK is how many predicted final forms Predict returns (default 2).
+	TopK int
+	// MinConfidence drops predictions below this posterior weight
+	// (default 0.25): speculating a final query is the most expensive
+	// manipulation there is, so weak guesses are not worth a worker slot.
+	MinConfidence float64
+	// Decay exponentially ages the per-context counts (default 0.9), so the
+	// model tracks a drifting user instead of averaging over their history.
+	Decay float64
+	// TransitionWeight scales the contribution of the previous-final
+	// transition context relative to the partial-state context (default 0.5):
+	// what the canvas shows now is stronger evidence than what the user asked
+	// last time.
+	TransitionWeight float64
+}
+
+// DefaultPredictorConfig returns the evaluation defaults.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		TopK:             2,
+		MinConfidence:    0.25,
+		Decay:            0.9,
+		TransitionWeight: 0.5,
+	}
+}
+
+// PredictedForm is one candidate final query: a complete query graph with
+// projections and the model's confidence that the session's formulation ends
+// there.
+type PredictedForm struct {
+	Graph      *qgraph.Graph
+	Projs      []string
+	Confidence float64
+}
+
+// FormKey canonically identifies a final query form: the graph's canonical
+// key plus the projection list. Two sessions formulating the same final query
+// in any edit order produce the same form key — it is the identity the
+// predictor, the speculator's predicted jobs, and the answer cache all share.
+func FormKey(g *qgraph.Graph, projs []string) string {
+	return g.Key() + "|π|" + strings.Join(projs, ",")
+}
+
+// predContext is one conditioning context's decayed final-form counts.
+type predContext struct {
+	counts map[string]float64 // form key → decayed count
+	total  float64
+}
+
+// observe credits formKey under this context, aging everything else.
+func (c *predContext) observe(formKey string, decay float64) {
+	c.total = 0
+	for k := range c.counts {
+		c.counts[k] *= decay
+		c.total += c.counts[k]
+	}
+	c.counts[formKey]++
+	c.total++
+}
+
+// storedForm is a final query form the model has seen, kept so predictions
+// can return the concrete graph (cloned) rather than just its key.
+type storedForm struct {
+	graph *qgraph.Graph
+	projs []string
+}
+
+// Predictor is an n-gram model over session edit events that predicts the
+// user's complete final query from the partial one (DESIGN.md §14). It learns
+// two context families: partial-state contexts ("which finals followed this
+// exact canvas state") and transition contexts ("which finals followed the
+// previous final query" — the same signal Learner.ObserveTransition feeds the
+// retention estimates, but resolved to whole forms). A Predictor is shared
+// across the sessions of one database, like the Learner, and is safe for
+// concurrent use. A nil *Predictor disables prediction; every method is
+// nil-safe.
+type Predictor struct {
+	mu       sync.RWMutex
+	cfg      PredictorConfig
+	contexts map[string]*predContext
+	forms    map[string]storedForm
+	// observations counts ObserveFinal calls (diagnostics/tests).
+	observations int
+}
+
+// NewPredictor constructs a predictor; zero-valued config fields take the
+// defaults.
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	def := DefaultPredictorConfig()
+	if cfg.TopK <= 0 {
+		cfg.TopK = def.TopK
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = def.MinConfidence
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = def.Decay
+	}
+	if cfg.TransitionWeight <= 0 {
+		cfg.TransitionWeight = def.TransitionWeight
+	}
+	return &Predictor{
+		cfg:      cfg,
+		contexts: make(map[string]*predContext),
+		forms:    make(map[string]storedForm),
+	}
+}
+
+// stateContextKey names the partial-canvas conditioning context.
+func stateContextKey(partialKey string) string { return "p|" + partialKey }
+
+// transitionContextKey names the previous-final conditioning context.
+func transitionContextKey(prevFinalKey string) string { return "t|" + prevFinalKey }
+
+// ObserveFinal trains the model on one completed formulation: every partial
+// state the canvas passed through (stateKeys, in order of occurrence) and the
+// previous final query (prevFinalKey, "" for the session's first query) are
+// credited with the observed final form. The graph is cloned; callers may
+// keep mutating theirs.
+func (p *Predictor) ObserveFinal(stateKeys []string, prevFinalKey string, g *qgraph.Graph, projs []string) {
+	if p == nil || g == nil || g.IsEmpty() {
+		return
+	}
+	formKey := FormKey(g, projs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.forms[formKey]; !ok {
+		p.forms[formKey] = storedForm{graph: g.Clone(), projs: append([]string(nil), projs...)}
+	}
+	// Dedup the state contexts (a canvas state revisited within one
+	// formulation is one piece of evidence, not several) while keeping first-
+	// occurrence order — the decay makes observation order meaningful.
+	seen := make(map[string]bool, len(stateKeys))
+	for _, sk := range stateKeys {
+		if seen[sk] {
+			continue
+		}
+		seen[sk] = true
+		p.contextLocked(stateContextKey(sk)).observe(formKey, p.cfg.Decay)
+	}
+	if prevFinalKey != "" {
+		p.contextLocked(transitionContextKey(prevFinalKey)).observe(formKey, p.cfg.Decay)
+	}
+	p.observations++
+}
+
+// contextLocked returns (creating if needed) the context entry for key.
+// Callers hold p.mu.
+func (p *Predictor) contextLocked(key string) *predContext {
+	c, ok := p.contexts[key]
+	if !ok {
+		c = &predContext{counts: make(map[string]float64)}
+		p.contexts[key] = c
+	}
+	return c
+}
+
+// Observations reports how many finals trained the model.
+func (p *Predictor) Observations() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.observations
+}
+
+// Predict returns the top-k final forms for the current canvas state
+// (partialKey) and previous final (prevFinalKey, "" if none), confidence-
+// descending with form-key ties broken ascending — a total deterministic
+// order, so byte-identical replays make byte-identical predictions. Returned
+// graphs are clones; callers own them. Nil-safe: a nil predictor predicts
+// nothing.
+func (p *Predictor) Predict(partialKey, prevFinalKey string) []PredictedForm {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	// Blend the two context families: the state context carries unit weight,
+	// the transition context cfg.TransitionWeight. Each contributes its
+	// normalized (posterior) distribution over final forms.
+	scores := make(map[string]float64)
+	if c, ok := p.contexts[stateContextKey(partialKey)]; ok && c.total > 0 {
+		for fk, n := range c.counts {
+			scores[fk] += n / c.total
+		}
+	}
+	if prevFinalKey != "" {
+		if c, ok := p.contexts[transitionContextKey(prevFinalKey)]; ok && c.total > 0 {
+			for fk, n := range c.counts {
+				scores[fk] += p.cfg.TransitionWeight * n / c.total
+			}
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, s := range scores {
+		total += s
+	}
+	keys := make([]string, 0, len(scores))
+	for fk := range scores {
+		keys = append(keys, fk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := scores[keys[i]], scores[keys[j]]
+		if si != sj {
+			return si > sj
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]PredictedForm, 0, p.cfg.TopK)
+	for _, fk := range keys {
+		if len(out) >= p.cfg.TopK {
+			break
+		}
+		conf := scores[fk] / total
+		if conf < p.cfg.MinConfidence {
+			continue
+		}
+		form := p.forms[fk]
+		out = append(out, PredictedForm{
+			Graph:      form.graph.Clone(),
+			Projs:      append([]string(nil), form.projs...),
+			Confidence: conf,
+		})
+	}
+	return out
+}

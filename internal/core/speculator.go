@@ -14,6 +14,7 @@ import (
 	"specdb/internal/sim"
 	"specdb/internal/stats"
 	"specdb/internal/trace"
+	"specdb/internal/tuple"
 )
 
 // Config tunes one Speculator instance.
@@ -86,6 +87,18 @@ type Config struct {
 	// deadlines on issued jobs. Nil (the default) keeps every decision
 	// byte-identical to the ungoverned engine.
 	Governor *Governor
+	// Predictor, when non-nil, enables whole-query speculation (DESIGN.md
+	// §14): the model's top-k predicted final queries are executed ahead of
+	// GO as first-class jobs, and a GO matching a completed prediction is
+	// answered in ~zero simulated time after a result-equivalence check
+	// against the plan the optimizer would have run. Nil (the default) keeps
+	// every decision byte-identical to the prediction-free engine.
+	Predictor *Predictor
+	// Answers is the shared answer cache completed predicted finals publish
+	// into. Nil with a Predictor set makes NewSpeculator create a private
+	// cache; share one across sessions (specdb does) so repeated replays of
+	// the same trace reuse each other's answers.
+	Answers *AnswerCache
 
 	// Failure containment (DESIGN.md §8). Speculation is best-effort: a
 	// failed manipulation must never fail the session. MaxManipAttempts
@@ -188,6 +201,28 @@ type Stats struct {
 	ShedRetained     int
 	DeadlineAborts   int
 	GovernorDeferred int
+	// Whole-query prediction (DESIGN.md §14). PredictedIssued counts
+	// predicted-final jobs issued; PredictedCompleted the ones whose answers
+	// reached the cache; PredictedCanceled every predicted job taken off the
+	// plate before completing (invalidated, canceled at GO or close, shed, or
+	// deadline-aborted). Those are the only predicted terminals, so the
+	// extended quiesce identity is
+	// PredictedIssued == PredictedCompleted + PredictedCanceled — a refinement
+	// of the overall identity, which predicted jobs also flow through.
+	// PredictedGos counts GO events answered instantly from a completed
+	// prediction (after the result-equivalence check); InstantSaved is the
+	// reference execution time those instant answers avoided.
+	// PredictEquivFailures counts completed predictions whose rows did NOT
+	// match the reference plan's (the fresh answer is served instead).
+	// AnswerCacheHits counts predicted jobs satisfied from the answer cache
+	// at issue time instead of executing. All zero with Config.Predictor nil.
+	PredictedIssued      int
+	PredictedCompleted   int
+	PredictedCanceled    int
+	PredictedGos         int
+	InstantSaved         sim.Duration
+	PredictEquivFailures int
+	AnswerCacheHits      int
 	// Hits counts final queries whose plan used at least one completed
 	// speculative materialization; Misses counts the rest. Hits+Misses is
 	// the number of GO events answered.
@@ -224,6 +259,18 @@ type Job struct {
 	// job is not a shared build): the manipulation graph's canonical CSEKey.
 	// Cancel/abort withdraw the claim; Complete marks the build ready.
 	cseKey string
+
+	// Predicted-final payload (ManipPredictFinal only): the answer produced
+	// at issue time — fresh execution or answer-cache hit — published to the
+	// cache at completion and served instantly if GO matches. predVersions
+	// snapshots the base relations' data versions when the rows were computed,
+	// so an intervening write invalidates the published entry.
+	formKey      string
+	predRows     []tuple.Row
+	predSchema   *tuple.Schema
+	predCost     sim.Duration
+	predVersions map[string]uint64
+	fromCache    bool
 
 	// span traces the issue→completion/cancellation window.
 	span *obs.ActiveSpan
@@ -317,6 +364,18 @@ type Speculator struct {
 	gov   *Governor
 	govID int
 
+	// Whole-query prediction state (DESIGN.md §14); all nil without
+	// cfg.Predictor, where every prediction hook is a nil-safe no-op.
+	// predStates accumulates the canvas states (partial graph keys) the
+	// current formulation passed through, in order, for predictor training at
+	// GO. predictedReady marks form keys whose predicted job completed this
+	// session AND whose cache entry this session holds a reference on; a GO
+	// matching one is served instantly after the equivalence check.
+	pred           *Predictor
+	answers        *AnswerCache
+	predStates     []string
+	predictedReady map[string]bool
+
 	// Mirror counters in the engine's metrics registry (shared across every
 	// speculator on the engine, so multi-user runs aggregate).
 	obsIssued, obsCompleted, obsHits, obsMisses *obs.Counter
@@ -326,6 +385,9 @@ type Speculator struct {
 	obsWaitedAtGo, obsSuspended                 *obs.Counter
 	obsBudgetDeferred                           *obs.Counter
 	obsShed, obsDeadlineAborts, obsGovDeferred  *obs.Counter
+	obsPredIssued, obsPredCompleted             *obs.Counter
+	obsPredCanceled, obsPredGos                 *obs.Counter
+	obsPredEquivFail, obsInstantSavedNs         *obs.Counter
 }
 
 // NewSpeculator attaches a speculation subsystem to an engine.
@@ -350,6 +412,12 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 	govID := 0
 	if cfg.Governor != nil {
 		govID = cfg.Governor.Register()
+	}
+	if cfg.Predictor != nil && cfg.Answers == nil {
+		// Whole-query speculation needs somewhere to publish completed
+		// answers; an unshared private cache still serves this session's own
+		// repeated finals.
+		cfg.Answers = NewAnswerCache(eng.Metrics(), 0)
 	}
 	return &Speculator{
 		eng:     eng,
@@ -381,6 +449,9 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		attempts:       make(map[string]int),
 		abandoned:      make(map[string]bool),
 		breaker:        breaker,
+		pred:           cfg.Predictor,
+		answers:        cfg.Answers,
+		predictedReady: make(map[string]bool),
 
 		obsIssued:    eng.Metrics().Counter("spec.issued"),
 		obsCompleted: eng.Metrics().Counter("spec.completed"),
@@ -403,6 +474,13 @@ func NewSpeculator(eng *engine.Engine, learner *Learner, cfg Config) *Speculator
 		obsShed:           eng.Metrics().Counter("spec.shed"),
 		obsDeadlineAborts: eng.Metrics().Counter("spec.deadline_aborts"),
 		obsGovDeferred:    eng.Metrics().Counter("spec.governor_deferred"),
+
+		obsPredIssued:     eng.Metrics().Counter("spec.predicted_issued"),
+		obsPredCompleted:  eng.Metrics().Counter("spec.predicted_completed"),
+		obsPredCanceled:   eng.Metrics().Counter("spec.predicted_canceled"),
+		obsPredGos:        eng.Metrics().Counter("spec.predicted_gos"),
+		obsPredEquivFail:  eng.Metrics().Counter("spec.predict_equiv_failures"),
+		obsInstantSavedNs: eng.Metrics().Counter("spec.instant_saved_ns"),
 	}
 }
 
@@ -475,6 +553,16 @@ func (sp *Speculator) OnEvent(ev trace.Event, now sim.Time) (EventOutcome, error
 	}
 	if err := sp.apply(ev); err != nil {
 		return out, err
+	}
+	if sp.pred != nil {
+		// Record the canvas state for predictor training at GO. A cleared
+		// canvas abandons the formulation: its states must not credit the
+		// NEXT final query.
+		if ev.Kind == trace.EvClear {
+			sp.predStates = nil
+		} else if !sp.partial.IsEmpty() {
+			sp.predStates = append(sp.predStates, sp.partial.Key())
+		}
 	}
 
 	// Convention 1: cancel manipulations whose benefit disappeared.
@@ -557,10 +645,15 @@ func (sp *Speculator) Complete(job *Job, now sim.Time) ([]*Job, error) {
 			sp.completedCost[gk] = job.CompletesAt.Sub(job.IssuedAt)
 		}
 	} else {
-		// Indexes, histograms, and staged pages become durable catalog
-		// improvements at completion; they stop counting against the
-		// session's retained-footprint budget.
+		// Indexes, histograms, staged pages, and published predicted answers
+		// become durable improvements at completion (the answer cache accounts
+		// its own footprint); they stop counting against the session's
+		// retained-footprint budget.
 		sp.releaseRetained(job.Manip.EstPages)
+	}
+	if job.Manip.Kind == ManipPredictFinal {
+		sp.stats.PredictedCompleted++
+		sp.obsPredCompleted.Inc()
 	}
 	sp.stats.Completed++
 	sp.obsCompleted.Inc()
@@ -598,9 +691,19 @@ func (sp *Speculator) dropOutstanding(job *Job) bool {
 func (sp *Speculator) fillSlots(now sim.Time) ([]*Job, error) {
 	var issued []*Job
 	for len(sp.outstanding) < sp.workers() {
-		job, err := sp.maybeIssue(now)
+		// Predicted finals first (DESIGN.md §14): a confident whole-query
+		// prediction dominates any sub-query manipulation — it answers GO
+		// outright. An immediate nil without a predictor keeps this loop
+		// byte-identical to history.
+		job, err := sp.maybeIssuePredicted(now)
 		if err != nil {
 			return issued, err
+		}
+		if job == nil {
+			job, err = sp.maybeIssue(now)
+			if err != nil {
+				return issued, err
+			}
 		}
 		if job == nil {
 			break
@@ -716,6 +819,21 @@ func (sp *Speculator) finalize(job *Job) error {
 		}
 	case ManipStage:
 		sp.stagedRels[job.Manip.Rel] = true
+	case ManipPredictFinal:
+		// Publish the predicted answer (DESIGN.md §14). A fresh build enters
+		// the cache under its issue-time version snapshot, holding the
+		// producer's reference; a cache-path job re-references the entry it was
+		// satisfied from (which a concurrent write may have invalidated since —
+		// then the prediction quietly yields nothing). Either way the session
+		// marks the form ready for an instant GO only while it holds a
+		// reference, so the entry cannot be evicted out from under it.
+		if job.fromCache {
+			if sp.answers.Ref(job.formKey) {
+				sp.predictedReady[job.formKey] = true
+			}
+		} else if sp.answers.Put(job.formKey, job.predRows, job.predSchema, job.predCost, job.Manip.EstPages, job.predVersions) {
+			sp.predictedReady[job.formKey] = true
+		}
 	}
 	return nil
 }
@@ -833,6 +951,31 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 	if err != nil {
 		return nil, out, err
 	}
+	// Instant GO (DESIGN.md §14): a completed prediction matching this final
+	// query serves its cached answer in ~zero simulated time — but only after
+	// a full result-equivalence check against the plan the optimizer would
+	// have run, which executed above. The reference execution happens either
+	// way (so buffer-pool and learner state stay identical with or without the
+	// check passing); only the user-visible duration collapses.
+	if sp.pred != nil {
+		fk := FormKey(final, q.Projections)
+		if sp.predictedReady[fk] {
+			if rows, _, _, ok := sp.answers.Get(fk, sp.eng.DataVersion); ok {
+				if RowsEquivalent(res.Rows, rows) {
+					sp.stats.PredictedGos++
+					sp.obsPredGos.Inc()
+					sp.stats.InstantSaved += res.Duration
+					sp.obsInstantSavedNs.Add(int64(res.Duration))
+					res.Duration = 0
+				} else {
+					// The cached answer disagrees with the reference plan:
+					// serve the fresh result, count the equivalence failure.
+					sp.stats.PredictEquivFailures++
+					sp.obsPredEquivFail.Inc()
+				}
+			}
+		}
+	}
 	res.Duration += waited // the user waited for the manipulation first
 	sp.recordHit(res.Plan)
 
@@ -856,6 +999,16 @@ func (sp *Speculator) OnGo(now sim.Time) (*engine.Result, EventOutcome, error) {
 		sp.learner.ObserveFormulationDuration(now.Sub(sp.formStart).Seconds())
 	}
 	sp.publishProfile()
+	// Train the predictor on the completed formulation: every canvas state it
+	// passed through, plus the previous final, predicted THIS final form.
+	if sp.pred != nil {
+		prevKey := ""
+		if sp.prevFinal != nil {
+			prevKey = sp.prevFinal.Key()
+		}
+		sp.pred.ObserveFinal(sp.predStates, prevKey, final, q.Projections)
+		sp.predStates = nil
+	}
 	sp.prevFinal = final
 	sp.seenSels = make(map[string]qgraph.Selection)
 	sp.seenJoins = make(map[string]qgraph.Join)
@@ -924,6 +1077,11 @@ func (sp *Speculator) stillUseful(m Manipulation) bool {
 	switch m.Kind {
 	case ManipStage:
 		return sp.partial.HasRelation(m.Rel)
+	case ManipPredictFinal:
+		// Reversed containment: the predicted FINAL must still extend the
+		// partial query. An edit that leaves the prediction's query graph
+		// falsifies it — the user is headed somewhere else.
+		return m.Graph.Contains(sp.partial)
 	default:
 		return sp.partial.Contains(m.Graph)
 	}
@@ -1042,6 +1200,115 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// maybeIssuePredicted tries to issue one predicted-final job (DESIGN.md §14):
+// the Predictor's top-k candidates for the current canvas state, confidence-
+// descending, filtered to finals that still extend the partial query. It
+// shares maybeIssue's admission gates but defers their counters to the
+// fallback path — a silent nil here lets maybeIssue run and account the
+// deferral once. Nil-safe: without a predictor it returns immediately.
+func (sp *Speculator) maybeIssuePredicted(now sim.Time) (*Job, error) {
+	if sp.pred == nil || sp.partial.IsEmpty() {
+		return nil, nil
+	}
+	if sp.cfg.SuspendWhenBusy > 0 && sp.eng.ActiveJobs() >= sp.cfg.SuspendWhenBusy {
+		return nil, nil
+	}
+	if now < sp.retryAt {
+		return nil, nil
+	}
+	if !sp.gov.AllowIssue(now, len(sp.outstanding) == 0) {
+		return nil, nil
+	}
+	prevKey := ""
+	if sp.prevFinal != nil {
+		prevKey = sp.prevFinal.Key()
+	}
+	for _, c := range sp.pred.Predict(sp.partial.Key(), prevKey) {
+		if !c.Graph.Contains(sp.partial) {
+			continue // the canvas already left this predicted final
+		}
+		// Canonicalize the projection list exactly as OnGo will, so the form
+		// key the job publishes under is the one GO looks up.
+		q, err := plan.BindGraphProjections(sp.eng.Catalog, c.Graph, c.Projs)
+		if err != nil {
+			continue
+		}
+		m := Manipulation{Kind: ManipPredictFinal, Graph: c.Graph, Projs: q.Projections}
+		fk := FormKey(c.Graph, q.Projections)
+		key := m.Key()
+		if sp.abandoned[key] || sp.predictedReady[fk] || sp.isKnown(key) {
+			continue
+		}
+		if err := sp.cm.ScorePredicted(&m, c.Confidence); err != nil {
+			return nil, err
+		}
+		if m.Benefit < sp.cfg.MinBenefit {
+			continue
+		}
+		if sp.cfg.BudgetPages > 0 && sp.retainedPages+m.EstPages > sp.cfg.BudgetPages {
+			sp.stats.BudgetDeferred++
+			sp.obsBudgetDeferred.Inc()
+			continue
+		}
+		if len(sp.outstanding) > 0 && !sp.sched.AdmitExtra(m.EstPages) {
+			sp.stats.Deferred++
+			sp.obsDeferred.Inc()
+			continue
+		}
+		if !sp.breaker.Allow(now) {
+			return nil, nil
+		}
+		job, err := sp.issuePredicted(m, fk, now)
+		if err != nil {
+			sp.noteFailure(key, now, err)
+			return nil, nil
+		}
+		sp.retainedPages += m.EstPages
+		sp.outstanding = append(sp.outstanding, job)
+		sp.stats.Issued++
+		sp.stats.PredictedIssued++
+		sp.obsPredIssued.Inc()
+		return job, nil
+	}
+	return nil, nil
+}
+
+// issuePredicted executes a predicted final eagerly — or satisfies it from the
+// answer cache — and returns the job, mirroring issue()'s registration order:
+// eager work first, contention-model and scheduler registration after, so the
+// prediction does not inflate the cost of its own execution.
+func (sp *Speculator) issuePredicted(m Manipulation, fk string, now sim.Time) (*Job, error) {
+	job := &Job{Manip: m, IssuedAt: now, formKey: fk}
+	if rows, schema, cost, ok := sp.answers.Get(fk, sp.eng.DataVersion); ok {
+		// Another session (or an earlier replay) already computed this final:
+		// the job completes immediately, re-referencing the entry at finalize.
+		job.predRows, job.predSchema, job.predCost = rows, schema, cost
+		job.fromCache = true
+		job.CompletesAt = now
+		sp.stats.AnswerCacheHits++
+	} else {
+		job.predVersions = sp.eng.DataVersions(m.Graph.Relations())
+		res, err := sp.eng.RunQuery(&plan.Query{Graph: m.Graph, Projections: m.Projs})
+		if err != nil {
+			return nil, err
+		}
+		job.predRows, job.predSchema = res.Rows, res.Schema
+		job.predCost = res.Duration
+		job.CompletesAt = now.Add(res.Duration)
+	}
+	job.jobID = sp.eng.BeginJob()
+	sp.sched.Acquire()
+	job.Deadline = sp.gov.DeadlineFor(now, m.EstDuration)
+	sp.gov.NoteIssue(sp.govID, m.Key(), m.Benefit, m.EstPages)
+	job.span = sp.eng.Tracer().Start("manip."+m.Kind.String(), now, 0,
+		obs.Attr{Key: "key", Value: m.Key()})
+	if job.fromCache {
+		job.span.Annotate("source", "answer_cache")
+	}
+	sp.obsIssued.Inc()
+	return job, nil
 }
 
 // maybeIssue enumerates and scores the manipulation space and issues the
@@ -1375,6 +1642,13 @@ func (sp *Speculator) issue(m Manipulation, now sim.Time) (*Job, error) {
 // closes at its issue instant. Call-site counters (CanceledInvalidated,
 // CanceledAtGo, CanceledOnClose) stay with the callers.
 func (sp *Speculator) cancelAt(job *Job, at sim.Time, outcome string) {
+	if job.Manip.Kind == ManipPredictFinal {
+		// Every cancellation path (invalidated, at GO, on close, shed,
+		// deadline) is a predicted terminal, balancing the extended quiesce
+		// identity PredictedIssued == PredictedCompleted + PredictedCanceled.
+		sp.stats.PredictedCanceled++
+		sp.obsPredCanceled.Inc()
+	}
 	sp.cancel(job)
 	sp.gov.NoteTerminal(sp.govID, job.Manip.Key())
 	// A canceled half-open probe resolves nothing: re-open the breaker so a
@@ -1485,6 +1759,9 @@ func (sp *Speculator) undo(job *Job) {
 		}
 	case ManipHistogram:
 		// The histogram object simply becomes garbage.
+	case ManipPredictFinal:
+		// Nothing was published: the computed rows simply become garbage (a
+		// cache-path job never even held a reference before completion).
 	case ManipStage:
 		if err := sp.eng.Unstage(job.Manip.Rel); err != nil {
 			sp.obsUndoFailures.Inc()
@@ -1534,6 +1811,12 @@ func (sp *Speculator) Shutdown() error {
 		}
 		delete(sp.stagedRels, rel)
 	}
+	// Drop the session's answer-cache references: the completed predictions
+	// stay cached (evictable assets for future replays), just unpinned.
+	for _, fk := range sortedKeys(sp.predictedReady) {
+		sp.answers.Release(fk)
+	}
+	sp.predictedReady = make(map[string]bool)
 	// The session stops contributing to the governor's pressure signal.
 	sp.gov.Deregister(sp.govID)
 	return nil

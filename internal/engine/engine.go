@@ -128,6 +128,14 @@ type Engine struct {
 	seqMu sync.Mutex
 	seq   int64
 
+	// versMu guards dataVersions: a monotonic per-table write counter the
+	// answer cache uses for invalidation (DESIGN.md §14). Every table-mutating
+	// statement bumps its table's version; a cached answer captures the
+	// versions of the relations it read and is served only while all of them
+	// still match. Versions never feed back into planning or measurement.
+	versMu       sync.Mutex
+	dataVersions map[string]uint64
+
 	// Durable-mode state (see durable.go); all nil/zero on in-memory
 	// engines, whose behavior stays byte-identical to history.
 	fileDisk           *storage.FileDisk
@@ -171,16 +179,17 @@ func build(cfg Config, base storage.Disk) *Engine {
 		cfg.WorkMemBytes = int64(cfg.BufferPoolPages) * int64(disk.PageSize()) / 4
 	}
 	e := &Engine{
-		Disk:     disk,
-		Pool:     pool,
-		Catalog:  catalog.New(pool),
-		cfg:      cfg,
-		meter:    meter,
-		injector: inj,
-		jobs:     make(map[int64]struct{}),
-		metrics:  obs.NewRegistry(),
-		tracer:   obs.NewTracer(0),
-		panicLog: obs.NewPanicLog(0),
+		Disk:         disk,
+		Pool:         pool,
+		Catalog:      catalog.New(pool),
+		cfg:          cfg,
+		meter:        meter,
+		injector:     inj,
+		jobs:         make(map[int64]struct{}),
+		dataVersions: make(map[string]uint64),
+		metrics:      obs.NewRegistry(),
+		tracer:       obs.NewTracer(0),
+		panicLog:     obs.NewPanicLog(0),
 	}
 	pool.AttachMetrics(e.metrics)
 	inj.AttachMetrics(e.metrics)
@@ -253,6 +262,34 @@ func (e *Engine) ActiveJobs() int {
 	e.jobsMu.Lock()
 	defer e.jobsMu.Unlock()
 	return len(e.jobs)
+}
+
+// bumpDataVersion advances name's data version after a table-mutating
+// statement, invalidating any cached answer that read the table.
+func (e *Engine) bumpDataVersion(name string) {
+	e.versMu.Lock()
+	defer e.versMu.Unlock()
+	e.dataVersions[name]++
+}
+
+// DataVersion reports name's current data version (0 for a never-written
+// table). The answer cache compares captured versions against this.
+func (e *Engine) DataVersion(name string) uint64 {
+	e.versMu.Lock()
+	defer e.versMu.Unlock()
+	return e.dataVersions[name]
+}
+
+// DataVersions snapshots the data versions of the named relations, for an
+// answer-cache entry capturing what it read.
+func (e *Engine) DataVersions(rels []string) map[string]uint64 {
+	e.versMu.Lock()
+	defer e.versMu.Unlock()
+	out := make(map[string]uint64, len(rels))
+	for _, r := range rels {
+		out[r] = e.dataVersions[r]
+	}
+	return out
 }
 
 // planOptions builds the optimizer options.
@@ -761,7 +798,11 @@ func (e *Engine) DropTable(name string) (err error) {
 	if err := e.Catalog.DropTable(name); err != nil {
 		return err
 	}
-	return e.commitStmt(name)
+	if err := e.commitStmt(name); err != nil {
+		return err
+	}
+	e.bumpDataVersion(name)
+	return nil
 }
 
 // CreateTable registers an empty base table (bulk-load path).
@@ -773,6 +814,7 @@ func (e *Engine) CreateTable(name string, schema *tuple.Schema) (*catalog.Table,
 	if err := e.commitStmt(name); err != nil {
 		return nil, err
 	}
+	e.bumpDataVersion(name)
 	return t, nil
 }
 
@@ -797,7 +839,11 @@ func (e *Engine) InsertRows(name string, rows []tuple.Row) error {
 			return err
 		}
 	}
-	return e.commitStmt(name)
+	if err := e.commitStmt(name); err != nil {
+		return err
+	}
+	e.bumpDataVersion(name)
+	return nil
 }
 
 // Analyze recomputes statistics for a table.

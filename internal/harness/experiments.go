@@ -696,6 +696,20 @@ type BenchResult struct {
 	Shed           int     `json:"shed"`
 	DeadlineAborts int     `json:"deadline_aborts"`
 	DegradedModeS  float64 `json:"degraded_mode_s"`
+
+	// Whole-query prediction replay (DESIGN.md §14), measured by
+	// RunPredictBench on a separate fresh environment so every field above is
+	// untouched by the predictor: the corpus runs twice with a shared n-gram
+	// predictor and answer cache, and the second (trained) pass reports the
+	// fraction of GOs answered instantly from an equivalence-checked predicted
+	// final, the simulated seconds that saved, and the count of equivalence
+	// rejections (which the bench gate requires to be zero).
+	PredictedGoRate      float64 `json:"predicted_go_rate"`
+	InstantGoSavedS      float64 `json:"instant_go_s_saved"`
+	PredictEquivFailures int     `json:"predict_equiv_failures"`
+	PredictedIssued      int     `json:"predicted_issued"`
+	PredictedGos         int     `json:"predicted_gos"`
+	AnswerCacheHits      int     `json:"answer_cache_hits"`
 }
 
 // RunBench executes the paired replay once and summarizes it for the bench
@@ -754,6 +768,18 @@ func RunBench(scaleName string, traces []*trace.Trace, seed uint64) (*BenchResul
 	if pr.Stats.MaterializationsIssued > 0 {
 		res.AvgMaterializationS = pr.Stats.MaterializationTime.Seconds() / float64(pr.Stats.MaterializationsIssued)
 	}
+	// The prediction replay runs last, on its own identically-seeded
+	// environment, so the paired-replay numbers above cannot shift.
+	po, err := RunPredictBench(scaleName, traces, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.PredictedGoRate = po.PredictedGoRate
+	res.InstantGoSavedS = po.InstantSavedS
+	res.PredictEquivFailures = po.EquivFailures
+	res.PredictedIssued = po.PredictedIssued
+	res.PredictedGos = po.PredictedGos
+	res.AnswerCacheHits = po.AnswerCacheHits
 	return res, nil
 }
 

@@ -222,6 +222,11 @@ func RunTraceNormal(eng *engine.Engine, traceIdx int, tr *trace.Trace) ([]QueryT
 type SpecOutcome struct {
 	Timings []QueryTiming
 	Stats   core.Stats
+	// FinalStats is the post-Shutdown snapshot: outstanding jobs are canceled
+	// on close, so the predicted-job quiesce identity
+	// (PredictedIssued == PredictedCompleted + PredictedCanceled) holds here,
+	// not necessarily in Stats.
+	FinalStats core.Stats
 }
 
 // pendingJobs tracks scheduled manipulation completions, ordered by
@@ -290,11 +295,18 @@ func (p *pendingJobs) apply(out core.EventOutcome) {
 // on the simulated timeline; GO events execute the (possibly rewritten)
 // final query. The pool starts cold.
 func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg core.Config) (*SpecOutcome, error) {
+	cfg.NamePrefix = fmt.Sprintf("spec_t%d", traceIdx)
+	return runTraceSpec(eng, traceIdx, tr, cfg, core.NewLearner(DefaultLearnerConfig()))
+}
+
+// runTraceSpec is RunTraceSpeculative with the learner (and cfg.NamePrefix)
+// supplied by the caller, so replays can share a profile — and a predictor —
+// across traces and passes (RunPredictBench).
+func runTraceSpec(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg core.Config, learner *core.Learner) (*SpecOutcome, error) {
 	if err := eng.ColdStart(); err != nil {
 		return nil, err
 	}
-	cfg.NamePrefix = fmt.Sprintf("spec_t%d", traceIdx)
-	sp := core.NewSpeculator(eng, core.NewLearner(DefaultLearnerConfig()), cfg)
+	sp := core.NewSpeculator(eng, learner, cfg)
 	out := &SpecOutcome{}
 	var pending pendingJobs
 
@@ -330,6 +342,7 @@ func RunTraceSpeculative(eng *engine.Engine, traceIdx int, tr *trace.Trace, cfg 
 	if err := sp.Shutdown(); err != nil {
 		return nil, err
 	}
+	out.FinalStats = sp.Stats()
 	return out, nil
 }
 
@@ -413,6 +426,13 @@ func addStatsAll(a, b core.Stats) core.Stats {
 	a.ShedRetained += b.ShedRetained
 	a.DeadlineAborts += b.DeadlineAborts
 	a.GovernorDeferred += b.GovernorDeferred
+	a.PredictedIssued += b.PredictedIssued
+	a.PredictedCompleted += b.PredictedCompleted
+	a.PredictedCanceled += b.PredictedCanceled
+	a.PredictedGos += b.PredictedGos
+	a.InstantSaved += b.InstantSaved
+	a.PredictEquivFailures += b.PredictEquivFailures
+	a.AnswerCacheHits += b.AnswerCacheHits
 	return a
 }
 

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"specdb/internal/core"
+	"specdb/internal/tpch"
+	"specdb/internal/trace"
+)
+
+// PredictOutcome summarizes the whole-query prediction replay (DESIGN.md §14):
+// the same corpus replayed twice on one environment with a shared Predictor,
+// AnswerCache, and Learner. The first pass trains the n-gram model (and warms
+// the answer cache); the metrics below describe the second pass, where the
+// predictor has seen every session once and repeated finals can be served
+// instantly from the answer cache.
+type PredictOutcome struct {
+	TrainQueries  int
+	ReplayQueries int
+
+	PredictedIssued    int
+	PredictedCompleted int
+	PredictedCanceled  int
+	// PredictedGos counts GO events answered in ~zero simulated time from a
+	// completed, equivalence-checked predicted final; PredictedGoRate is the
+	// fraction of replay-pass queries they represent.
+	PredictedGos    int
+	PredictedGoRate float64
+	// InstantSavedS is the simulated execution time those GOs avoided (s).
+	InstantSavedS float64
+	// EquivFailures counts predicted answers REJECTED at GO because their row
+	// multiset differed from the reference execution. Always expected to be
+	// zero; the bench gate fails the build otherwise.
+	EquivFailures   int
+	AnswerCacheHits int
+
+	TrainTotalS  float64
+	ReplayTotalS float64
+}
+
+// RunPredictBench measures whole-query prediction on a fresh environment so
+// the caller's legacy metrics stay untouched. Every trace of both passes must
+// satisfy the extended quiesce identity
+// PredictedIssued == PredictedCompleted + PredictedCanceled.
+func RunPredictBench(scaleName string, traces []*trace.Trace, seed uint64) (*PredictOutcome, error) {
+	scale, err := tpch.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(EnvConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	base := core.DefaultConfig()
+	base.Predictor = core.NewPredictor(core.DefaultPredictorConfig())
+	base.Answers = core.NewAnswerCache(env.Eng.Metrics(), 0)
+	learner := core.NewLearner(DefaultLearnerConfig())
+
+	out := &PredictOutcome{}
+	for pass := 0; pass < 2; pass++ {
+		var stats core.Stats
+		queries := 0
+		total := 0.0
+		for i, tr := range traces {
+			cfg := base
+			cfg.NamePrefix = fmt.Sprintf("pred_p%d_t%d", pass, i)
+			so, err := runTraceSpec(env.Eng, i, tr, cfg, learner)
+			if err != nil {
+				return nil, fmt.Errorf("harness: predict replay pass %d trace %d: %w", pass, i, err)
+			}
+			if fs := so.FinalStats; fs.PredictedIssued != fs.PredictedCompleted+fs.PredictedCanceled {
+				return nil, fmt.Errorf("harness: predicted-job identity violated in pass %d trace %d: issued %d != completed %d + canceled %d",
+					pass, i, fs.PredictedIssued, fs.PredictedCompleted, fs.PredictedCanceled)
+			}
+			stats = addStatsAll(stats, so.FinalStats)
+			queries += len(so.Timings)
+			for _, t := range so.Timings {
+				total += t.Seconds
+			}
+		}
+		if pass == 0 {
+			out.TrainQueries = queries
+			out.TrainTotalS = total
+			continue
+		}
+		out.ReplayQueries = queries
+		out.ReplayTotalS = total
+		out.PredictedIssued = stats.PredictedIssued
+		out.PredictedCompleted = stats.PredictedCompleted
+		out.PredictedCanceled = stats.PredictedCanceled
+		out.PredictedGos = stats.PredictedGos
+		out.EquivFailures = stats.PredictEquivFailures
+		out.AnswerCacheHits = stats.AnswerCacheHits
+		out.InstantSavedS = stats.InstantSaved.Seconds()
+		if queries > 0 {
+			out.PredictedGoRate = float64(stats.PredictedGos) / float64(queries)
+		}
+	}
+	return out, nil
+}

@@ -46,13 +46,23 @@ func (c Condition) String() string {
 }
 
 // renderConst formats a constant as a SQL literal the parser accepts back:
-// string values are quoted with embedded quotes doubled, everything else uses
-// the value's own rendering.
+// string values are quoted with embedded quotes doubled; a float that would
+// print indistinguishably from an int (no '.' or exponent) gets a ".0" marker
+// so it re-parses as a float; everything else uses the value's own rendering
+// (date(N) is a literal form the parser recognizes).
 func renderConst(v tuple.Value) string {
-	if v.Kind == tuple.KindString {
+	switch v.Kind {
+	case tuple.KindString:
 		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case tuple.KindFloat:
+		s := v.String()
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.String()
 	}
-	return v.String()
 }
 
 // SelectStmt is a conjunctive query, optionally materializing INTO a table.

@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"math"
+	"testing"
+
+	"specdb/internal/qgraph"
+	"specdb/internal/sim"
+	"specdb/internal/tuple"
+)
+
+// FuzzPredictedForm checks the predicted-final-form round trip the answer
+// cache's identity rests on (DESIGN.md §14): an arbitrary query graph rendered
+// by RenderForm, printed by String, re-parsed, and reconstructed by
+// GraphOfSelect must reproduce the exact graph key and projection list. The
+// graph is derived deterministically from the fuzz inputs, so every crash
+// input replays byte-identically.
+func FuzzPredictedForm(f *testing.F) {
+	f.Add(uint64(1), int64(5), 2.5, "bob")
+	f.Add(uint64(7), int64(-3), 1e6, "it's")
+	f.Add(uint64(42), int64(0), -0.0, "")
+	f.Add(uint64(99), int64(12345), 5e-324, "日本")
+	f.Fuzz(func(t *testing.T, seed uint64, iv int64, fv float64, sv string) {
+		if math.IsNaN(fv) || math.IsInf(fv, 0) {
+			t.Skip("NaN/Inf have no SQL literal")
+		}
+		rng := sim.NewRandStream(seed, "predicted-form-fuzz")
+		rels := []string{"r0", "r1", "r2", "r3"}
+		cols := []string{"c0", "c1", "c2"}
+		ops := []tuple.CmpOp{tuple.CmpEQ, tuple.CmpNE, tuple.CmpLT, tuple.CmpLE, tuple.CmpGT, tuple.CmpGE}
+		consts := []tuple.Value{
+			tuple.NewInt(iv),
+			tuple.NewFloat(fv),
+			tuple.NewString(sv),
+			tuple.NewDate(iv % 50000),
+		}
+
+		g := qgraph.New()
+		used := rels[:1+rng.Intn(len(rels))]
+		for _, rel := range used {
+			g.AddRelation(rel)
+		}
+		for n := rng.Intn(4); n > 0; n-- {
+			g.AddSelection(qgraph.Selection{
+				Rel:   used[rng.Intn(len(used))],
+				Col:   cols[rng.Intn(len(cols))],
+				Op:    ops[rng.Intn(len(ops))],
+				Const: consts[rng.Intn(len(consts))],
+			})
+		}
+		if len(used) >= 2 {
+			for n := rng.Intn(3); n > 0; n-- {
+				a, b := rng.Intn(len(used)), rng.Intn(len(used))
+				if a == b {
+					continue
+				}
+				g.AddJoin(qgraph.NewJoin(used[a], cols[rng.Intn(len(cols))], used[b], cols[rng.Intn(len(cols))]))
+			}
+		}
+		var projs []string
+		for n := rng.Intn(3); n > 0; n-- {
+			projs = append(projs, used[rng.Intn(len(used))]+"."+cols[rng.Intn(len(cols))])
+		}
+
+		rendered := RenderForm(g, projs).String()
+		re, err := ParseSelect(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q does not re-parse: %v", rendered, err)
+		}
+		g2, projs2, err := GraphOfSelect(re)
+		if err != nil {
+			t.Fatalf("re-parsed form %q does not reconstruct: %v", rendered, err)
+		}
+		if g2.Key() != g.Key() {
+			t.Fatalf("graph key drifted through the round trip of %q:\n first: %s\nsecond: %s", rendered, g.Key(), g2.Key())
+		}
+		if len(projs2) != len(projs) {
+			t.Fatalf("projection list drifted through %q: %v vs %v", rendered, projs, projs2)
+		}
+		for i := range projs {
+			if projs[i] != projs2[i] {
+				t.Fatalf("projection %d drifted through %q: %q vs %q", i, rendered, projs[i], projs2[i])
+			}
+		}
+	})
+}

@@ -76,6 +76,21 @@ func (l *lexer) next() (token, error) {
 			}
 			l.pos++
 		}
+		// Optional exponent ([eE][+-]?digits), so FormatFloat's 'g' output
+		// (e.g. 1e+06) round-trips. Consumed only when digits actually follow
+		// — "1easy" stays a number then an identifier.
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+					j++
+				}
+				l.pos = j
+			}
+		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
 	case c == '\'':
 		l.pos++

@@ -254,6 +254,12 @@ func (p *parser) parseColRef() (ColRef, error) {
 	if err != nil {
 		return ColRef{}, err
 	}
+	return p.parseColRefFrom(first)
+}
+
+// parseColRefFrom finishes a column reference whose first identifier has
+// already been consumed (the date-literal lookahead needs this split).
+func (p *parser) parseColRefFrom(first string) (ColRef, error) {
 	if p.cur.kind == tokPunct && p.cur.text == "." {
 		if err := p.advance(); err != nil {
 			return ColRef{}, err
@@ -301,9 +307,36 @@ func (p *parser) parseCondition() (Condition, error) {
 		}
 		return Condition{Left: left, Op: op, RightConst: &v}, nil
 	case tokIdent:
+		// A date literal (date(N), the rendering Value.String emits) or a join
+		// condition. The lookahead is one token: only "date" followed by "("
+		// is a literal; a bare "date" column reference still parses.
+		first, err := p.ident()
+		if err != nil {
+			return Condition{}, err
+		}
+		if strings.EqualFold(first, "date") && p.cur.kind == tokPunct && p.cur.text == "(" {
+			if err := p.advance(); err != nil {
+				return Condition{}, err
+			}
+			if p.cur.kind != tokNumber {
+				return Condition{}, fmt.Errorf("sql: expected a day count in date(), got %s", p.cur)
+			}
+			days, err := strconv.ParseInt(p.cur.text, 10, 64)
+			if err != nil {
+				return Condition{}, fmt.Errorf("sql: bad date literal %q: %w", p.cur.text, err)
+			}
+			if err := p.advance(); err != nil {
+				return Condition{}, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return Condition{}, err
+			}
+			v := tuple.NewDate(days)
+			return Condition{Left: left, Op: op, RightConst: &v}, nil
+		}
 		// Join condition: only equality joins are in the dialect (and in the
 		// paper's interface model).
-		right, err := p.parseColRef()
+		right, err := p.parseColRefFrom(first)
 		if err != nil {
 			return Condition{}, err
 		}
@@ -317,7 +350,7 @@ func (p *parser) parseCondition() (Condition, error) {
 }
 
 func parseNumber(text string) (tuple.Value, error) {
-	if strings.ContainsRune(text, '.') {
+	if strings.ContainsAny(text, ".eE") {
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
 			return tuple.Value{}, fmt.Errorf("sql: bad number %q: %w", text, err)

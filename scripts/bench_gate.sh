@@ -70,6 +70,40 @@ within_pp "$live" "$baseline" "$tolerance_pp" || {
   exit 1
 }
 
+# Whole-query prediction gate: the predicted-GO rate must stay within
+# ±TOLERANCE_PP percentage points of the baseline, at least one GO must be
+# answered from a predicted final, and the equivalence check must never have
+# rejected an answer. Skipped for baselines written before the predictor.
+base_predgo=$(json_num predicted_go_rate)
+if [[ -n "$base_predgo" ]]; then
+  live_predgo=$(metric "$out" "predicted_go_rate")
+  live_equiv=$(metric "$out" "equiv_failures")
+  if [[ -z "$live_predgo" || -z "$live_equiv" ]]; then
+    echo "bench_gate: benchmark produced no prediction metrics" >&2
+    exit 1
+  fi
+
+  live_predgo_pp=$(awk -v r="$live_predgo" 'BEGIN { printf "%.6f", r * 100 }')
+  base_predgo_pp=$(awk -v r="$base_predgo" 'BEGIN { printf "%.6f", r * 100 }')
+  echo "bench_gate: predicted GO rate live=${live_predgo_pp}% baseline=${base_predgo_pp}% tolerance=±${tolerance_pp}pp"
+  within_pp "$live_predgo_pp" "$base_predgo_pp" "$tolerance_pp" || {
+    echo "bench_gate: FAIL — predicted GO rate drifted more than ${tolerance_pp}pp from baseline" >&2
+    exit 1
+  }
+
+  awk -v n="$live_predgo" 'BEGIN { exit !(n + 0 > 0) }' || {
+    echo "bench_gate: FAIL — no GO was answered from a predicted final (predicted_go_rate=${live_predgo})" >&2
+    exit 1
+  }
+
+  awk -v n="$live_equiv" 'BEGIN { exit !(n + 0 == 0) }' || {
+    echo "bench_gate: FAIL — predicted answers failed the equivalence check (equiv_failures=${live_equiv})" >&2
+    exit 1
+  }
+else
+  echo "bench_gate: baseline has no prediction metrics; skipping prediction gate" >&2
+fi
+
 base_waste_red=$(json_num scaled_waste_reduction_pct)
 base_dedup=$(json_num dedup_saved_s)
 if [[ -n "$base_waste_red" && -n "$base_dedup" ]]; then

@@ -94,6 +94,8 @@ func (db *DB) newSession(ctx context.Context, cfg SessionConfig, learner *core.L
 		c.Scheduler = db.sched
 		c.CSE = db.cse
 		c.Governor = db.gov
+		c.Predictor = db.pred
+		c.Answers = db.answers
 		switch {
 		case cfg.BudgetPages > 0:
 			c.BudgetPages = cfg.BudgetPages
@@ -372,6 +374,25 @@ type Stats struct {
 	ShedRetained     int
 	DeadlineAborts   int
 	GovernorDeferred int
+	// Whole-query prediction counters (zero unless Options.PredictFinals).
+	// PredictedIssued counts predicted-final jobs issued; PredictedCompleted
+	// those whose answers reached the cache; PredictedCanceled every predicted
+	// job terminated before completing. They are the only predicted terminals,
+	// so once a session is closed
+	// PredictedIssued == PredictedCompleted + PredictedCanceled.
+	// PredictedGos counts GO events answered instantly from a completed
+	// prediction; InstantSaved is the execution time those instant answers
+	// avoided; PredictEquivFailures counts completed predictions whose rows
+	// failed the equivalence check against the reference plan (the fresh
+	// answer was served); AnswerCacheHits counts predicted jobs satisfied from
+	// the shared answer cache instead of executing.
+	PredictedIssued      int
+	PredictedCompleted   int
+	PredictedCanceled    int
+	PredictedGos         int
+	InstantSaved         time.Duration
+	PredictEquivFailures int
+	AnswerCacheHits      int
 	// Hits counts final queries answered using at least one completed
 	// speculative materialization; Misses counts the rest.
 	Hits   int
@@ -390,30 +411,37 @@ func (s *Session) Stats() Stats {
 	}
 	st := s.sp.Stats()
 	return Stats{
-		Issued:              st.Issued,
-		Completed:           st.Completed,
-		CanceledInvalidated: st.CanceledInvalidated,
-		CanceledAtGo:        st.CanceledAtGo,
-		WaitedAtGo:          st.WaitedAtGo,
-		Suspended:           st.Suspended,
-		GarbageCollected:    st.GarbageCollected,
-		CanceledOnClose:     st.CanceledOnClose,
-		Failed:              st.Failed,
-		Aborted:             st.Aborted,
-		Abandoned:           st.Abandoned,
-		BreakerTrips:        st.BreakerTrips,
-		BreakerResumes:      st.BreakerResumes,
-		SharedBuilds:        st.SharedBuilds,
-		SharedAttached:      st.SharedAttached,
-		DedupSaved:          time.Duration(st.DedupSaved),
-		BudgetDeferred:      st.BudgetDeferred,
-		Shed:                st.Shed,
-		ShedRetained:        st.ShedRetained,
-		DeadlineAborts:      st.DeadlineAborts,
-		GovernorDeferred:    st.GovernorDeferred,
-		Hits:                st.Hits,
-		Misses:              st.Misses,
-		Waste:               time.Duration(st.Waste),
+		Issued:               st.Issued,
+		Completed:            st.Completed,
+		CanceledInvalidated:  st.CanceledInvalidated,
+		CanceledAtGo:         st.CanceledAtGo,
+		WaitedAtGo:           st.WaitedAtGo,
+		Suspended:            st.Suspended,
+		GarbageCollected:     st.GarbageCollected,
+		CanceledOnClose:      st.CanceledOnClose,
+		Failed:               st.Failed,
+		Aborted:              st.Aborted,
+		Abandoned:            st.Abandoned,
+		BreakerTrips:         st.BreakerTrips,
+		BreakerResumes:       st.BreakerResumes,
+		SharedBuilds:         st.SharedBuilds,
+		SharedAttached:       st.SharedAttached,
+		DedupSaved:           time.Duration(st.DedupSaved),
+		BudgetDeferred:       st.BudgetDeferred,
+		Shed:                 st.Shed,
+		ShedRetained:         st.ShedRetained,
+		DeadlineAborts:       st.DeadlineAborts,
+		GovernorDeferred:     st.GovernorDeferred,
+		PredictedIssued:      st.PredictedIssued,
+		PredictedCompleted:   st.PredictedCompleted,
+		PredictedCanceled:    st.PredictedCanceled,
+		PredictedGos:         st.PredictedGos,
+		InstantSaved:         time.Duration(st.InstantSaved),
+		PredictEquivFailures: st.PredictEquivFailures,
+		AnswerCacheHits:      st.AnswerCacheHits,
+		Hits:                 st.Hits,
+		Misses:               st.Misses,
+		Waste:                time.Duration(st.Waste),
 	}
 }
 

@@ -69,6 +69,15 @@ type Options struct {
 	// Candidates that would exceed it are skipped. 0 disables the budget.
 	// Individual sessions may override it via SessionConfig.BudgetPages.
 	SpecBudgetPages int
+	// PredictFinals enables whole-query speculation (DESIGN.md §14): a shared
+	// n-gram predictor learns which final queries follow which canvas states,
+	// sessions execute its top-k predicted finals as first-class speculative
+	// jobs, and a GO matching a completed prediction is answered in ~zero
+	// simulated time after a result-equivalence check. Completed answers live
+	// in a shared refcounted cache invalidated by base-table writes, so
+	// repeated replays of a workload get faster. Default false — prediction
+	// off is byte-identical to history.
+	PredictFinals bool
 	// Governor enables and tunes the engine-wide overload governor
 	// (DESIGN.md §13): pressure-band gating of new speculation, benefit-
 	// ranked load shedding, stuck-job deadlines, and a global circuit
@@ -208,6 +217,10 @@ type DB struct {
 	// gov is the engine-wide overload governor (nil unless
 	// Options.Governor.Enabled).
 	gov *core.Governor
+	// pred and answers are the shared final-query predictor and answer cache
+	// (nil unless Options.PredictFinals).
+	pred    *core.Predictor
+	answers *core.AnswerCache
 	// learner is the durable shared user profile (nil on in-memory
 	// databases, whose sessions own private or manager-scoped learners).
 	learner *core.Learner
@@ -251,8 +264,20 @@ func assemble(opts Options, eng *engine.Engine) *DB {
 		db.gov = core.NewGovernor(opts.Governor.internal(), eng.Pool)
 		db.gov.AttachMetrics(eng.Metrics())
 	}
+	if opts.PredictFinals {
+		db.pred = core.NewPredictor(core.DefaultPredictorConfig())
+		db.answers = core.NewAnswerCache(eng.Metrics(), 0)
+	}
 	return db
 }
+
+// Predictor exposes the shared final-query prediction model (nil unless
+// Options.PredictFinals) for diagnostics and tests.
+func (db *DB) Predictor() *core.Predictor { return db.pred }
+
+// AnswerCache exposes the shared predicted-answer cache (nil unless
+// Options.PredictFinals) for diagnostics and tests.
+func (db *DB) AnswerCache() *core.AnswerCache { return db.answers }
 
 // Governor exposes the engine-wide overload governor (nil unless
 // Options.Governor.Enabled) for diagnostics: pressure band, degraded time,
